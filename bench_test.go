@@ -1,0 +1,441 @@
+package segshare_test
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§VII-B). Each benchmark maps to an experiment in DESIGN.md
+// §4; run `go run ./cmd/segshare-bench` for the paper-style series output
+// and EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+//	Fig. 3  -> BenchmarkFig3Upload / BenchmarkFig3Download
+//	E2      -> BenchmarkMembershipFirstGroup*
+//	Fig. 4  -> BenchmarkFig4Membership* / BenchmarkFig4Permission*
+//	Fig. 5  -> BenchmarkFig5*
+//	E6      -> (storage; see segshare-bench -exp storage and TestRunStorageOverheadTiny)
+//	E7      -> BenchmarkAblationRevocation*
+//	E8      -> BenchmarkAblationSwitchless*
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"segshare"
+	"segshare/internal/baseline/hescheme"
+	"segshare/internal/bench"
+	"segshare/internal/enclave"
+)
+
+func benchEnv(b *testing.B, cfg bench.EnvConfig) *bench.Env {
+	b.Helper()
+	env, err := bench.NewEnv(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(env.Close)
+	return env
+}
+
+func benchClient(b *testing.B, env *bench.Env, user string) *segshare.Client {
+	b.Helper()
+	c, err := env.NewClient(user)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func payloadOf(size int) []byte {
+	payload := make([]byte, size)
+	rand.New(rand.NewSource(int64(size))).Read(payload)
+	return payload
+}
+
+var fig3Sizes = []int{64 << 10, 1 << 20, 8 << 20}
+
+// BenchmarkFig3Upload reproduces the upload half of paper Fig. 3.
+func BenchmarkFig3Upload(b *testing.B) {
+	b.Run("segshare", func(b *testing.B) {
+		env := benchEnv(b, bench.EnvConfig{})
+		client := benchClient(b, env, "bench")
+		for _, size := range fig3Sizes {
+			payload := payloadOf(size)
+			b.Run(sizeLabel(size), func(b *testing.B) {
+				if err := client.Upload("/fig3.bin", payload); err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := client.Upload("/fig3.bin", payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+	for _, profile := range plainProfiles() {
+		b.Run(profile.name, func(b *testing.B) {
+			env := profile.start(b)
+			for _, size := range fig3Sizes {
+				payload := payloadOf(size)
+				b.Run(sizeLabel(size), func(b *testing.B) {
+					if err := env.put("/fig3.bin", payload); err != nil {
+						b.Fatal(err)
+					}
+					b.SetBytes(int64(size))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := env.put("/fig3.bin", payload); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Download reproduces the download half of paper Fig. 3.
+func BenchmarkFig3Download(b *testing.B) {
+	b.Run("segshare", func(b *testing.B) {
+		env := benchEnv(b, bench.EnvConfig{})
+		client := benchClient(b, env, "bench")
+		for _, size := range fig3Sizes {
+			if err := client.Upload("/fig3.bin", payloadOf(size)); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(sizeLabel(size), func(b *testing.B) {
+				if err := client.DownloadTo("/fig3.bin", io.Discard); err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := client.DownloadTo("/fig3.bin", io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+	for _, profile := range plainProfiles() {
+		b.Run(profile.name, func(b *testing.B) {
+			env := profile.start(b)
+			for _, size := range fig3Sizes {
+				if err := env.put("/fig3.bin", payloadOf(size)); err != nil {
+					b.Fatal(err)
+				}
+				b.Run(sizeLabel(size), func(b *testing.B) {
+					if err := env.get("/fig3.bin"); err != nil {
+						b.Fatal(err)
+					}
+					b.SetBytes(int64(size))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := env.get("/fig3.bin"); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkMembershipFirstGroupAdd/Revoke reproduce the paper's second
+// experiment (E2): adding/revoking a user to/from their first group.
+func BenchmarkMembershipFirstGroupAdd(b *testing.B) {
+	env := benchEnv(b, bench.EnvConfig{})
+	owner := benchClient(b, env, "owner")
+	if err := env.Direct("owner").AddUser("owner", "g"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := owner.AddUser(fmt.Sprintf("fresh-%d", i), "g"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMembershipFirstGroupRevoke(b *testing.B) {
+	env := benchEnv(b, bench.EnvConfig{})
+	owner := benchClient(b, env, "owner")
+	direct := env.Direct("owner")
+	for i := 0; i < b.N; i++ {
+		if err := direct.AddUser(fmt.Sprintf("fresh-%d", i), "g"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := owner.RemoveUser(fmt.Sprintf("fresh-%d", i), "g"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var fig4Counts = []int{0, 10, 100, 1000}
+
+// BenchmarkFig4MembershipAdd reproduces the membership series of Fig. 4.
+func BenchmarkFig4MembershipAdd(b *testing.B) {
+	for _, count := range fig4Counts {
+		b.Run(fmt.Sprintf("pre=%d", count), func(b *testing.B) {
+			env := benchEnv(b, bench.EnvConfig{})
+			owner := benchClient(b, env, "owner")
+			direct := env.Direct("owner")
+			for i := 0; i < count; i++ {
+				if err := direct.AddUser("subject", fmt.Sprintf("pre-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := direct.AddUser("owner", "bench-group"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := owner.AddUser("subject", "bench-group"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4PermissionAdd reproduces the permission series of Fig. 4.
+func BenchmarkFig4PermissionAdd(b *testing.B) {
+	for _, count := range fig4Counts {
+		b.Run(fmt.Sprintf("pre=%d", count), func(b *testing.B) {
+			env := benchEnv(b, bench.EnvConfig{})
+			owner := benchClient(b, env, "owner")
+			direct := env.Direct("owner")
+			if err := direct.Upload("/target", []byte("x")); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < count; i++ {
+				if err := direct.SetPermission("/target", fmt.Sprintf("user:pre-%d", i), "r"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := owner.SetPermission("/target", "user:bench", "rw"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 reproduces Fig. 5: marginal 10 kB upload/download with
+// rollback protection on/off under flat and binary-tree layouts.
+func BenchmarkFig5(b *testing.B) {
+	const fileSize = 10 << 10
+	payload := payloadOf(fileSize)
+	for _, structure := range []string{"flat", "tree"} {
+		for _, rollbackOn := range []bool{false, true} {
+			for _, x := range []int{4, 8} {
+				name := fmt.Sprintf("%s/rollback=%v/x=%d", structure, rollbackOn, x)
+				b.Run(name, func(b *testing.B) {
+					features := segshare.Features{}
+					if rollbackOn {
+						features.RollbackProtection = true
+						features.Guard = segshare.GuardCounter
+					}
+					env := benchEnv(b, bench.EnvConfig{Features: features})
+					client := benchClient(b, env, "bench")
+					direct := env.Direct("bench")
+					n := (1 << x) - 1
+					dirs := map[string]bool{"/": true}
+					for i := 0; i < n; i++ {
+						path := fig5BenchPath(structure, i, x, dirs, direct.Mkdir, b)
+						if err := direct.Upload(path, payload); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.Run("upload", func(b *testing.B) {
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							path := fig5BenchPath(structure, n+i+1, x, dirs, direct.Mkdir, b)
+							if err := client.Upload(path, payload); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+					b.Run("download", func(b *testing.B) {
+						path := fig5BenchPath(structure, 0, x, dirs, direct.Mkdir, b)
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if err := client.DownloadTo(path, io.Discard); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+func fig5BenchPath(structure string, i, depth int, dirs map[string]bool, mkdir func(string) error, b *testing.B) string {
+	if structure == "flat" || depth < 1 {
+		return fmt.Sprintf("/f%06d.bin", i)
+	}
+	dir := "/"
+	for level := 0; level < depth; level++ {
+		dir = fmt.Sprintf("%sb%d/", dir, (i>>level)&1)
+		if !dirs[dir] {
+			if err := mkdir(dir); err != nil {
+				b.Fatal(err)
+			}
+			dirs[dir] = true
+		}
+	}
+	return fmt.Sprintf("%sf%06d.bin", dir, i)
+}
+
+// BenchmarkAblationRevocation quantifies objective P3 (E7): one
+// membership revocation in SeGShare vs a full re-encrypting revocation in
+// the HE baseline, for a group sharing 32×256 KiB files.
+func BenchmarkAblationRevocation(b *testing.B) {
+	const (
+		files    = 32
+		fileSize = 256 << 10
+		members  = 16
+	)
+	b.Run("segshare", func(b *testing.B) {
+		env := benchEnv(b, bench.EnvConfig{})
+		owner := benchClient(b, env, "owner")
+		direct := env.Direct("owner")
+		payload := payloadOf(fileSize)
+		for i := 0; i < members; i++ {
+			if err := direct.AddUser(fmt.Sprintf("member-%d", i), "grp"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < files; i++ {
+			path := fmt.Sprintf("/shared-%d.bin", i)
+			if err := direct.Upload(path, payload); err != nil {
+				b.Fatal(err)
+			}
+			if err := direct.SetPermission(path, "grp", "rw"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := owner.RemoveUser("member-0", "grp"); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := owner.AddUser("member-0", "grp"); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("he-baseline", func(b *testing.B) {
+		payload := payloadOf(fileSize)
+		users := make([]string, members+1)
+		users[0] = "owner"
+		for i := 0; i < members; i++ {
+			users[i+1] = fmt.Sprintf("member-%d", i)
+		}
+		system := hescheme.New()
+		for _, u := range users {
+			if err := system.RegisterUser(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		upload := func() {
+			for i := 0; i < files; i++ {
+				if err := system.Upload("owner", fmt.Sprintf("/shared-%d.bin", i), payload, users[1:]...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		upload()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := system.RevokeEverywhere("owner", "member-0"); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			upload()
+			b.StartTimer()
+		}
+	})
+}
+
+// BenchmarkAblationSwitchless compares switchless and blocking enclave
+// transitions on the same 1 MiB upload (E8, paper §VI).
+func BenchmarkAblationSwitchless(b *testing.B) {
+	payload := payloadOf(1 << 20)
+	for _, mode := range []enclave.CallMode{enclave.ModeSwitchless, enclave.ModeBlocking} {
+		name := "switchless"
+		if mode == enclave.ModeBlocking {
+			name = "blocking"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := benchEnv(b, bench.EnvConfig{Bridge: segshare.BridgeConfig{Mode: mode}})
+			client := benchClient(b, env, "bench")
+			if err := client.Upload("/sw.bin", payload); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.Upload("/sw.bin", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeLabel(size int) string {
+	switch {
+	case size >= 1<<20:
+		return fmt.Sprintf("%dMiB", size>>20)
+	case size >= 1<<10:
+		return fmt.Sprintf("%dKiB", size>>10)
+	default:
+		return fmt.Sprintf("%dB", size)
+	}
+}
+
+// plainProfiles adapts the baseline servers for the benchmark loops.
+type plainProfile struct {
+	name  string
+	start func(b *testing.B) *plainEnv
+}
+
+type plainEnv struct {
+	env *bench.PlainDAVEnv
+}
+
+func (p *plainEnv) put(path string, payload []byte) error {
+	return bench.DAVPut(p.env.Client, p.env.Base+path, payload)
+}
+
+func (p *plainEnv) get(path string) error {
+	return bench.DAVGet(p.env.Client, p.env.Base+path)
+}
+
+func plainProfiles() []plainProfile {
+	mk := func(name string) plainProfile {
+		return plainProfile{
+			name: name,
+			start: func(b *testing.B) *plainEnv {
+				b.Helper()
+				env, err := bench.NewPlainDAVByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(env.Close)
+				return &plainEnv{env: env}
+			},
+		}
+	}
+	return []plainProfile{mk("apache"), mk("nginx")}
+}

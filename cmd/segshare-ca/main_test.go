@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInitAndIssue(t *testing.T) {
+	dir := t.TempDir()
+	pki := filepath.Join(dir, "pki")
+	out := filepath.Join(dir, "creds")
+
+	if err := run([]string{"init", "-dir", pki, "-name", "Test CA"}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	for _, f := range []string{"ca-cert.pem", "ca-key.pem"} {
+		if _, err := os.Stat(filepath.Join(pki, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	// Refuses to overwrite an existing CA.
+	if err := run([]string{"init", "-dir", pki}); err == nil {
+		t.Fatal("second init overwrote the CA")
+	}
+
+	if err := run([]string{"issue", "-dir", pki, "-user", "alice", "-email", "a@x.io", "-out", out}); err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	for _, f := range []string{"alice-cert.pem", "alice-key.pem"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+
+	// Error paths.
+	if err := run([]string{"issue", "-dir", pki, "-out", out}); err == nil {
+		t.Fatal("issue without -user accepted")
+	}
+	if err := run([]string{"issue", "-dir", filepath.Join(dir, "nope"), "-user", "x"}); err == nil {
+		t.Fatal("issue with missing CA accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Command segshare-client is the user application CLI (paper §IV-B): it
+// holds only the user's credential and talks to the enclave over TLS.
+//
+// Usage:
+//
+//	segshare-client -addr 127.0.0.1:8443 -ca ./pki/ca-cert.pem \
+//	    -cert alice-cert.pem -key alice-key.pem <command> [args]
+//
+// Commands:
+//
+//	whoami
+//	ls <dir/>                 mkdir <dir/>
+//	put <path> <localfile>    get <path> [localfile]
+//	rm <path>                 mv <src> <dst>
+//	share <path> <group> <r|w|rw|deny|none>
+//	inherit <path> <on|off>
+//	group-add <user> <group>  group-rm <user> <group>
+//	group-del <group>
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"segshare"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8443", "server address")
+		caPath   = flag.String("ca", "./pki/ca-cert.pem", "CA certificate")
+		certPath = flag.String("cert", "", "client certificate PEM")
+		keyPath  = flag.String("key", "", "client key PEM")
+		host     = flag.String("host", "localhost", "expected server name")
+	)
+	flag.Parse()
+	if err := execute(*addr, *caPath, *certPath, *keyPath, *host, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "segshare-client:", err)
+		return 1
+	}
+	return 0
+}
+
+func execute(addr, caPath, certPath, keyPath, host string, args []string) error {
+	if len(args) < 1 {
+		return errors.New("missing command; see -h")
+	}
+	caPEM, err := os.ReadFile(caPath)
+	if err != nil {
+		return err
+	}
+	certPEM, err := os.ReadFile(certPath)
+	if err != nil {
+		return err
+	}
+	keyPEM, err := os.ReadFile(keyPath)
+	if err != nil {
+		return err
+	}
+	client, err := segshare.NewClient(segshare.ClientConfig{
+		Addr:       addr,
+		ServerName: host,
+		CACertPEM:  caPEM,
+		Credential: &segshare.Credential{CertPEM: certPEM, KeyPEM: keyPEM},
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "whoami":
+		who, err := client.WhoAmI()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("user: %s\nemail: %s\nname: %s\ngroups: %v\n", who.UserID, who.Email, who.FullName, who.Groups)
+		return nil
+	case "ls":
+		return need(rest, 1, func() error {
+			listing, err := client.List(rest[0])
+			if err != nil {
+				return err
+			}
+			for _, e := range listing.Entries {
+				kind := "file"
+				if e.IsDir {
+					kind = "dir "
+				}
+				fmt.Printf("%s  %-4s  %s\n", e.Permission, kind, e.Name)
+			}
+			return nil
+		})
+	case "mkdir":
+		return need(rest, 1, func() error { return client.Mkdir(rest[0]) })
+	case "put":
+		return need(rest, 2, func() error {
+			f, err := os.Open(rest[1])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			info, err := f.Stat()
+			if err != nil {
+				return err
+			}
+			return client.UploadStream(rest[0], f, info.Size())
+		})
+	case "get":
+		if len(rest) < 1 {
+			return errors.New("get needs a path")
+		}
+		var out io.Writer = os.Stdout
+		if len(rest) >= 2 {
+			f, err := os.Create(rest[1])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		return client.DownloadTo(rest[0], out)
+	case "rm":
+		return need(rest, 1, func() error { return client.Remove(rest[0]) })
+	case "mv":
+		return need(rest, 2, func() error { return client.Move(rest[0], rest[1]) })
+	case "share":
+		return need(rest, 3, func() error { return client.SetPermission(rest[0], rest[1], rest[2]) })
+	case "inherit":
+		return need(rest, 2, func() error { return client.SetInherit(rest[0], rest[1] == "on") })
+	case "group-add":
+		return need(rest, 2, func() error { return client.AddUser(rest[0], rest[1]) })
+	case "group-rm":
+		return need(rest, 2, func() error { return client.RemoveUser(rest[0], rest[1]) })
+	case "group-del":
+		return need(rest, 1, func() error { return client.DeleteGroup(rest[0]) })
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func need(args []string, n int, f func() error) error {
+	if len(args) < n {
+		return fmt.Errorf("expected %d argument(s)", n)
+	}
+	return f()
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"segshare"
+)
+
+// clientFixture issues real credential files and starts a live server so
+// the CLI paths run end to end.
+func clientFixture(t *testing.T) (addr, caPath, certPath, keyPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	authority, err := segshare.NewCA("cli CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := segshare.NewPlatform(segshare.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := segshare.ServerConfig{
+		CACertPEM:    authority.CertificatePEM(),
+		ContentStore: segshare.NewMemoryStore(),
+		GroupStore:   segshare.NewMemoryStore(),
+	}
+	server, err := segshare.NewServer(platform, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+	if err := segshare.Provision(authority, platform, server, cfg, []string{"localhost"}); err != nil {
+		t.Fatal(err)
+	}
+	listenAddr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authority.IssueClientCertificate(segshare.Identity{UserID: "alice"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caPath = filepath.Join(dir, "ca.pem")
+	certPath = filepath.Join(dir, "cert.pem")
+	keyPath = filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(caPath, authority.CertificatePEM(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(certPath, cred.CertPEM, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, cred.KeyPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return listenAddr.String(), caPath, certPath, keyPath
+}
+
+func TestExecuteCommands(t *testing.T) {
+	addr, caPath, certPath, keyPath := clientFixture(t)
+	dir := t.TempDir()
+	localIn := filepath.Join(dir, "in.txt")
+	localOut := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(localIn, []byte("cli payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	exec := func(args ...string) error {
+		return execute(addr, caPath, certPath, keyPath, "localhost", args)
+	}
+	steps := [][]string{
+		{"whoami"},
+		{"mkdir", "/d/"},
+		{"put", "/d/f", localIn},
+		{"get", "/d/f", localOut},
+		{"ls", "/d/"},
+		{"share", "/d/f", "user:bob", "r"},
+		{"inherit", "/d/f", "on"},
+		{"group-add", "bob", "team"},
+		{"group-rm", "bob", "team"},
+		{"group-del", "team"},
+		{"mv", "/d/f", "/d/g"},
+		{"rm", "/d/g"},
+	}
+	for _, step := range steps {
+		if err := exec(step...); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+	got, err := os.ReadFile(localOut)
+	if err != nil || string(got) != "cli payload" {
+		t.Fatalf("downloaded file = %q, %v", got, err)
+	}
+
+	// Error paths.
+	if err := exec(); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := exec("bogus"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := exec("put", "/x"); err == nil {
+		t.Fatal("put with missing args accepted")
+	}
+	if err := execute(addr, filepath.Join(dir, "missing.pem"), certPath, keyPath, "localhost", []string{"whoami"}); err == nil {
+		t.Fatal("missing CA file accepted")
+	}
+}

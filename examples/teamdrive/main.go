@@ -1,0 +1,149 @@
+// Teamdrive: the corporate scenario from the paper's introduction —
+// employees sharing files with departments via groups, central permission
+// management through inheritance, and immediate revocation when someone
+// leaves (objectives F1, F10, P3, S4).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"segshare"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	authority, err := segshare.NewCA("Acme Corp CA")
+	if err != nil {
+		return err
+	}
+	platform, err := segshare.NewPlatform(segshare.PlatformConfig{})
+	if err != nil {
+		return err
+	}
+	cfg := segshare.ServerConfig{
+		CACertPEM:       authority.CertificatePEM(),
+		ContentStore:    segshare.NewMemoryStore(),
+		GroupStore:      segshare.NewMemoryStore(),
+		FileSystemOwner: "it-admin", // owns "/" once first seen
+	}
+	server, err := segshare.NewServer(platform, cfg)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	if err := segshare.Provision(authority, platform, server, cfg, []string{"localhost"}); err != nil {
+		return err
+	}
+	addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+
+	connect := func(user string) (*segshare.Client, error) {
+		cred, err := authority.IssueClientCertificate(segshare.Identity{UserID: user}, 24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		return segshare.NewClient(segshare.ClientConfig{
+			Addr:       addr.String(),
+			CACertPEM:  authority.CertificatePEM(),
+			Credential: cred,
+		})
+	}
+
+	admin, err := connect("it-admin")
+	if err != nil {
+		return err
+	}
+	defer admin.Close()
+	dana, err := connect("dana") // engineering lead
+	if err != nil {
+		return err
+	}
+	defer dana.Close()
+	eli, err := connect("eli") // engineer
+	if err != nil {
+		return err
+	}
+	defer eli.Close()
+	mara, err := connect("mara") // contractor
+	if err != nil {
+		return err
+	}
+	defer mara.Close()
+
+	// IT sets up the department drive and makes dana's team the owner.
+	if err := admin.Mkdir("/engineering/"); err != nil {
+		return err
+	}
+	if err := admin.AddUser("dana", "eng-leads"); err != nil {
+		return err
+	}
+	if err := admin.SetPermission("/engineering/", "eng-leads", "rw"); err != nil {
+		return err
+	}
+	fmt.Println("IT: /engineering/ created, eng-leads have rw")
+
+	// Dana builds the team and uploads the design docs.
+	if err := dana.AddUser("eli", "engineers"); err != nil {
+		return err
+	}
+	if err := dana.AddUser("mara", "engineers"); err != nil {
+		return err
+	}
+	if err := dana.Upload("/engineering/roadmap.md", []byte("Q3: ship the enclave")); err != nil {
+		return err
+	}
+	if err := dana.Upload("/engineering/design.md", []byte("architecture details")); err != nil {
+		return err
+	}
+
+	// Central permission management (F10): one grant on the directory,
+	// inherit flags on the files — no per-file ACL churn.
+	if err := dana.SetPermission("/engineering/roadmap.md", "engineers", "r"); err != nil {
+		return err
+	}
+	if err := dana.SetPermission("/engineering/design.md", "engineers", "r"); err != nil {
+		return err
+	}
+	fmt.Println("dana: engineers can read the docs")
+
+	for _, c := range []*segshare.Client{eli, mara} {
+		if _, err := c.Download("/engineering/roadmap.md"); err != nil {
+			return fmt.Errorf("engineer read failed: %w", err)
+		}
+	}
+	fmt.Println("eli and mara: reading roadmap ✓")
+
+	// The contract ends. ONE membership update revokes mara everywhere —
+	// no file is re-encrypted, no other user is involved (P3, S4, F6).
+	if err := dana.RemoveUser("mara", "engineers"); err != nil {
+		return err
+	}
+	if _, err := mara.Download("/engineering/roadmap.md"); !errors.Is(err, segshare.ErrPermissionDenied) {
+		return fmt.Errorf("mara still has access: %v", err)
+	}
+	if _, err := eli.Download("/engineering/roadmap.md"); err != nil {
+		return fmt.Errorf("eli lost access: %w", err)
+	}
+	fmt.Println("dana: mara revoked immediately; eli unaffected")
+
+	// Deny overrides (p_deny): eli is on a need-to-know exclusion for
+	// one sensitive file despite his group grant.
+	if err := dana.SetPermission("/engineering/design.md", "user:eli", "deny"); err != nil {
+		return err
+	}
+	if _, err := eli.Download("/engineering/design.md"); !errors.Is(err, segshare.ErrPermissionDenied) {
+		return fmt.Errorf("deny did not override group grant: %v", err)
+	}
+	fmt.Println("dana: per-user deny overrides the group grant ✓")
+	return nil
+}

@@ -1,0 +1,3 @@
+module segshare
+
+go 1.24

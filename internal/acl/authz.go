@@ -1,0 +1,111 @@
+package acl
+
+// This file implements the authorization predicates of paper Table IV:
+//
+//	auth_f(u, p, f): ∃g: (u,g) ∈ rG ∧ ((p,g,f) ∈ rP ∨ (g,f) ∈ rFO)
+//	auth_g(u, g2):   ∃g1: (u,g1) ∈ rG ∧ (g1,g2) ∈ rGO
+//
+// plus the inheritance-aware variant of §V-B, where a permission defined
+// for a group on f takes precedence over one defined for the same group
+// on f's parent.
+//
+// Deny semantics: the paper's p_deny revokes access. We give deny
+// precedence over grants across a user's groups — if any group the user
+// belongs to is denied on the file, the user is denied unless one of the
+// user's groups *owns* the file (owners always retain control, otherwise
+// an owner could lock themselves out irrecoverably).
+
+// AuthorizeFile evaluates auth_f for a user whose memberships are member
+// (the decoded member list), on a file whose ACL is fileACL. If the ACL's
+// inherit flag is set, parentACL (which may be nil at the root) supplies
+// fallback permissions per §V-B; otherwise parentACL is ignored.
+//
+// want is the permission being exercised (PermRead, PermWrite, or both).
+// An empty want authorizes only file owners, matching Algo 1's
+// auth_f(u, "", f) used for permission changes.
+func AuthorizeFile(member *MemberList, fileACL, parentACL *ACL, want Permission) bool {
+	if fileACL == nil {
+		return false
+	}
+	owner := false
+	granted := PermNone
+	denied := false
+	for _, g := range member.Groups {
+		if fileACL.IsOwner(g) {
+			owner = true
+			continue
+		}
+		p, ok := fileACL.PermissionFor(g)
+		if !ok && fileACL.Inherit && parentACL != nil {
+			p, ok = parentACL.PermissionFor(g)
+		}
+		if !ok {
+			continue
+		}
+		if p.Has(PermDeny) {
+			denied = true
+			continue
+		}
+		granted |= p
+	}
+	if owner {
+		return true
+	}
+	if want == PermNone {
+		// Only owners may perform owner-level operations.
+		return false
+	}
+	if denied {
+		return false
+	}
+	return granted.Has(want)
+}
+
+// AuthorizeGroupChange evaluates auth_g: whether a user whose memberships
+// are member may modify the target group.
+func AuthorizeGroupChange(member *MemberList, target *GroupRecord) bool {
+	if target == nil {
+		return false
+	}
+	// Both lists are sorted; walk the shorter against the longer with
+	// binary search via IsOwnedBy.
+	for _, g := range member.Groups {
+		if target.IsOwnedBy(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectivePermission reports the combined permission a user holds on a
+// file, applying the same owner/deny/grant rules as AuthorizeFile. Owners
+// report PermReadWrite. It powers directory listings with permission
+// flags.
+func EffectivePermission(member *MemberList, fileACL, parentACL *ACL) Permission {
+	if fileACL == nil {
+		return PermNone
+	}
+	granted := PermNone
+	denied := false
+	for _, g := range member.Groups {
+		if fileACL.IsOwner(g) {
+			return PermReadWrite
+		}
+		p, ok := fileACL.PermissionFor(g)
+		if !ok && fileACL.Inherit && parentACL != nil {
+			p, ok = parentACL.PermissionFor(g)
+		}
+		if !ok {
+			continue
+		}
+		if p.Has(PermDeny) {
+			denied = true
+			continue
+		}
+		granted |= p
+	}
+	if denied {
+		return PermNone
+	}
+	return granted & PermReadWrite
+}

@@ -1,0 +1,236 @@
+package acl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func members(gs ...GroupID) *MemberList {
+	var m MemberList
+	for _, g := range gs {
+		m.Add(g)
+	}
+	return &m
+}
+
+func TestAuthorizeFileMatrix(t *testing.T) {
+	fileACL := &ACL{}
+	fileACL.AddOwner(10)
+	fileACL.SetPermission(1, PermRead)
+	fileACL.SetPermission(2, PermWrite)
+	fileACL.SetPermission(3, PermReadWrite)
+	fileACL.SetPermission(4, PermDeny)
+
+	tests := []struct {
+		name   string
+		member *MemberList
+		want   Permission
+		ok     bool
+	}{
+		{name: "reader can read", member: members(1), want: PermRead, ok: true},
+		{name: "reader cannot write", member: members(1), want: PermWrite, ok: false},
+		{name: "writer can write", member: members(2), want: PermWrite, ok: true},
+		{name: "writer cannot read", member: members(2), want: PermRead, ok: false},
+		{name: "rw can do both", member: members(3), want: PermReadWrite, ok: true},
+		{name: "union across groups", member: members(1, 2), want: PermReadWrite, ok: true},
+		{name: "no groups", member: members(), want: PermRead, ok: false},
+		{name: "unlisted group", member: members(9), want: PermRead, ok: false},
+		{name: "deny blocks grant", member: members(3, 4), want: PermRead, ok: false},
+		{name: "deny alone", member: members(4), want: PermRead, ok: false},
+		{name: "owner can read", member: members(10), want: PermRead, ok: true},
+		{name: "owner can write", member: members(10), want: PermWrite, ok: true},
+		{name: "owner overrides deny", member: members(10, 4), want: PermRead, ok: true},
+		{name: "owner-level op needs ownership", member: members(3), want: PermNone, ok: false},
+		{name: "owner-level op as owner", member: members(10), want: PermNone, ok: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := AuthorizeFile(tt.member, fileACL, nil, tt.want); got != tt.ok {
+				t.Fatalf("AuthorizeFile = %v, want %v", got, tt.ok)
+			}
+		})
+	}
+}
+
+func TestAuthorizeFileNilACL(t *testing.T) {
+	if AuthorizeFile(members(1), nil, nil, PermRead) {
+		t.Fatal("nil ACL authorized")
+	}
+}
+
+func TestAuthorizeFileInheritance(t *testing.T) {
+	parent := &ACL{}
+	parent.SetPermission(1, PermReadWrite)
+	parent.SetPermission(2, PermRead)
+	parent.SetPermission(4, PermRead)
+
+	child := &ACL{Inherit: true}
+	child.SetPermission(2, PermDeny) // local deny has precedence (paper §V-B)
+	child.SetPermission(3, PermRead) // local-only grant
+	child.SetPermission(4, PermReadWrite)
+
+	tests := []struct {
+		name   string
+		member *MemberList
+		want   Permission
+		ok     bool
+	}{
+		{name: "inherited grant", member: members(1), want: PermReadWrite, ok: true},
+		{name: "local deny beats inherited grant", member: members(2), want: PermRead, ok: false},
+		{name: "local grant without parent entry", member: members(3), want: PermRead, ok: true},
+		{name: "local entry precedence over parent", member: members(4), want: PermWrite, ok: true},
+		{name: "absent everywhere", member: members(9), want: PermRead, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := AuthorizeFile(tt.member, child, parent, tt.want); got != tt.ok {
+				t.Fatalf("AuthorizeFile = %v, want %v", got, tt.ok)
+			}
+		})
+	}
+
+	t.Run("no inherit flag ignores parent", func(t *testing.T) {
+		noInherit := &ACL{}
+		noInherit.SetPermission(3, PermRead)
+		if AuthorizeFile(members(1), noInherit, parent, PermRead) {
+			t.Fatal("parent grant applied without inherit flag")
+		}
+	})
+}
+
+func TestAuthorizeGroupChange(t *testing.T) {
+	target := &GroupRecord{ID: 5, Name: "g"}
+	target.AddOwner(2)
+	target.AddOwner(7)
+
+	if !AuthorizeGroupChange(members(1, 2), target) {
+		t.Fatal("owner membership not authorized")
+	}
+	if AuthorizeGroupChange(members(1, 3), target) {
+		t.Fatal("non-owner authorized")
+	}
+	if AuthorizeGroupChange(members(), target) {
+		t.Fatal("empty membership authorized")
+	}
+	if AuthorizeGroupChange(members(2), nil) {
+		t.Fatal("nil target authorized")
+	}
+}
+
+func TestEffectivePermission(t *testing.T) {
+	fileACL := &ACL{}
+	fileACL.AddOwner(10)
+	fileACL.SetPermission(1, PermRead)
+	fileACL.SetPermission(2, PermWrite)
+	fileACL.SetPermission(4, PermDeny)
+
+	tests := []struct {
+		name   string
+		member *MemberList
+		want   Permission
+	}{
+		{name: "reader", member: members(1), want: PermRead},
+		{name: "union", member: members(1, 2), want: PermReadWrite},
+		{name: "owner", member: members(10), want: PermReadWrite},
+		{name: "denied", member: members(1, 4), want: PermNone},
+		{name: "stranger", member: members(9), want: PermNone},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := EffectivePermission(tt.member, fileACL, nil); got != tt.want {
+				t.Fatalf("EffectivePermission = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if EffectivePermission(members(1), nil, nil) != PermNone {
+		t.Fatal("nil ACL yielded permissions")
+	}
+}
+
+// Revocation is a pure ACL-file operation: after removing the entry, the
+// same member list is immediately unauthorized (objectives P3, S4).
+func TestImmediateRevocation(t *testing.T) {
+	fileACL := &ACL{}
+	fileACL.SetPermission(1, PermReadWrite)
+	m := members(1)
+	if !AuthorizeFile(m, fileACL, nil, PermRead) {
+		t.Fatal("setup: not authorized")
+	}
+	fileACL.RemovePermission(1)
+	if AuthorizeFile(m, fileACL, nil, PermRead) {
+		t.Fatal("revoked group still authorized")
+	}
+}
+
+// TestQuickAuthorizeAgainstSpec cross-checks AuthorizeFile against a
+// direct, unoptimized transcription of the paper's predicate (Table IV
+// plus the §V-B inheritance rule and the deny/owner conventions from
+// DESIGN.md §6).
+func TestQuickAuthorizeAgainstSpec(t *testing.T) {
+	spec := func(member *MemberList, fileACL, parentACL *ACL, want Permission) bool {
+		if fileACL == nil {
+			return false
+		}
+		effective := func(g GroupID) (Permission, bool) {
+			if p, ok := fileACL.PermissionFor(g); ok {
+				return p, true
+			}
+			if fileACL.Inherit && parentACL != nil {
+				return parentACL.PermissionFor(g)
+			}
+			return PermNone, false
+		}
+		for _, g := range member.Groups {
+			if fileACL.IsOwner(g) {
+				return true
+			}
+		}
+		if want == PermNone {
+			return false
+		}
+		var grants Permission
+		for _, g := range member.Groups {
+			p, ok := effective(g)
+			if !ok {
+				continue
+			}
+			if p.Has(PermDeny) {
+				return false
+			}
+			grants |= p
+		}
+		return grants.Has(want)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	buildACL := func() *ACL {
+		a := &ACL{Inherit: rng.Intn(2) == 0}
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			perm := []Permission{PermRead, PermWrite, PermReadWrite, PermDeny}[rng.Intn(4)]
+			a.SetPermission(GroupID(rng.Intn(8)+1), perm)
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			a.AddOwner(GroupID(rng.Intn(8) + 1))
+		}
+		return a
+	}
+	for trial := 0; trial < 5000; trial++ {
+		fileACL := buildACL()
+		var parentACL *ACL
+		if rng.Intn(2) == 0 {
+			parentACL = buildACL()
+		}
+		var ml MemberList
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			ml.Add(GroupID(rng.Intn(8) + 1))
+		}
+		want := []Permission{PermRead, PermWrite, PermReadWrite, PermNone}[rng.Intn(4)]
+
+		got := AuthorizeFile(&ml, fileACL, parentACL, want)
+		expect := spec(&ml, fileACL, parentACL, want)
+		if got != expect {
+			t.Fatalf("trial %d: AuthorizeFile=%v spec=%v\nml=%v\nfile=%+v\nparent=%+v\nwant=%v",
+				trial, got, expect, ml.Groups, fileACL, parentACL, want)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package acl
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestACLCodecRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		give *ACL
+	}{
+		{name: "empty", give: &ACL{}},
+		{name: "inherit only", give: &ACL{Inherit: true}},
+		{name: "owners only", give: &ACL{Owners: []GroupID{1, 5, 9}}},
+		{
+			name: "full",
+			give: &ACL{
+				Inherit: true,
+				Owners:  []GroupID{2},
+				Entries: []PermEntry{
+					{Group: 1, Perm: PermRead},
+					{Group: 3, Perm: PermReadWrite},
+					{Group: 8, Perm: PermDeny},
+				},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := DecodeACL(tt.give.Encode())
+			if err != nil {
+				t.Fatalf("DecodeACL: %v", err)
+			}
+			if !reflect.DeepEqual(normalizeACL(got), normalizeACL(tt.give)) {
+				t.Fatalf("round trip: got %+v, want %+v", got, tt.give)
+			}
+		})
+	}
+}
+
+// normalizeACL maps nil and empty slices to a canonical form for
+// comparison.
+func normalizeACL(a *ACL) *ACL {
+	cp := a.Clone()
+	if len(cp.Owners) == 0 {
+		cp.Owners = nil
+	}
+	if len(cp.Entries) == 0 {
+		cp.Entries = nil
+	}
+	return cp
+}
+
+func TestACLEntrySizeMatchesPaper(t *testing.T) {
+	// Paper §VII-B: 32 bits for owner count + inherit flag, 32 bits per
+	// owner and per permission entry's group, 32 bits per permission.
+	base := (&ACL{}).Encode()
+	withOwner := (&ACL{Owners: []GroupID{1}}).Encode()
+	if len(withOwner)-len(base) != 4 {
+		t.Fatalf("owner entry costs %d bytes, want 4", len(withOwner)-len(base))
+	}
+	one := (&ACL{Entries: []PermEntry{{Group: 1, Perm: PermRead}}}).Encode()
+	two := (&ACL{Entries: []PermEntry{{Group: 1, Perm: PermRead}, {Group: 2, Perm: PermRead}}}).Encode()
+	if len(two)-len(one) != 8 {
+		t.Fatalf("permission entry costs %d bytes, want 8", len(two)-len(one))
+	}
+}
+
+func TestMemberListCodecRoundTrip(t *testing.T) {
+	m := &MemberList{Groups: []GroupID{1, 2, 100, 4_000_000_000}}
+	got, err := DecodeMemberList(m.Encode())
+	if err != nil {
+		t.Fatalf("DecodeMemberList: %v", err)
+	}
+	if !reflect.DeepEqual(got.Groups, m.Groups) {
+		t.Fatalf("round trip: %v", got.Groups)
+	}
+	empty, err := DecodeMemberList((&MemberList{}).Encode())
+	if err != nil || len(empty.Groups) != 0 {
+		t.Fatalf("empty round trip: %v, %v", empty, err)
+	}
+}
+
+func TestGroupListCodecRoundTrip(t *testing.T) {
+	l := NewGroupList()
+	if _, err := l.Create("team-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Create("team-b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Create("ünïcode grüp", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGroupList(l.Encode())
+	if err != nil {
+		t.Fatalf("DecodeGroupList: %v", err)
+	}
+	if got.NextID != l.NextID {
+		t.Fatalf("NextID = %d, want %d", got.NextID, l.NextID)
+	}
+	if !reflect.DeepEqual(normalizeGroups(got.Groups), normalizeGroups(l.Groups)) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got.Groups, l.Groups)
+	}
+}
+
+func normalizeGroups(gs []GroupRecord) []GroupRecord {
+	out := make([]GroupRecord, len(gs))
+	for i, g := range gs {
+		out[i] = g
+		if len(g.Owners) == 0 {
+			out[i].Owners = nil
+		}
+	}
+	return out
+}
+
+func TestDecodeRejectsWrongTag(t *testing.T) {
+	aclBytes := (&ACL{}).Encode()
+	memBytes := (&MemberList{}).Encode()
+	glBytes := NewGroupList().Encode()
+
+	if _, err := DecodeACL(memBytes); !errors.Is(err, ErrCodec) {
+		t.Fatalf("ACL from member list: %v", err)
+	}
+	if _, err := DecodeMemberList(glBytes); !errors.Is(err, ErrCodec) {
+		t.Fatalf("member list from group list: %v", err)
+	}
+	if _, err := DecodeGroupList(aclBytes); !errors.Is(err, ErrCodec) {
+		t.Fatalf("group list from ACL: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	a := &ACL{
+		Owners:  []GroupID{1, 2},
+		Entries: []PermEntry{{Group: 1, Perm: PermRead}, {Group: 2, Perm: PermWrite}},
+	}
+	valid := a.Encode()
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeACL(nil); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 1; cut < len(valid); cut++ {
+			if _, err := DecodeACL(valid[:len(valid)-cut]); !errors.Is(err, ErrCodec) {
+				t.Fatalf("truncate %d: want ErrCodec, got %v", cut, err)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := DecodeACL(append(bytes.Clone(valid), 0xFF)); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+	t.Run("unsorted owners", func(t *testing.T) {
+		bad := &ACL{Owners: []GroupID{2, 1}}
+		if _, err := DecodeACL(bad.Encode()); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+	t.Run("duplicate entry group", func(t *testing.T) {
+		bad := &ACL{Entries: []PermEntry{{Group: 1, Perm: PermRead}, {Group: 1, Perm: PermWrite}}}
+		if _, err := DecodeACL(bad.Encode()); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+	t.Run("huge count", func(t *testing.T) {
+		// Tag + flags + owner count claiming 2^32-1 entries.
+		bad := []byte{tagACL, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+		if _, err := DecodeACL(bad); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+}
+
+func TestDecodeGroupListRejectsInvariantViolations(t *testing.T) {
+	t.Run("duplicate names", func(t *testing.T) {
+		l := &GroupList{
+			NextID: 3,
+			Groups: []GroupRecord{{ID: 1, Name: "x"}, {ID: 2, Name: "x"}},
+		}
+		if _, err := DecodeGroupList(l.Encode()); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+	t.Run("id >= NextID", func(t *testing.T) {
+		l := &GroupList{NextID: 2, Groups: []GroupRecord{{ID: 5, Name: "x"}}}
+		if _, err := DecodeGroupList(l.Encode()); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+	t.Run("unsorted ids", func(t *testing.T) {
+		l := &GroupList{
+			NextID: 10,
+			Groups: []GroupRecord{{ID: 2, Name: "a"}, {ID: 1, Name: "b"}},
+		}
+		if _, err := DecodeGroupList(l.Encode()); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+	t.Run("empty name", func(t *testing.T) {
+		l := &GroupList{NextID: 2, Groups: []GroupRecord{{ID: 1, Name: ""}}}
+		if _, err := DecodeGroupList(l.Encode()); !errors.Is(err, ErrCodec) {
+			t.Fatalf("want ErrCodec, got %v", err)
+		}
+	})
+}
+
+// Property: the ACL codec round-trips ACLs built through the mutation
+// API.
+func TestQuickACLCodecRoundTrip(t *testing.T) {
+	prop := func(owners []uint16, groups []uint16, perms []uint32, inherit bool) bool {
+		a := &ACL{Inherit: inherit}
+		for _, o := range owners {
+			a.AddOwner(GroupID(o))
+		}
+		for i, g := range groups {
+			p := PermRead
+			if i < len(perms) {
+				p = Permission(perms[i])
+			}
+			a.SetPermission(GroupID(g), p)
+		}
+		got, err := DecodeACL(a.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalizeACL(got), normalizeACL(a))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: member list codec round-trips and never accepts unsorted
+// corruption.
+func TestQuickMemberListCodecRoundTrip(t *testing.T) {
+	prop := func(groups []uint32) bool {
+		var m MemberList
+		for _, g := range groups {
+			m.Add(GroupID(g))
+		}
+		got, err := DecodeMemberList(m.Encode())
+		if err != nil {
+			return false
+		}
+		if len(got.Groups) != len(m.Groups) {
+			return false
+		}
+		for i := range got.Groups {
+			if got.Groups[i] != m.Groups[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

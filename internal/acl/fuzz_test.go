@@ -1,0 +1,60 @@
+package acl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The codec fuzzers assert two properties on arbitrary input: decoding
+// never panics, and anything that decodes successfully re-encodes to a
+// byte-identical form (canonical encoding).
+
+func FuzzDecodeACL(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&ACL{}).Encode())
+	full := &ACL{Inherit: true, Owners: []GroupID{1, 9}}
+	full.SetPermission(2, PermRead)
+	full.SetPermission(7, PermDeny)
+	f.Add(full.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeACL(data)
+		if err != nil {
+			return
+		}
+		re := a.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical encoding: %x -> %x", data, re)
+		}
+	})
+}
+
+func FuzzDecodeMemberList(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&MemberList{Groups: []GroupID{1, 2, 3}}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMemberList(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Fatalf("non-canonical encoding")
+		}
+	})
+}
+
+func FuzzDecodeGroupList(f *testing.F) {
+	l := NewGroupList()
+	l.Create("a")
+	l.Create("b", 1)
+	f.Add([]byte{})
+	f.Add(l.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeGroupList(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(g.Encode(), data) {
+			t.Fatalf("non-canonical encoding")
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package hescheme implements the Hybrid Encryption (HE) cryptographic
+// access-control baseline the paper positions SeGShare against (§III-D,
+// Table III, [10] SiRiUS-style): each file is encrypted under a unique
+// symmetric file key, and the file key is wrapped for every user that
+// should have access (an ECIES-style lockbox per user).
+//
+// Its defining drawback — the reason for objective P3 — is revocation:
+// because permitted users hold the plaintext file key, revoking one user
+// requires generating a new key, re-encrypting the whole file, and
+// re-wrapping the new key for every remaining user. Revoke returns the
+// work performed so the ablation benchmark (EXPERIMENTS.md E7) can
+// compare it against SeGShare's constant-size ACL update.
+package hescheme
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+
+	"segshare/internal/pae"
+)
+
+// Baseline errors.
+var (
+	// ErrUnknownUser is returned for unregistered users.
+	ErrUnknownUser = errors.New("hescheme: unknown user")
+	// ErrUnknownFile is returned for absent files.
+	ErrUnknownFile = errors.New("hescheme: unknown file")
+	// ErrNoAccess is returned when a user has no lockbox for a file.
+	ErrNoAccess = errors.New("hescheme: no access")
+)
+
+type userRec struct {
+	// priv simulates the user's client-side private key; the "server"
+	// only ever uses the public half for wrapping.
+	priv *ecdh.PrivateKey
+}
+
+type fileRec struct {
+	ciphertext []byte
+	// lockboxes maps user ID to the wrapped file key.
+	lockboxes map[string][]byte
+}
+
+// RevocationCost reports the work one revocation performed.
+type RevocationCost struct {
+	// ReencryptedBytes is the plaintext volume re-encrypted.
+	ReencryptedBytes int64
+	// RewrappedKeys is the number of lockboxes recreated.
+	RewrappedKeys int
+}
+
+// Add accumulates costs across files.
+func (c *RevocationCost) Add(other RevocationCost) {
+	c.ReencryptedBytes += other.ReencryptedBytes
+	c.RewrappedKeys += other.RewrappedKeys
+}
+
+// System is an HE file-sharing deployment: a PKI of user keys plus the
+// untrusted store of ciphertexts and lockboxes.
+type System struct {
+	mu    sync.Mutex
+	users map[string]*userRec
+	files map[string]*fileRec
+}
+
+// New creates an empty system.
+func New() *System {
+	return &System{
+		users: make(map[string]*userRec),
+		files: make(map[string]*fileRec),
+	}
+}
+
+// RegisterUser creates a key pair for the user (the PKI step HE systems
+// require; paper §III-D).
+func (s *System) RegisterUser(id string) error {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return fmt.Errorf("hescheme: user key: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[id] = &userRec{priv: priv}
+	return nil
+}
+
+// wrap encrypts fileKey for the user with an ephemeral ECDH exchange.
+func (s *System) wrap(user string, fileKey pae.Key) ([]byte, error) {
+	rec, ok := s.users[user]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, user)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := eph.ECDH(rec.priv.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	kek, err := pae.DeriveKey(shared, "hescheme-lockbox", eph.PublicKey().Bytes())
+	if err != nil {
+		return nil, err
+	}
+	box, err := pae.Encrypt(kek, fileKey[:], []byte(user))
+	if err != nil {
+		return nil, err
+	}
+	return append(eph.PublicKey().Bytes(), box...), nil
+}
+
+// unwrap recovers the file key from a lockbox using the user's private
+// key.
+func (s *System) unwrap(user string, lockbox []byte) (pae.Key, error) {
+	rec, ok := s.users[user]
+	if !ok {
+		return pae.Key{}, fmt.Errorf("%w: %s", ErrUnknownUser, user)
+	}
+	const pubLen = 32
+	if len(lockbox) < pubLen {
+		return pae.Key{}, errors.New("hescheme: short lockbox")
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(lockbox[:pubLen])
+	if err != nil {
+		return pae.Key{}, err
+	}
+	shared, err := rec.priv.ECDH(ephPub)
+	if err != nil {
+		return pae.Key{}, err
+	}
+	kek, err := pae.DeriveKey(shared, "hescheme-lockbox", lockbox[:pubLen])
+	if err != nil {
+		return pae.Key{}, err
+	}
+	raw, err := pae.Decrypt(kek, lockbox[pubLen:], []byte(user))
+	if err != nil {
+		return pae.Key{}, err
+	}
+	return pae.KeyFromBytes(raw)
+}
+
+// Upload encrypts content under a fresh file key and wraps it for the
+// owner and every listed reader.
+func (s *System) Upload(owner, path string, content []byte, readers ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fileKey, err := pae.NewRandomKey()
+	if err != nil {
+		return err
+	}
+	ct, err := pae.Encrypt(fileKey, content, []byte(path))
+	if err != nil {
+		return err
+	}
+	rec := &fileRec{ciphertext: ct, lockboxes: make(map[string][]byte, 1+len(readers))}
+	for _, user := range append([]string{owner}, readers...) {
+		box, err := s.wrap(user, fileKey)
+		if err != nil {
+			return err
+		}
+		rec.lockboxes[user] = box
+	}
+	s.files[path] = rec
+	return nil
+}
+
+// Download decrypts the file for a permitted user — who thereby learns
+// the plaintext file key, which is exactly why revocation must re-key.
+func (s *System) Download(user, path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownFile, path)
+	}
+	box, ok := rec.lockboxes[user]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoAccess, user, path)
+	}
+	fileKey, err := s.unwrap(user, box)
+	if err != nil {
+		return nil, err
+	}
+	return pae.Decrypt(fileKey, rec.ciphertext, []byte(path))
+}
+
+// Grant wraps the file key for an additional user. Any user with access
+// can do this (they hold the key); granter must have access.
+func (s *System) Grant(granter, path, user string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownFile, path)
+	}
+	box, ok := rec.lockboxes[granter]
+	if !ok {
+		return fmt.Errorf("%w: %s on %s", ErrNoAccess, granter, path)
+	}
+	fileKey, err := s.unwrap(granter, box)
+	if err != nil {
+		return err
+	}
+	newBox, err := s.wrap(user, fileKey)
+	if err != nil {
+		return err
+	}
+	rec.lockboxes[user] = newBox
+	return nil
+}
+
+// Revoke removes a user's access with *immediate* effect: new file key,
+// full re-encryption, and re-wrapping for all remaining users (paper
+// §III-D). It returns the work performed.
+func (s *System) Revoke(granter, path, revoked string) (RevocationCost, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.files[path]
+	if !ok {
+		return RevocationCost{}, fmt.Errorf("%w: %s", ErrUnknownFile, path)
+	}
+	granterBox, ok := rec.lockboxes[granter]
+	if !ok {
+		return RevocationCost{}, fmt.Errorf("%w: %s on %s", ErrNoAccess, granter, path)
+	}
+	oldKey, err := s.unwrap(granter, granterBox)
+	if err != nil {
+		return RevocationCost{}, err
+	}
+	plaintext, err := pae.Decrypt(oldKey, rec.ciphertext, []byte(path))
+	if err != nil {
+		return RevocationCost{}, err
+	}
+
+	newKey, err := pae.NewRandomKey()
+	if err != nil {
+		return RevocationCost{}, err
+	}
+	newCT, err := pae.Encrypt(newKey, plaintext, []byte(path))
+	if err != nil {
+		return RevocationCost{}, err
+	}
+
+	delete(rec.lockboxes, revoked)
+	cost := RevocationCost{ReencryptedBytes: int64(len(plaintext))}
+	newBoxes := make(map[string][]byte, len(rec.lockboxes))
+	for user := range rec.lockboxes {
+		box, err := s.wrap(user, newKey)
+		if err != nil {
+			return cost, err
+		}
+		newBoxes[user] = box
+		cost.RewrappedKeys++
+	}
+	rec.ciphertext = newCT
+	rec.lockboxes = newBoxes
+	return cost, nil
+}
+
+// RevokeEverywhere revokes a user from every file they can access — the
+// membership-revocation equivalent, whose cost motivates SeGShare's
+// group-based design (paper §I, [23]).
+func (s *System) RevokeEverywhere(granter, revoked string) (RevocationCost, error) {
+	s.mu.Lock()
+	var paths []string
+	for path, rec := range s.files {
+		if _, ok := rec.lockboxes[revoked]; ok {
+			paths = append(paths, path)
+		}
+	}
+	s.mu.Unlock()
+
+	var total RevocationCost
+	for _, path := range paths {
+		cost, err := s.Revoke(granter, path, revoked)
+		total.Add(cost)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// StoredBytes reports the untrusted storage consumed (ciphertexts plus
+// lockboxes), for the storage-overhead comparison.
+func (s *System) StoredBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, rec := range s.files {
+		total += int64(len(rec.ciphertext))
+		for _, box := range rec.lockboxes {
+			total += int64(len(box))
+		}
+	}
+	return total
+}

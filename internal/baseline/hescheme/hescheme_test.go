@@ -1,0 +1,138 @@
+package hescheme
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newSystem(t *testing.T, users ...string) *System {
+	t.Helper()
+	s := New()
+	for _, u := range users {
+		if err := s.RegisterUser(u); err != nil {
+			t.Fatalf("RegisterUser(%s): %v", u, err)
+		}
+	}
+	return s
+}
+
+func TestUploadDownload(t *testing.T) {
+	s := newSystem(t, "alice", "bob")
+	content := []byte("hybrid encrypted payload")
+	if err := s.Upload("alice", "/f", content, "bob"); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	for _, u := range []string{"alice", "bob"} {
+		got, err := s.Download(u, "/f")
+		if err != nil || !bytes.Equal(got, content) {
+			t.Fatalf("%s Download: %q %v", u, got, err)
+		}
+	}
+}
+
+func TestNoAccessWithoutLockbox(t *testing.T) {
+	s := newSystem(t, "alice", "eve")
+	if err := s.Upload("alice", "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Download("eve", "/f"); !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("eve Download: %v", err)
+	}
+	if _, err := s.Download("alice", "/missing"); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("missing file: %v", err)
+	}
+	if err := s.Upload("ghost", "/g", []byte("x")); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown owner: %v", err)
+	}
+}
+
+func TestGrantThenDownload(t *testing.T) {
+	s := newSystem(t, "alice", "bob", "carol")
+	if err := s.Upload("alice", "/f", []byte("shared"), "bob"); err != nil {
+		t.Fatal(err)
+	}
+	// bob — any key holder — can extend access: the scheme cannot stop
+	// him, which is part of why cryptographic ACLs are weak here.
+	if err := s.Grant("bob", "/f", "carol"); err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	if got, err := s.Download("carol", "/f"); err != nil || string(got) != "shared" {
+		t.Fatalf("carol Download: %q %v", got, err)
+	}
+	if err := s.Grant("carol", "/missing", "bob"); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("grant on missing file: %v", err)
+	}
+}
+
+func TestRevokeReencryptsAndRewraps(t *testing.T) {
+	s := newSystem(t, "alice", "bob", "carol", "dave")
+	content := bytes.Repeat([]byte("data"), 10_000)
+	if err := s.Upload("alice", "/f", content, "bob", "carol", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := s.Revoke("alice", "/f", "bob")
+	if err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	if cost.ReencryptedBytes != int64(len(content)) {
+		t.Fatalf("ReencryptedBytes = %d, want %d", cost.ReencryptedBytes, len(content))
+	}
+	if cost.RewrappedKeys != 3 { // alice, carol, dave
+		t.Fatalf("RewrappedKeys = %d, want 3", cost.RewrappedKeys)
+	}
+	if _, err := s.Download("bob", "/f"); !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("bob after revoke: %v", err)
+	}
+	for _, u := range []string{"alice", "carol", "dave"} {
+		if got, err := s.Download(u, "/f"); err != nil || !bytes.Equal(got, content) {
+			t.Fatalf("%s after revoke: %v", u, err)
+		}
+	}
+}
+
+func TestRevokeEverywhere(t *testing.T) {
+	s := newSystem(t, "alice", "bob")
+	for _, path := range []string{"/a", "/b", "/c"} {
+		if err := s.Upload("alice", path, bytes.Repeat([]byte("x"), 1000), "bob"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Upload("alice", "/private", []byte("alice only")); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := s.RevokeEverywhere("alice", "bob")
+	if err != nil {
+		t.Fatalf("RevokeEverywhere: %v", err)
+	}
+	if cost.ReencryptedBytes != 3000 {
+		t.Fatalf("ReencryptedBytes = %d, want 3000", cost.ReencryptedBytes)
+	}
+	if cost.RewrappedKeys != 3 {
+		t.Fatalf("RewrappedKeys = %d, want 3", cost.RewrappedKeys)
+	}
+	for _, path := range []string{"/a", "/b", "/c"} {
+		if _, err := s.Download("bob", path); !errors.Is(err, ErrNoAccess) {
+			t.Fatalf("bob on %s after revoke: %v", path, err)
+		}
+	}
+}
+
+func TestStoredBytesGrowsWithMembers(t *testing.T) {
+	s := newSystem(t, "alice", "bob", "carol")
+	if err := s.Upload("alice", "/f", bytes.Repeat([]byte("x"), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	one := s.StoredBytes()
+	if err := s.Grant("alice", "/f", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant("alice", "/f", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	three := s.StoredBytes()
+	// HE violates P4: storage grows linearly with permitted users.
+	if three <= one {
+		t.Fatalf("storage did not grow with members: %d vs %d", one, three)
+	}
+}

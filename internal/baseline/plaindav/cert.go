@@ -1,0 +1,18 @@
+package plaindav
+
+import (
+	"crypto/tls"
+
+	"segshare/internal/ca"
+)
+
+// IssueServerCert issues a TLS server certificate for this baseline from
+// the given CA, so benchmarks run SeGShare and the baselines under the
+// same PKI.
+func IssueServerCert(authority *ca.Authority, hosts []string) (tls.Certificate, error) {
+	cred, err := authority.IssueServerCertificate(hosts, 0)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	return cred.TLSCertificate()
+}

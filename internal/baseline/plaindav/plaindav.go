@@ -1,0 +1,208 @@
+// Package plaindav implements the plaintext-storing, TLS-enabled WebDAV
+// baseline servers of the paper's Fig. 3 evaluation. The authors compared
+// against Apache HTTPD and nginx; since neither is linkable here, this
+// package provides two I/O profiles that reproduce their performance
+// character honestly (no artificial sleeps):
+//
+//   - ProfileNginx: large copy buffers, writes go to storage without
+//     syncing — the fast plaintext bound.
+//   - ProfileApache: durable writes (fsync on the object store when disk
+//     backed) and small, flushed copy chunks per response — the
+//     conservative plaintext server.
+//
+// Both store plaintext, so any SeGShare-vs-baseline gap is attributable
+// to SeGShare's enclave and cryptography, as in the paper.
+package plaindav
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"segshare/internal/store"
+)
+
+// Profile selects the I/O behaviour.
+type Profile int
+
+const (
+	// ProfileNginx is the fast profile.
+	ProfileNginx Profile = iota + 1
+	// ProfileApache is the conservative profile.
+	ProfileApache
+)
+
+func (p Profile) String() string {
+	switch p {
+	case ProfileNginx:
+		return "nginx"
+	case ProfileApache:
+		return "apache"
+	default:
+		return fmt.Sprintf("profile(%d)", int(p))
+	}
+}
+
+func (p Profile) copyBufferSize() int {
+	if p == ProfileApache {
+		return 8 << 10
+	}
+	return 256 << 10
+}
+
+// Config configures a baseline server.
+type Config struct {
+	// Profile selects the I/O behaviour; defaults to ProfileNginx.
+	Profile Profile
+	// Backend stores the plaintext objects.
+	Backend store.Backend
+	// Certificate is the TLS server certificate.
+	Certificate tls.Certificate
+}
+
+// Server is a plaintext WebDAV-subset server (PUT/GET/DELETE/MKCOL).
+type Server struct {
+	profile  Profile
+	backend  store.Backend
+	tlsConf  *tls.Config
+	listener net.Listener
+	httpSrv  *http.Server
+
+	mu   sync.RWMutex
+	dirs map[string]bool
+}
+
+// New creates a baseline server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("plaindav: backend required")
+	}
+	profile := cfg.Profile
+	if profile == 0 {
+		profile = ProfileNginx
+	}
+	tlsConf := &tls.Config{
+		Certificates: []tls.Certificate{cfg.Certificate},
+		MinVersion:   tls.VersionTLS12,
+	}
+	s := &Server{
+		profile: profile,
+		backend: cfg.Backend,
+		tlsConf: tlsConf,
+		dirs:    map[string]bool{"/": true},
+	}
+	return s, nil
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	tcp, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.StartOn(tcp)
+}
+
+// StartOn serves on a caller-provided listener (e.g. one wrapped with a
+// network simulator) until Close.
+func (s *Server) StartOn(tcp net.Listener) (net.Addr, error) {
+	s.listener = tls.NewListener(tcp, s.tlsConf)
+	s.httpSrv = &http.Server{
+		Handler:           http.HandlerFunc(s.serve),
+		ReadHeaderTimeout: 30 * time.Second,
+	}
+	go func() { _ = s.httpSrv.Serve(s.listener) }()
+	return tcp.Addr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch r.Method {
+	case http.MethodPut:
+		s.handlePut(w, r, path)
+	case http.MethodGet:
+		s.handleGet(w, path)
+	case http.MethodDelete:
+		s.handleDelete(w, path)
+	case "MKCOL":
+		s.mu.Lock()
+		s.dirs[strings.TrimSuffix(path, "/")+"/"] = true
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, path string) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.backend.Put(path, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if s.profile == ProfileApache {
+		// Durable-write behaviour: sync the underlying directory when the
+		// store is disk backed.
+		if d, ok := s.backend.(*store.Disk); ok {
+			syncDir(d.Dir())
+		}
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, path string) {
+	data, err := s.backend.Get(path)
+	if errors.Is(err, store.ErrNotExist) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+
+	buf := s.profile.copyBufferSize()
+	flusher, _ := w.(http.Flusher)
+	for off := 0; off < len(data); off += buf {
+		end := min(off+buf, len(data))
+		if _, err := w.Write(data[off:end]); err != nil {
+			return
+		}
+		if s.profile == ProfileApache && flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, path string) {
+	err := s.backend.Delete(path)
+	if errors.Is(err, store.ErrNotExist) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,120 @@
+package plaindav
+
+import (
+	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"segshare/internal/ca"
+	"segshare/internal/store"
+)
+
+func startServer(t *testing.T, profile Profile) (string, *http.Client) {
+	t.Helper()
+	cert, pool := testServerCert(t)
+	srv, err := New(Config{Profile: profile, Backend: store.NewMemory(), Certificate: cert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{RootCAs: pool, ServerName: "localhost"},
+		},
+		Timeout: 10 * time.Second,
+	}
+	return "https://" + addr.String(), client
+}
+
+func TestPutGetDeleteBothProfiles(t *testing.T) {
+	for _, profile := range []Profile{ProfileNginx, ProfileApache} {
+		t.Run(profile.String(), func(t *testing.T) {
+			base, client := startServer(t, profile)
+			payload := bytes.Repeat([]byte("plain "), 50_000)
+
+			req, _ := http.NewRequest(http.MethodPut, base+"/dir/file.bin", bytes.NewReader(payload))
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatalf("PUT: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("PUT status %d", resp.StatusCode)
+			}
+
+			resp, err = client.Get(base + "/dir/file.bin")
+			if err != nil {
+				t.Fatalf("GET: %v", err)
+			}
+			got, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("GET mismatch: %d bytes, err %v", len(got), err)
+			}
+
+			req, _ = http.NewRequest(http.MethodDelete, base+"/dir/file.bin", nil)
+			resp, err = client.Do(req)
+			if err != nil {
+				t.Fatalf("DELETE: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNoContent {
+				t.Fatalf("DELETE status %d", resp.StatusCode)
+			}
+
+			resp, err = client.Get(base + "/dir/file.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("GET after delete: %d", resp.StatusCode)
+			}
+		})
+	}
+}
+
+func TestMkcolAndUnknownMethod(t *testing.T) {
+	base, client := startServer(t, ProfileNginx)
+	req, _ := http.NewRequest("MKCOL", base+"/newdir/", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("MKCOL status %d", resp.StatusCode)
+	}
+	req, _ = http.NewRequest("PATCH", base+"/x", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PATCH status %d", resp.StatusCode)
+	}
+}
+
+// testServerCert builds a throwaway CA + localhost server cert.
+func testServerCert(t *testing.T) (tls.Certificate, *x509.CertPool) {
+	t.Helper()
+	authority, err := ca.New("plaindav test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := IssueServerCert(authority, []string{"localhost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert, authority.CertPool()
+}

@@ -1,0 +1,14 @@
+package plaindav
+
+import "os"
+
+// syncDir fsyncs a directory, approximating Apache HTTPD's durable-write
+// default on the object directory.
+func syncDir(dir string) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_ = f.Sync()
+}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"segshare"
+	"segshare/internal/baseline/hescheme"
+	"segshare/internal/enclave"
+)
+
+// Experiment E7 — revocation-cost ablation quantifying Table III's P3
+// column: revoking one member of a group that shares F files of size S
+// costs SeGShare one member-list update, while the hybrid-encryption
+// baseline re-encrypts every file and re-wraps every remaining member's
+// key.
+
+// RevocationConfig parameterises E7.
+type RevocationConfig struct {
+	// Files shared with the group.
+	Files int
+	// FileSize of each shared file in bytes.
+	FileSize int
+	// Members in the group before the revocation.
+	Members int
+	// Runs per system.
+	Runs int
+}
+
+// DefaultRevocation is the default workload.
+func DefaultRevocation() RevocationConfig {
+	return RevocationConfig{Files: 32, FileSize: 256 << 10, Members: 16, Runs: 5}
+}
+
+// RevocationRow is one system's result.
+type RevocationRow struct {
+	System           string
+	Files            int
+	FileSize         int
+	Members          int
+	Latency          Stat
+	ReencryptedBytes int64
+	RewrappedKeys    int
+}
+
+// RunRevocationAblation executes E7 for SeGShare and the HE baseline.
+func RunRevocationAblation(cfg RevocationConfig) ([]RevocationRow, error) {
+	seg, err := runSegShareRevocation(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("segshare revocation: %w", err)
+	}
+	he, err := runHERevocation(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("he revocation: %w", err)
+	}
+	return []RevocationRow{seg, he}, nil
+}
+
+func runSegShareRevocation(cfg RevocationConfig) (RevocationRow, error) {
+	env, err := NewEnv(EnvConfig{})
+	if err != nil {
+		return RevocationRow{}, err
+	}
+	defer env.Close()
+	owner, err := env.NewClient("owner")
+	if err != nil {
+		return RevocationRow{}, err
+	}
+	direct := env.Direct("owner")
+	payload := randomPayload(cfg.FileSize)
+	for i := 0; i < cfg.Members; i++ {
+		if err := direct.AddUser(fmt.Sprintf("member-%d", i), "shared-group"); err != nil {
+			return RevocationRow{}, err
+		}
+	}
+	for i := 0; i < cfg.Files; i++ {
+		path := fmt.Sprintf("/shared-%d.bin", i)
+		if err := direct.Upload(path, payload); err != nil {
+			return RevocationRow{}, err
+		}
+		if err := direct.SetPermission(path, "shared-group", "rw"); err != nil {
+			return RevocationRow{}, err
+		}
+	}
+	// Revoking member-0: ONE member-list update, regardless of files or
+	// file sizes. Re-add between runs to keep state comparable; the pair
+	// halves to the single-op estimate.
+	pair, err := measure(cfg.Runs, func() error {
+		if err := owner.RemoveUser("member-0", "shared-group"); err != nil {
+			return err
+		}
+		return owner.AddUser("member-0", "shared-group")
+	})
+	if err != nil {
+		return RevocationRow{}, err
+	}
+	single := Stat{Mean: pair.Mean / 2, Std: pair.Std / 2, N: pair.N}
+	return RevocationRow{
+		System:   "segshare",
+		Files:    cfg.Files,
+		FileSize: cfg.FileSize,
+		Members:  cfg.Members,
+		Latency:  single,
+		// No content bytes touched, no keys rewrapped (P3).
+	}, nil
+}
+
+func runHERevocation(cfg RevocationConfig) (RevocationRow, error) {
+	system := hescheme.New()
+	users := make([]string, cfg.Members+1)
+	users[0] = "owner"
+	for i := 0; i < cfg.Members; i++ {
+		users[i+1] = fmt.Sprintf("member-%d", i)
+	}
+	for _, u := range users {
+		if err := system.RegisterUser(u); err != nil {
+			return RevocationRow{}, err
+		}
+	}
+	payload := randomPayload(cfg.FileSize)
+
+	// Re-provision the corpus each run: a revocation rewrites it, so each
+	// measured revocation must start from the fully shared state. Only
+	// the revocation itself is timed.
+	var lastCost hescheme.RevocationCost
+	samples := make([]time.Duration, 0, cfg.Runs)
+	for run := 0; run <= cfg.Runs; run++ { // first iteration is warm-up
+		for i := 0; i < cfg.Files; i++ {
+			if err := system.Upload("owner", fmt.Sprintf("/shared-%d.bin", i), payload, users[1:]...); err != nil {
+				return RevocationRow{}, err
+			}
+		}
+		start := time.Now()
+		cost, err := system.RevokeEverywhere("owner", "member-0")
+		if err != nil {
+			return RevocationRow{}, err
+		}
+		if run > 0 {
+			samples = append(samples, time.Since(start))
+			lastCost = cost
+		}
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / time.Duration(len(samples))
+	return RevocationRow{
+		System:           "he-baseline",
+		Files:            cfg.Files,
+		FileSize:         cfg.FileSize,
+		Members:          cfg.Members,
+		Latency:          Stat{Mean: mean, N: len(samples)},
+		ReencryptedBytes: lastCost.ReencryptedBytes,
+		RewrappedKeys:    lastCost.RewrappedKeys,
+	}, nil
+}
+
+// Experiment E8 — switchless-call ablation (paper §VI): the same upload
+// workload with the bridge in switchless mode vs blocking transitions.
+
+// SwitchlessRow is one bridge mode's result.
+type SwitchlessRow struct {
+	Mode        string
+	Upload      Stat
+	Download    Stat
+	Transitions uint64
+}
+
+// RunSwitchlessAblation executes E8.
+func RunSwitchlessAblation(fileSize, runs int) ([]SwitchlessRow, error) {
+	var rows []SwitchlessRow
+	for _, mode := range []enclave.CallMode{enclave.ModeSwitchless, enclave.ModeBlocking} {
+		env, err := NewEnv(EnvConfig{Bridge: segshare.BridgeConfig{Mode: mode}})
+		if err != nil {
+			return nil, err
+		}
+		client, err := env.NewClient("bench-user")
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		payload := randomPayload(fileSize)
+		up, err := measure(runs, func() error { return client.Upload("/switchless.bin", payload) })
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		down, err := measure(runs, func() error { return client.DownloadTo("/switchless.bin", io.Discard) })
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		name := "switchless"
+		if mode == enclave.ModeBlocking {
+			name = "blocking"
+		}
+		rows = append(rows, SwitchlessRow{
+			Mode:        name,
+			Upload:      up,
+			Download:    down,
+			Transitions: env.Server.BridgeMetrics().Transitions,
+		})
+		env.Close()
+	}
+	return rows, nil
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"segshare/internal/baseline/plaindav"
+	"segshare/internal/netsim"
+)
+
+// Experiment E1 — paper Fig. 3: mean latency of uploads and downloads of
+// files of increasing size on SeGShare vs the two plaintext WebDAV
+// baselines. The paper used 1 MB–200 MB on Azure; defaults here are
+// scaled to keep `go test -bench` minutes-fast, and cmd/segshare-bench
+// accepts the full sizes.
+
+// Fig3Config parameterises E1.
+type Fig3Config struct {
+	// Sizes are the file sizes in bytes.
+	Sizes []int
+	// Runs per point.
+	Runs int
+	// Network optionally simulates the paper's inter-region link.
+	Network netsim.Profile
+}
+
+// DefaultFig3 is the scaled-down default sweep.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		Sizes: []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20},
+		Runs:  5,
+	}
+}
+
+// Fig3Row is one (server, size) measurement pair.
+type Fig3Row struct {
+	Server    string
+	SizeBytes int
+	Upload    Stat
+	Download  Stat
+}
+
+// RunFig3 executes the sweep.
+func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
+	var rows []Fig3Row
+
+	// SeGShare with all default features off (matching the paper's main
+	// Fig. 3 configuration: extensions measured separately in Fig. 5).
+	env, err := NewEnv(EnvConfig{Network: cfg.Network})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	client, err := env.NewClient("bench-user")
+	if err != nil {
+		return nil, err
+	}
+	for _, size := range cfg.Sizes {
+		payload := randomPayload(size)
+		path := fmt.Sprintf("/fig3-%d.bin", size)
+		up, err := measure(cfg.Runs, func() error { return client.Upload(path, payload) })
+		if err != nil {
+			return nil, fmt.Errorf("segshare upload %d: %w", size, err)
+		}
+		down, err := measure(cfg.Runs, func() error {
+			return client.DownloadTo(path, io.Discard)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("segshare download %d: %w", size, err)
+		}
+		rows = append(rows, Fig3Row{Server: "segshare", SizeBytes: size, Upload: up, Download: down})
+	}
+
+	for _, profile := range []plaindav.Profile{plaindav.ProfileApache, plaindav.ProfileNginx} {
+		baseline, err := NewPlainDAV(profile, cfg.Network)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range cfg.Sizes {
+			payload := randomPayload(size)
+			url := fmt.Sprintf("%s/fig3-%d.bin", baseline.Base, size)
+			up, err := measure(cfg.Runs, func() error { return DAVPut(baseline.Client, url, payload) })
+			if err != nil {
+				baseline.Close()
+				return nil, fmt.Errorf("%s upload %d: %w", profile, size, err)
+			}
+			down, err := measure(cfg.Runs, func() error { return DAVGet(baseline.Client, url) })
+			if err != nil {
+				baseline.Close()
+				return nil, fmt.Errorf("%s download %d: %w", profile, size, err)
+			}
+			rows = append(rows, Fig3Row{Server: profile.String(), SizeBytes: size, Upload: up, Download: down})
+		}
+		baseline.Close()
+	}
+	return rows, nil
+}
+
+func randomPayload(size int) []byte {
+	payload := make([]byte, size)
+	rng := rand.New(rand.NewSource(int64(size)))
+	rng.Read(payload)
+	return payload
+}
+
+func DAVPut(client *http.Client, url string, payload []byte) error {
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("PUT status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func DAVGet(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET status %d", resp.StatusCode)
+	}
+	return nil
+}

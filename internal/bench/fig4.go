@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+
+	"segshare/internal/netsim"
+)
+
+// Experiments E2–E4 — paper §VII-B second/third/fourth experiments and
+// Fig. 4: latency of membership and permission additions/revocations as a
+// function of how many memberships (resp. permission entries) already
+// exist. The paper's headline claims: ~154 ms flat for first-group
+// operations, and only a negligible logarithmic dependence up to 1000
+// pre-existing entries.
+
+// Fig4Config parameterises the sweep.
+type Fig4Config struct {
+	// Counts are the numbers of pre-existing memberships/permissions.
+	Counts []int
+	// Runs per point.
+	Runs int
+}
+
+// DefaultFig4 matches the paper's x-axis (powers of two up to 1000),
+// scaled for test time.
+func DefaultFig4() Fig4Config {
+	return Fig4Config{Counts: []int{0, 1, 10, 100, 1000}, Runs: 10}
+}
+
+// Fig4Row is one (operation, pre-existing count) measurement.
+type Fig4Row struct {
+	Op          string // memb-add | memb-revoke | perm-add | perm-revoke
+	Preexisting int
+	Latency     Stat
+}
+
+// RunFig4Membership measures add_u/rmv_u with pre-populated member lists
+// (E3).
+func RunFig4Membership(cfg Fig4Config) ([]Fig4Row, error) {
+	env, err := NewEnv(EnvConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	owner, err := env.NewClient("owner")
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig4Row
+	for _, count := range cfg.Counts {
+		subject := fmt.Sprintf("subject-%d", count)
+		direct := env.Direct("owner")
+		for i := 0; i < count; i++ {
+			if err := direct.AddUser(subject, fmt.Sprintf("pre-%d-%d", count, i)); err != nil {
+				return nil, fmt.Errorf("prepopulate membership %d: %w", i, err)
+			}
+		}
+		group := fmt.Sprintf("bench-%d", count)
+		// Create the measured group once so the measured operation is a
+		// pure membership update, not group creation.
+		if err := direct.AddUser("owner", group); err != nil {
+			return nil, err
+		}
+
+		add, err := measure(cfg.Runs, func() error {
+			return owner.AddUser(subject, group)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("memb-add @%d: %w", count, err)
+		}
+		// Ensure present before each revoke; the measured op is the
+		// revoke itself, so re-add between runs inside the closure would
+		// pollute it. Alternate instead: measure revoke with a re-add
+		// after, subtracting nothing — the re-add happens outside timing
+		// via measure's per-run structure (add is idempotent when already
+		// a member, so the sequence below keeps state consistent).
+		revoke, err := measure(cfg.Runs, func() error {
+			if err := owner.AddUser(subject, group); err != nil {
+				return err
+			}
+			return owner.RemoveUser(subject, group)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("memb-revoke @%d: %w", count, err)
+		}
+		// The revoke closure contains an add+remove pair; report the pair
+		// latency minus the measured add latency as the revoke estimate.
+		revoke = subtractStat(revoke, add)
+
+		rows = append(rows,
+			Fig4Row{Op: "memb-add", Preexisting: count, Latency: add},
+			Fig4Row{Op: "memb-revoke", Preexisting: count, Latency: revoke},
+		)
+	}
+	return rows, nil
+}
+
+// subtractStat estimates the second half of a paired measurement.
+func subtractStat(pair, first Stat) Stat {
+	mean := pair.Mean - first.Mean
+	if mean < 0 {
+		mean = 0
+	}
+	return Stat{Mean: mean, Std: pair.Std, N: pair.N}
+}
+
+// RunFig4Permission measures set_p additions/revocations with
+// pre-populated ACLs (E4).
+func RunFig4Permission(cfg Fig4Config) ([]Fig4Row, error) {
+	env, err := NewEnv(EnvConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	owner, err := env.NewClient("owner")
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig4Row
+	for _, count := range cfg.Counts {
+		path := fmt.Sprintf("/perm-target-%d", count)
+		direct := env.Direct("owner")
+		if err := direct.Upload(path, []byte("permission target")); err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			// Default groups auto-create, keeping setup fast.
+			if err := direct.SetPermission(path, fmt.Sprintf("user:pre-%d-%d", count, i), "r"); err != nil {
+				return nil, fmt.Errorf("prepopulate ACL %d: %w", i, err)
+			}
+		}
+
+		add, err := measure(cfg.Runs, func() error {
+			return owner.SetPermission(path, "user:bench", "rw")
+		})
+		if err != nil {
+			return nil, fmt.Errorf("perm-add @%d: %w", count, err)
+		}
+		revoke, err := measure(cfg.Runs, func() error {
+			return owner.SetPermission(path, "user:bench", "none")
+		})
+		if err != nil {
+			return nil, fmt.Errorf("perm-revoke @%d: %w", count, err)
+		}
+		rows = append(rows,
+			Fig4Row{Op: "perm-add", Preexisting: count, Latency: add},
+			Fig4Row{Op: "perm-revoke", Preexisting: count, Latency: revoke},
+		)
+	}
+	return rows, nil
+}
+
+// RunMembershipFirstGroup is E2: add/revoke a fresh user to/from their
+// first group, the paper's 154.05 ms / 153.40 ms headline. The paper's
+// absolute number is dominated by the Azure inter-region link; pass a
+// netsim profile to recover it.
+func RunMembershipFirstGroup(runs int, network netsim.Profile) (add, revoke Stat, err error) {
+	env, err := NewEnv(EnvConfig{Network: network})
+	if err != nil {
+		return Stat{}, Stat{}, err
+	}
+	defer env.Close()
+	owner, err := env.NewClient("owner")
+	if err != nil {
+		return Stat{}, Stat{}, err
+	}
+	if err := env.Direct("owner").AddUser("owner", "first-group"); err != nil {
+		return Stat{}, Stat{}, err
+	}
+
+	i := 0
+	add, err = measure(runs, func() error {
+		i++
+		return owner.AddUser(fmt.Sprintf("fresh-%d", i), "first-group")
+	})
+	if err != nil {
+		return Stat{}, Stat{}, err
+	}
+	j := 0
+	revoke, err = measure(runs, func() error {
+		j++
+		return owner.RemoveUser(fmt.Sprintf("fresh-%d", j), "first-group")
+	})
+	if err != nil {
+		return Stat{}, Stat{}, err
+	}
+	return add, revoke, nil
+}

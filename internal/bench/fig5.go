@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"segshare"
+)
+
+// Experiment E5 — paper Fig. 5: upload/download latency of one additional
+// 10 kB file with the individual-file rollback protection enabled or
+// disabled, after (2^x − 1) 10 kB files were stored, in two directory
+// structures: (1) directories organized as a binary tree with one file
+// per leaf, and (2) all files flat under the root.
+
+// Fig5Config parameterises the sweep.
+type Fig5Config struct {
+	// Exponents are the x values; each point pre-populates 2^x − 1 files.
+	Exponents []int
+	// Runs per point.
+	Runs int
+	// FileSize is the per-file payload (paper: 10 kB).
+	FileSize int
+}
+
+// DefaultFig5 is the scaled-down default (the paper goes to x=14; pass
+// higher exponents through cmd/segshare-bench for the full sweep).
+func DefaultFig5() Fig5Config {
+	return Fig5Config{Exponents: []int{0, 2, 4, 6, 8}, Runs: 5, FileSize: 10 << 10}
+}
+
+// Fig5Row is one (structure, rollback, x) measurement.
+type Fig5Row struct {
+	Structure string // flat | tree
+	Rollback  bool
+	Files     int
+	Upload    Stat
+	Download  Stat
+}
+
+// RunFig5 executes the sweep.
+func RunFig5(cfg Fig5Config) ([]Fig5Row, error) {
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = 10 << 10
+	}
+	var rows []Fig5Row
+	for _, structure := range []string{"flat", "tree"} {
+		for _, rollbackOn := range []bool{false, true} {
+			for _, x := range cfg.Exponents {
+				row, err := runFig5Point(cfg, structure, rollbackOn, x)
+				if err != nil {
+					return nil, fmt.Errorf("fig5 %s rollback=%v x=%d: %w", structure, rollbackOn, x, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func runFig5Point(cfg Fig5Config, structure string, rollbackOn bool, x int) (Fig5Row, error) {
+	features := segshare.Features{}
+	if rollbackOn {
+		features.RollbackProtection = true
+		features.Guard = segshare.GuardCounter
+	}
+	env, err := NewEnv(EnvConfig{Features: features})
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	defer env.Close()
+	client, err := env.NewClient("bench-user")
+	if err != nil {
+		return Fig5Row{}, err
+	}
+
+	n := (1 << x) - 1
+	direct := env.Direct("bench-user")
+	payload := randomPayload(cfg.FileSize)
+	madeDirs := map[string]bool{"/": true}
+	for i := 0; i < n; i++ {
+		path, err := fig5Path(structure, i, n, madeDirs, direct.Mkdir)
+		if err != nil {
+			return Fig5Row{}, err
+		}
+		if err := direct.Upload(path, payload); err != nil {
+			return Fig5Row{}, fmt.Errorf("prepopulate %s: %w", path, err)
+		}
+	}
+
+	// Measure the marginal upload of one additional file; each run uses a
+	// fresh name so it is a creation, as in the paper.
+	run := 0
+	var lastPath string
+	upload, err := measure(cfg.Runs, func() error {
+		run++
+		path, err := fig5Path(structure, n+run, 2*(n+cfg.Runs)+4, madeDirs, direct.Mkdir)
+		if err != nil {
+			return err
+		}
+		lastPath = path
+		return client.Upload(path, payload)
+	})
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	download, err := measure(cfg.Runs, func() error {
+		return client.DownloadTo(lastPath, io.Discard)
+	})
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	return Fig5Row{
+		Structure: structure,
+		Rollback:  rollbackOn,
+		Files:     n,
+		Upload:    upload,
+		Download:  download,
+	}, nil
+}
+
+// fig5Path places file i according to the structure: flat under the root,
+// or at the leaf of a binary directory tree whose depth grows
+// logarithmically with the corpus size.
+func fig5Path(structure string, i, total int, madeDirs map[string]bool, mkdir func(string) error) (string, error) {
+	if structure == "flat" {
+		return fmt.Sprintf("/f%06d.bin", i), nil
+	}
+	depth := bits.Len(uint(total)) - 1
+	if depth < 1 {
+		return fmt.Sprintf("/f%06d.bin", i), nil
+	}
+	if depth > 14 {
+		depth = 14
+	}
+	dir := "/"
+	for level := 0; level < depth; level++ {
+		bit := (i >> level) & 1
+		dir = fmt.Sprintf("%sb%d/", dir, bit)
+		if !madeDirs[dir] {
+			if err := mkdir(dir); err != nil {
+				return "", fmt.Errorf("mkdir %s: %w", dir, err)
+			}
+			madeDirs[dir] = true
+		}
+	}
+	return fmt.Sprintf("%sf%06d.bin", dir, i), nil
+}

@@ -1,0 +1,384 @@
+// Package ca implements SeGShare's trusted authentication service (paper
+// §III-A, §IV-A): a certificate authority that issues client certificates
+// carrying identity information to users, and provisions server
+// certificates to SeGShare enclaves after verifying their remote
+// attestation. It also signs the reset messages used during backup
+// restoration (§V-G).
+package ca
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+
+	"segshare/internal/enclave"
+)
+
+// Authority errors.
+var (
+	// ErrAttestation is returned when an enclave's quote fails
+	// verification during server-certificate provisioning.
+	ErrAttestation = errors.New("ca: enclave attestation failed")
+	// ErrBadCSR is returned when the enclave's certificate signing
+	// request is malformed or not bound to its quote.
+	ErrBadCSR = errors.New("ca: invalid certificate signing request")
+	// ErrBadIdentity is returned when identity information is missing.
+	ErrBadIdentity = errors.New("ca: invalid identity")
+)
+
+// Identity is the identity information embedded in a client certificate.
+// SeGShare separates authentication from authorization (objective F8):
+// authorization decisions use only UserID, so certificates can be
+// reissued or multiplied across devices without permission changes.
+type Identity struct {
+	// UserID is the stable identifier used for authorization.
+	UserID string
+	// Email is an optional contact address.
+	Email string
+	// FullName is an optional display name.
+	FullName string
+}
+
+// Credential is a certificate plus its private key, ready for TLS use.
+type Credential struct {
+	// CertPEM is the PEM-encoded certificate.
+	CertPEM []byte
+	// KeyPEM is the PEM-encoded private key.
+	KeyPEM []byte
+}
+
+// TLSCertificate parses the credential for use with crypto/tls.
+func (c *Credential) TLSCertificate() (tls.Certificate, error) {
+	return tls.X509KeyPair(c.CertPEM, c.KeyPEM)
+}
+
+// Authority is a certificate authority. It is safe for concurrent use.
+type Authority struct {
+	key     *ecdsa.PrivateKey
+	cert    *x509.Certificate
+	certDER []byte
+}
+
+// New creates a CA with a fresh self-signed root certificate.
+func New(name string) (*Authority, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ca: generate key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"SeGShare CA"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(20 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("ca: self-sign: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("ca: parse root: %w", err)
+	}
+	return &Authority{key: key, cert: cert, certDER: der}, nil
+}
+
+// nextSerial draws a random 128-bit serial; randomness keeps the
+// authority stateless, so it can be persisted and reloaded without a
+// serial counter.
+func (a *Authority) nextSerial() *big.Int {
+	limit := new(big.Int).Lsh(big.NewInt(1), 128)
+	serial, err := rand.Int(rand.Reader, limit)
+	if err != nil {
+		// rand.Reader failing is unrecoverable for a CA.
+		panic(fmt.Sprintf("ca: serial: %v", err))
+	}
+	return serial
+}
+
+// MarshalPEM exports the authority for persistence: its certificate and
+// private key, both PEM encoded. Guard the key like any CA key.
+func (a *Authority) MarshalPEM() (certPEM, keyPEM []byte, err error) {
+	keyDER, err := x509.MarshalECPrivateKey(a.key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ca: marshal key: %w", err)
+	}
+	return a.CertificatePEM(),
+		pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}),
+		nil
+}
+
+// Load restores an authority previously exported with MarshalPEM.
+func Load(certPEM, keyPEM []byte) (*Authority, error) {
+	certBlock, _ := pem.Decode(certPEM)
+	if certBlock == nil {
+		return nil, errors.New("ca: invalid certificate PEM")
+	}
+	cert, err := x509.ParseCertificate(certBlock.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("ca: parse certificate: %w", err)
+	}
+	keyBlock, _ := pem.Decode(keyPEM)
+	if keyBlock == nil {
+		return nil, errors.New("ca: invalid key PEM")
+	}
+	key, err := x509.ParseECPrivateKey(keyBlock.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("ca: parse key: %w", err)
+	}
+	if !key.PublicKey.Equal(cert.PublicKey) {
+		return nil, errors.New("ca: key does not match certificate")
+	}
+	return &Authority{key: key, cert: cert, certDER: certBlock.Bytes}, nil
+}
+
+// Certificate returns the CA root certificate.
+func (a *Authority) Certificate() *x509.Certificate { return a.cert }
+
+// CertificatePEM returns the PEM-encoded root certificate, which user
+// applications and enclaves pin.
+func (a *Authority) CertificatePEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: a.certDER})
+}
+
+// PublicKeyDER returns the CA public key in DER form. SeGShare hard-codes
+// it into the enclave's measured configuration (paper §III-B), so an
+// enclave built for one CA measures differently from one built for
+// another.
+func (a *Authority) PublicKeyDER() ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(&a.key.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("ca: marshal public key: %w", err)
+	}
+	return der, nil
+}
+
+// CertPool returns a pool containing only this CA, for TLS verification.
+func (a *Authority) CertPool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(a.cert)
+	return pool
+}
+
+// IssueClientCertificate validates the identity and issues a client
+// certificate for it. UserID is carried in the CommonName, FullName in
+// Organization, Email as a SAN.
+func (a *Authority) IssueClientCertificate(id Identity, validity time.Duration) (*Credential, error) {
+	if id.UserID == "" {
+		return nil, fmt.Errorf("%w: empty user id", ErrBadIdentity)
+	}
+	if validity <= 0 {
+		validity = 365 * 24 * time.Hour
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ca: client key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: a.nextSerial(),
+		Subject: pkix.Name{
+			CommonName:   id.UserID,
+			Organization: []string{id.FullName},
+		},
+		NotBefore:   time.Now().Add(-time.Hour),
+		NotAfter:    time.Now().Add(validity),
+		KeyUsage:    x509.KeyUsageDigitalSignature,
+		ExtKeyUsage: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}
+	if id.Email != "" {
+		tmpl.EmailAddresses = []string{id.Email}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.cert, &key.PublicKey, a.key)
+	if err != nil {
+		return nil, fmt.Errorf("ca: sign client cert: %w", err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("ca: marshal client key: %w", err)
+	}
+	return &Credential{
+		CertPEM: pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+		KeyPEM:  pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}),
+	}, nil
+}
+
+// IdentityFromCertificate extracts the identity information from a client
+// certificate previously issued by IssueClientCertificate.
+func IdentityFromCertificate(cert *x509.Certificate) (Identity, error) {
+	if cert.Subject.CommonName == "" {
+		return Identity{}, fmt.Errorf("%w: certificate has no user id", ErrBadIdentity)
+	}
+	id := Identity{UserID: cert.Subject.CommonName}
+	if len(cert.Subject.Organization) > 0 {
+		id.FullName = cert.Subject.Organization[0]
+	}
+	if len(cert.EmailAddresses) > 0 {
+		id.Email = cert.EmailAddresses[0]
+	}
+	return id, nil
+}
+
+// EnclaveCertifier is implemented by the enclave's trusted certification
+// component (paper Fig. 1). The CA drives it during setup.
+type EnclaveCertifier interface {
+	// CertificationRequest makes the enclave generate a temporary key
+	// pair and return (1) a CSR for it and (2) a quote whose report data
+	// binds the CSR, so the CA knows the key pair lives in the attested
+	// enclave.
+	CertificationRequest() (quote *enclave.Quote, csrDER []byte, err error)
+	// InstallCertificate hands the signed server certificate to the
+	// enclave, which persists it and rolls its TLS identity.
+	InstallCertificate(certDER []byte) error
+}
+
+// CSRReportData computes the quote report data that binds a CSR.
+func CSRReportData(csrDER []byte) []byte {
+	sum := sha256.Sum256(csrDER)
+	return sum[:]
+}
+
+// ProvisionServer runs the setup-phase protocol of paper §IV-A: remote
+// attestation of the enclave, CSR exchange, and installation of a signed
+// server certificate valid for the given hosts.
+func (a *Authority) ProvisionServer(
+	target EnclaveCertifier,
+	attestationKey *ecdsa.PublicKey,
+	expected enclave.Measurement,
+	hosts []string,
+	validity time.Duration,
+) error {
+	quote, csrDER, err := target.CertificationRequest()
+	if err != nil {
+		return fmt.Errorf("ca: certification request: %w", err)
+	}
+	if err := enclave.VerifyQuote(attestationKey, quote, expected); err != nil {
+		return fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	var want [enclave.ReportDataSize]byte
+	copy(want[:], CSRReportData(csrDER))
+	if quote.ReportData != want {
+		return fmt.Errorf("%w: quote does not bind CSR", ErrBadCSR)
+	}
+	csr, err := x509.ParseCertificateRequest(csrDER)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCSR, err)
+	}
+	if err := csr.CheckSignature(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCSR, err)
+	}
+	if validity <= 0 {
+		validity = 365 * 24 * time.Hour
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: a.nextSerial(),
+		Subject:      pkix.Name{CommonName: "segshare-enclave"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(validity),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	addHosts(tmpl, hosts)
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.cert, csr.PublicKey, a.key)
+	if err != nil {
+		return fmt.Errorf("ca: sign server cert: %w", err)
+	}
+	if err := target.InstallCertificate(der); err != nil {
+		return fmt.Errorf("ca: install certificate: %w", err)
+	}
+	return nil
+}
+
+// IssueServerCertificate directly issues a TLS server credential for the
+// given hosts. SeGShare enclaves use the attested ProvisionServer flow
+// instead; this is for non-enclave services (the plaintext baseline
+// servers of the evaluation).
+func (a *Authority) IssueServerCertificate(hosts []string, validity time.Duration) (*Credential, error) {
+	if validity <= 0 {
+		validity = 365 * 24 * time.Hour
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ca: server key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: a.nextSerial(),
+		Subject:      pkix.Name{CommonName: "baseline-server"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(validity),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	addHosts(tmpl, hosts)
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.cert, &key.PublicKey, a.key)
+	if err != nil {
+		return nil, fmt.Errorf("ca: sign server cert: %w", err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("ca: marshal server key: %w", err)
+	}
+	return &Credential{
+		CertPEM: pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+		KeyPEM:  pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}),
+	}, nil
+}
+
+// SignReset signs a backup-restoration reset message (paper §V-G). The
+// payload identifies the restored state (e.g. the stores' root hashes).
+func (a *Authority) SignReset(payload []byte) ([]byte, error) {
+	digest := resetDigest(payload)
+	sig, err := ecdsa.SignASN1(rand.Reader, a.key, digest)
+	if err != nil {
+		return nil, fmt.Errorf("ca: sign reset: %w", err)
+	}
+	return sig, nil
+}
+
+// VerifyReset verifies a reset-message signature under the CA public key
+// (the one hard-coded into the enclave).
+func VerifyReset(pub *ecdsa.PublicKey, payload, sig []byte) bool {
+	return ecdsa.VerifyASN1(pub, resetDigest(payload), sig)
+}
+
+func resetDigest(payload []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("segshare-reset/v1\x00"))
+	h.Write(payload)
+	return h.Sum(nil)
+}
+
+// addHosts distributes host entries into DNS and IP SANs.
+func addHosts(tmpl *x509.Certificate, hosts []string) {
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+			continue
+		}
+		tmpl.DNSNames = append(tmpl.DNSNames, h)
+	}
+}
+
+// ParsePublicKeyDER parses a DER public key produced by PublicKeyDER.
+func ParsePublicKeyDER(der []byte) (*ecdsa.PublicKey, error) {
+	pub, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("ca: parse public key: %w", err)
+	}
+	ec, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("ca: public key is %T, want *ecdsa.PublicKey", pub)
+	}
+	return ec, nil
+}

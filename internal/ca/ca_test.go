@@ -1,0 +1,305 @@
+package ca
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"segshare/internal/enclave"
+)
+
+func newAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := New("Test CA")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func TestClientCertificateIdentityRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	id := Identity{UserID: "alice", Email: "alice@example.com", FullName: "Alice A."}
+	cred, err := a.IssueClientCertificate(id, time.Hour)
+	if err != nil {
+		t.Fatalf("IssueClientCertificate: %v", err)
+	}
+
+	block, _ := pem.Decode(cred.CertPEM)
+	if block == nil {
+		t.Fatal("no PEM block in certificate")
+	}
+	cert, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		t.Fatalf("ParseCertificate: %v", err)
+	}
+	got, err := IdentityFromCertificate(cert)
+	if err != nil {
+		t.Fatalf("IdentityFromCertificate: %v", err)
+	}
+	if got != id {
+		t.Fatalf("identity = %+v, want %+v", got, id)
+	}
+
+	// The certificate chains to the CA and is a client cert.
+	if _, err := cert.Verify(x509.VerifyOptions{
+		Roots:     a.CertPool(),
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	// And is loadable as a TLS key pair.
+	if _, err := cred.TLSCertificate(); err != nil {
+		t.Fatalf("TLSCertificate: %v", err)
+	}
+}
+
+func TestIssueClientCertificateRejectsEmptyUserID(t *testing.T) {
+	a := newAuthority(t)
+	if _, err := a.IssueClientCertificate(Identity{}, time.Hour); !errors.Is(err, ErrBadIdentity) {
+		t.Fatalf("want ErrBadIdentity, got %v", err)
+	}
+}
+
+func TestIdentityFromForeignCertificate(t *testing.T) {
+	// A certificate without a CommonName yields ErrBadIdentity.
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{SerialNumber: newSerial(), Subject: pkix.Name{}}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IdentityFromCertificate(cert); !errors.Is(err, ErrBadIdentity) {
+		t.Fatalf("want ErrBadIdentity, got %v", err)
+	}
+}
+
+func TestSerialNumbersAreUnique(t *testing.T) {
+	a := newAuthority(t)
+	seen := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		cred, err := a.IssueClientCertificate(Identity{UserID: "u"}, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		block, _ := pem.Decode(cred.CertPEM)
+		cert, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := cert.SerialNumber.String()
+		if seen[s] {
+			t.Fatalf("duplicate serial %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestPublicKeyDERRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	der, err := a.PublicKeyDER()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ParsePublicKeyDER(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.Equal(a.cert.PublicKey) {
+		t.Fatal("parsed key differs from CA key")
+	}
+	if _, err := ParsePublicKeyDER([]byte("junk")); err == nil {
+		t.Fatal("junk DER accepted")
+	}
+}
+
+func TestSignVerifyReset(t *testing.T) {
+	a := newAuthority(t)
+	pubDER, err := a.PublicKeyDER()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ParsePublicKeyDER(pubDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("root-hash-of-restored-state")
+	sig, err := a.SignReset(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyReset(pub, payload, sig) {
+		t.Fatal("valid reset signature rejected")
+	}
+	if VerifyReset(pub, []byte("other"), sig) {
+		t.Fatal("reset signature verified for wrong payload")
+	}
+	other := newAuthority(t)
+	otherPub, err := other.PublicKeyDER()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ := ParsePublicKeyDER(otherPub)
+	if VerifyReset(op, payload, sig) {
+		t.Fatal("reset signature verified under wrong CA key")
+	}
+}
+
+// fakeCertifier simulates the enclave's trusted certification component
+// well enough to exercise the provisioning protocol, including dishonest
+// variants.
+type fakeCertifier struct {
+	enclave   *enclave.Enclave
+	installed []byte
+
+	// corruptions
+	skipBinding bool
+	forgeCSR    bool
+}
+
+func (f *fakeCertifier) CertificationRequest() (*enclave.Quote, []byte, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	csrDER, err := x509.CreateCertificateRequest(rand.Reader, &x509.CertificateRequest{
+		Subject: pkix.Name{CommonName: "segshare-enclave"},
+	}, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	reportData := CSRReportData(csrDER)
+	if f.skipBinding {
+		reportData = make([]byte, 32)
+	}
+	quote, err := f.enclave.Quote(reportData)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.forgeCSR {
+		// Swap in a different CSR after quoting.
+		key2, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			return nil, nil, err
+		}
+		csrDER, err = x509.CreateCertificateRequest(rand.Reader, &x509.CertificateRequest{
+			Subject: pkix.Name{CommonName: "mallory"},
+		}, key2)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return quote, csrDER, nil
+}
+
+func (f *fakeCertifier) InstallCertificate(certDER []byte) error {
+	f.installed = certDER
+	return nil
+}
+
+func provisioningFixture(t *testing.T) (*Authority, *enclave.Platform, enclave.CodeIdentity, *enclave.Enclave) {
+	t.Helper()
+	a := newAuthority(t)
+	platform, err := enclave.NewPlatform(enclave.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubDER, err := a.PublicKeyDER()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := enclave.CodeIdentity{Name: "segshare", Version: 1, Config: pubDER}
+	encl, err := platform.Launch(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, platform, code, encl
+}
+
+func TestProvisionServerHappyPath(t *testing.T) {
+	a, platform, code, encl := provisioningFixture(t)
+	certifier := &fakeCertifier{enclave: encl}
+	err := a.ProvisionServer(certifier, platform.AttestationPublicKey(), code.Measurement(), []string{"localhost"}, time.Hour)
+	if err != nil {
+		t.Fatalf("ProvisionServer: %v", err)
+	}
+	cert, err := x509.ParseCertificate(certifier.installed)
+	if err != nil {
+		t.Fatalf("installed cert: %v", err)
+	}
+	if _, err := cert.Verify(x509.VerifyOptions{
+		Roots:     a.CertPool(),
+		DNSName:   "localhost",
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}); err != nil {
+		t.Fatalf("server cert does not verify: %v", err)
+	}
+}
+
+func TestProvisionServerRejectsWrongMeasurement(t *testing.T) {
+	a, platform, _, _ := provisioningFixture(t)
+	evil, err := platform.Launch(enclave.CodeIdentity{Name: "evil", Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	certifier := &fakeCertifier{enclave: evil}
+	expected := enclave.CodeIdentity{Name: "segshare", Version: 1}.Measurement()
+	err = a.ProvisionServer(certifier, platform.AttestationPublicKey(), expected, nil, time.Hour)
+	if !errors.Is(err, ErrAttestation) {
+		t.Fatalf("want ErrAttestation, got %v", err)
+	}
+}
+
+func TestProvisionServerRejectsUnboundCSR(t *testing.T) {
+	a, platform, code, encl := provisioningFixture(t)
+	certifier := &fakeCertifier{enclave: encl, skipBinding: true}
+	err := a.ProvisionServer(certifier, platform.AttestationPublicKey(), code.Measurement(), nil, time.Hour)
+	if !errors.Is(err, ErrBadCSR) {
+		t.Fatalf("want ErrBadCSR, got %v", err)
+	}
+}
+
+func TestProvisionServerRejectsSwappedCSR(t *testing.T) {
+	a, platform, code, encl := provisioningFixture(t)
+	certifier := &fakeCertifier{enclave: encl, forgeCSR: true}
+	err := a.ProvisionServer(certifier, platform.AttestationPublicKey(), code.Measurement(), nil, time.Hour)
+	if !errors.Is(err, ErrBadCSR) {
+		t.Fatalf("want ErrBadCSR, got %v", err)
+	}
+}
+
+var serialCounter int64 = 1000
+
+func newSerial() *big.Int {
+	serialCounter++
+	return big.NewInt(serialCounter)
+}
+
+// parseCredCert parses the certificate of a credential.
+func parseCredCert(t *testing.T, cred *Credential) *x509.Certificate {
+	t.Helper()
+	block, _ := pem.Decode(cred.CertPEM)
+	if block == nil {
+		t.Fatal("no PEM block")
+	}
+	cert, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert
+}

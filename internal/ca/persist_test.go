@@ -1,0 +1,74 @@
+package ca
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMarshalLoadRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	certPEM, keyPEM, err := a.MarshalPEM()
+	if err != nil {
+		t.Fatalf("MarshalPEM: %v", err)
+	}
+	restored, err := Load(certPEM, keyPEM)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// The restored authority issues certificates that chain to the same
+	// root.
+	cred, err := restored.IssueClientCertificate(Identity{UserID: "alice"}, time.Hour)
+	if err != nil {
+		t.Fatalf("IssueClientCertificate: %v", err)
+	}
+	if _, err := cred.TLSCertificate(); err != nil {
+		t.Fatal(err)
+	}
+	parsed := parseCredCert(t, cred)
+	if err := parsed.CheckSignatureFrom(a.Certificate()); err != nil {
+		t.Fatalf("restored authority signs under a different root: %v", err)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	a := newAuthority(t)
+	certPEM, keyPEM, err := a.MarshalPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := newAuthority(t)
+	_, otherKeyPEM, err := other.MarshalPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		cert []byte
+		key  []byte
+	}{
+		{name: "junk cert", cert: []byte("junk"), key: keyPEM},
+		{name: "junk key", cert: certPEM, key: []byte("junk")},
+		{name: "mismatched pair", cert: certPEM, key: otherKeyPEM},
+		{name: "swapped", cert: keyPEM, key: certPEM},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Load(tt.cert, tt.key); err == nil {
+				t.Fatal("invalid input accepted")
+			}
+		})
+	}
+}
+
+func TestIssueServerCertificateIPAndDNS(t *testing.T) {
+	a := newAuthority(t)
+	cred, err := a.IssueServerCertificate([]string{"localhost", "127.0.0.1", "example.com"}, time.Hour)
+	if err != nil {
+		t.Fatalf("IssueServerCertificate: %v", err)
+	}
+	cert := parseCredCert(t, cred)
+	if len(cert.DNSNames) != 2 || len(cert.IPAddresses) != 1 {
+		t.Fatalf("SANs: dns=%v ip=%v", cert.DNSNames, cert.IPAddresses)
+	}
+}

@@ -1,0 +1,207 @@
+package client
+
+import (
+	"bytes"
+	"crypto/tls"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"segshare/internal/ca"
+	"segshare/internal/core"
+)
+
+// fakeServer implements just enough of the SeGShare wire protocol to
+// exercise every client method in-package, with mutual TLS.
+type fakeServer struct {
+	t     *testing.T
+	files map[string][]byte
+	calls []string
+}
+
+func (f *fakeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.calls = append(f.calls, r.Method+" "+r.URL.Path)
+	switch {
+	case r.URL.Path == "/api/whoami":
+		json.NewEncoder(w).Encode(core.WhoAmI{UserID: "alice", Groups: []string{"user:alice"}})
+	case strings.HasPrefix(r.URL.Path, "/api/"):
+		body, _ := io.ReadAll(r.Body)
+		var decoded map[string]any
+		if err := json.Unmarshal(body, &decoded); err != nil {
+			http.Error(w, `{"error":"bad json"}`, http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case strings.HasPrefix(r.URL.Path, core.FSPrefix):
+		f.serveFS(w, r)
+	default:
+		http.Error(w, `{"error":"unknown"}`, http.StatusNotFound)
+	}
+}
+
+func (f *fakeServer) serveFS(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, core.FSPrefix)
+	switch r.Method {
+	case http.MethodPut:
+		body, _ := io.ReadAll(r.Body)
+		if _, ok := f.files[path]; ok {
+			f.files[path] = body
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		f.files[path] = body
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodGet:
+		if strings.HasSuffix(path, "/") {
+			json.NewEncoder(w).Encode(core.Listing{Path: path, Entries: []core.ListingEntry{
+				{Name: "x", Permission: "rw"},
+			}})
+			return
+		}
+		data, ok := f.files[path]
+		if !ok {
+			http.Error(w, `{"error":"missing"}`, http.StatusNotFound)
+			return
+		}
+		w.Write(data)
+	case http.MethodDelete:
+		if _, ok := f.files[path]; !ok {
+			http.Error(w, `{"error":"missing"}`, http.StatusNotFound)
+			return
+		}
+		delete(f.files, path)
+		w.WriteHeader(http.StatusNoContent)
+	case "MKCOL":
+		w.WriteHeader(http.StatusCreated)
+	case "MOVE":
+		dst := strings.TrimPrefix(r.Header.Get("Destination"), core.FSPrefix)
+		data, ok := f.files[path]
+		if !ok {
+			http.Error(w, `{"error":"missing"}`, http.StatusNotFound)
+			return
+		}
+		delete(f.files, path)
+		f.files[dst] = data
+		w.WriteHeader(http.StatusCreated)
+	default:
+		http.Error(w, `{"error":"method"}`, http.StatusMethodNotAllowed)
+	}
+}
+
+// startFake brings up the fake server with mTLS under a throwaway CA and
+// returns a connected client.
+func startFake(t *testing.T) (*Client, *fakeServer) {
+	t.Helper()
+	authority, err := ca.New("fake server CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCred, err := authority.IssueServerCertificate([]string{"localhost", "127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := serverCred.TLSCertificate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeServer{t: t, files: make(map[string][]byte)}
+	srv := httptest.NewUnstartedServer(fake)
+	srv.TLS = &tls.Config{
+		Certificates: []tls.Certificate{serverCert},
+		ClientCAs:    authority.CertPool(),
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+	}
+	srv.StartTLS()
+	t.Cleanup(srv.Close)
+
+	cred, err := authority.IssueClientCertificate(ca.Identity{UserID: "alice"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := New(Config{
+		Addr:       strings.TrimPrefix(srv.URL, "https://"),
+		ServerName: "127.0.0.1",
+		CACertPEM:  authority.CertificatePEM(),
+		Credential: cred,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	return client, fake
+}
+
+func TestClientMethodsAgainstFakeServer(t *testing.T) {
+	client, fake := startFake(t)
+
+	if err := client.Mkdir("/d/"); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if err := client.Upload("/d/f", []byte("one")); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	// Second upload hits the 204 update path.
+	if err := client.UploadStream("/d/f", bytes.NewReader([]byte("two")), 3); err != nil {
+		t.Fatalf("UploadStream: %v", err)
+	}
+	got, err := client.Download("/d/f")
+	if err != nil || string(got) != "two" {
+		t.Fatalf("Download: %q %v", got, err)
+	}
+	var sink bytes.Buffer
+	if err := client.DownloadTo("/d/f", &sink); err != nil || sink.String() != "two" {
+		t.Fatalf("DownloadTo: %q %v", sink.String(), err)
+	}
+	listing, err := client.List("/d/")
+	if err != nil || len(listing.Entries) != 1 {
+		t.Fatalf("List: %+v %v", listing, err)
+	}
+	if err := client.Move("/d/f", "/d/g"); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if _, err := client.Download("/d/f"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("download moved-away: %v", err)
+	}
+	if err := client.Remove("/d/g"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := client.Remove("/d/g"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+
+	// Management API round trips.
+	if err := client.SetPermission("/d", "team", "rw"); err != nil {
+		t.Fatalf("SetPermission: %v", err)
+	}
+	if err := client.SetInherit("/d", true); err != nil {
+		t.Fatalf("SetInherit: %v", err)
+	}
+	if err := client.SetOwner("/d", "team", true); err != nil {
+		t.Fatalf("SetOwner: %v", err)
+	}
+	if err := client.AddUser("bob", "team"); err != nil {
+		t.Fatalf("AddUser: %v", err)
+	}
+	if err := client.RemoveUser("bob", "team"); err != nil {
+		t.Fatalf("RemoveUser: %v", err)
+	}
+	if err := client.SetGroupOwner("team", "admins", true); err != nil {
+		t.Fatalf("SetGroupOwner: %v", err)
+	}
+	if err := client.DeleteGroup("team"); err != nil {
+		t.Fatalf("DeleteGroup: %v", err)
+	}
+	who, err := client.WhoAmI()
+	if err != nil || who.UserID != "alice" {
+		t.Fatalf("WhoAmI: %+v %v", who, err)
+	}
+
+	if len(fake.calls) == 0 {
+		t.Fatal("fake server saw no calls")
+	}
+}

@@ -1,0 +1,110 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"segshare/internal/ca"
+	"segshare/internal/core"
+)
+
+func testCredential(t *testing.T) (*ca.Credential, []byte) {
+	t.Helper()
+	authority, err := ca.New("client test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authority.IssueClientCertificate(ca.Identity{UserID: "alice"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cred, authority.CertificatePEM()
+}
+
+func TestNewValidation(t *testing.T) {
+	cred, caPEM := testCredential(t)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "missing addr", cfg: Config{CACertPEM: caPEM, Credential: cred}},
+		{name: "missing credential", cfg: Config{Addr: "x:1", CACertPEM: caPEM}},
+		{name: "bad ca pem", cfg: Config{Addr: "x:1", CACertPEM: []byte("junk"), Credential: cred}},
+		{
+			name: "bad credential",
+			cfg: Config{Addr: "x:1", CACertPEM: caPEM, Credential: &ca.Credential{
+				CertPEM: []byte("junk"), KeyPEM: []byte("junk"),
+			}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+
+	ok, err := New(Config{Addr: "localhost:1", CACertPEM: caPEM, Credential: cred})
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	ok.Close()
+}
+
+func respWith(status int, body string) *http.Response {
+	return &http.Response{
+		Status:     http.StatusText(status),
+		StatusCode: status,
+		Body:       io.NopCloser(bytes.NewBufferString(body)),
+	}
+}
+
+func TestDecodeErrorMapping(t *testing.T) {
+	tests := []struct {
+		status int
+		want   error
+	}{
+		{status: http.StatusUnauthorized, want: ErrUnauthorized},
+		{status: http.StatusForbidden, want: core.ErrPermissionDenied},
+		{status: http.StatusNotFound, want: core.ErrNotFound},
+		{status: http.StatusConflict, want: core.ErrExists},
+		{status: http.StatusBadRequest, want: core.ErrBadRequest},
+	}
+	for _, tt := range tests {
+		err := decodeError(respWith(tt.status, `{"error":"details"}`))
+		if !errors.Is(err, tt.want) {
+			t.Errorf("status %d: got %v, want %v", tt.status, err, tt.want)
+		}
+		if want := "details"; err != nil && !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("status %d: error %q lacks server message", tt.status, err)
+		}
+	}
+
+	// Unknown statuses map to a generic error, not a sentinel.
+	err := decodeError(respWith(http.StatusInternalServerError, `{"error":"boom"}`))
+	if err == nil || errors.Is(err, core.ErrBadRequest) {
+		t.Fatalf("500 mapping: %v", err)
+	}
+	// Non-JSON bodies fall back to the status text.
+	err = decodeError(respWith(http.StatusForbidden, "<html>nope</html>"))
+	if !errors.Is(err, core.ErrPermissionDenied) {
+		t.Fatalf("non-JSON body: %v", err)
+	}
+}
+
+func TestListRequiresDirectoryPath(t *testing.T) {
+	cred, caPEM := testCredential(t)
+	c, err := New(Config{Addr: "localhost:1", CACertPEM: caPEM, Credential: cred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.List("/not-a-dir"); !errors.Is(err, core.ErrBadRequest) {
+		t.Fatalf("List on file path: %v", err)
+	}
+}

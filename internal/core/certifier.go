@@ -1,0 +1,204 @@
+package core
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"segshare/internal/ca"
+	"segshare/internal/enclave"
+	"segshare/internal/store"
+)
+
+// Certifier is the trusted certification component (paper Fig. 1, §IV-A):
+// on the CA's request it generates a temporary key pair inside the
+// enclave, returns a CSR bound to an attestation quote, validates the
+// certificate the CA signs, seals the private key, persists both in
+// untrusted storage, and rolls the TLS endpoint's identity. The CA may
+// repeat the exchange at any time to replace the certificate.
+type Certifier struct {
+	enclave *enclave.Enclave
+	meta    store.Backend
+	caPub   *ecdsa.PublicKey
+
+	mu         sync.Mutex
+	pendingKey *ecdsa.PrivateKey
+	current    *tls.Certificate
+	onInstall  func(tls.Certificate)
+}
+
+var _ ca.EnclaveCertifier = (*Certifier)(nil)
+
+// errNoCertificate is returned when the enclave has no server certificate
+// yet.
+var errNoCertificate = errors.New("segshare: no server certificate provisioned")
+
+func newCertifier(e *enclave.Enclave, meta store.Backend, caPub *ecdsa.PublicKey) *Certifier {
+	return &Certifier{enclave: e, meta: meta, caPub: caPub}
+}
+
+// CertificationRequest implements ca.EnclaveCertifier.
+func (c *Certifier) CertificationRequest() (*enclave.Quote, []byte, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("segshare: server key: %w", err)
+	}
+	csrDER, err := x509.CreateCertificateRequest(rand.Reader, &x509.CertificateRequest{
+		Subject: pkix.Name{CommonName: "segshare-enclave"},
+	}, key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("segshare: csr: %w", err)
+	}
+	quote, err := c.enclave.Quote(ca.CSRReportData(csrDER))
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.pendingKey = key
+	c.mu.Unlock()
+	return quote, csrDER, nil
+}
+
+// InstallCertificate implements ca.EnclaveCertifier: the enclave checks
+// the certificate's validity (signed by the hard-coded CA, matching the
+// pending key pair, within its validity window), persists it, seals the
+// key, and rolls the TLS identity.
+func (c *Certifier) InstallCertificate(certDER []byte) error {
+	c.mu.Lock()
+	key := c.pendingKey
+	c.pendingKey = nil
+	c.mu.Unlock()
+	if key == nil {
+		return errors.New("segshare: no pending certification request")
+	}
+	cert, err := x509.ParseCertificate(certDER)
+	if err != nil {
+		return fmt.Errorf("segshare: parse server cert: %w", err)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok || !pub.Equal(&key.PublicKey) {
+		return errors.New("segshare: server cert does not match enclave key pair")
+	}
+	if err := verifyCertSignature(c.caPub, cert); err != nil {
+		return fmt.Errorf("segshare: server cert not signed by the hard-coded CA: %w", err)
+	}
+	now := time.Now()
+	if now.Before(cert.NotBefore) || now.After(cert.NotAfter) {
+		return errors.New("segshare: server cert outside validity window")
+	}
+
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return fmt.Errorf("segshare: marshal server key: %w", err)
+	}
+	sealed, err := c.enclave.Seal(keyDER, []byte(metaServerKey))
+	if err != nil {
+		return err
+	}
+	if err := c.meta.Put(metaServerCert, certDER); err != nil {
+		return fmt.Errorf("segshare: persist server cert: %w", err)
+	}
+	if err := c.meta.Put(metaServerKey, sealed); err != nil {
+		return fmt.Errorf("segshare: persist sealed key: %w", err)
+	}
+	return c.install(certDER, key, cert)
+}
+
+func (c *Certifier) install(certDER []byte, key *ecdsa.PrivateKey, leaf *x509.Certificate) error {
+	tlsCert := tls.Certificate{
+		Certificate: [][]byte{certDER},
+		PrivateKey:  key,
+		Leaf:        leaf,
+	}
+	c.mu.Lock()
+	c.current = &tlsCert
+	onInstall := c.onInstall
+	c.mu.Unlock()
+	if onInstall != nil {
+		onInstall(tlsCert)
+	}
+	return nil
+}
+
+// loadPersisted restores a previously provisioned certificate after an
+// enclave restart. It reports whether one was found.
+func (c *Certifier) loadPersisted() (bool, error) {
+	certDER, err := c.meta.Get(metaServerCert)
+	if errors.Is(err, store.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	sealed, err := c.meta.Get(metaServerKey)
+	if errors.Is(err, store.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	keyDER, err := c.enclave.Unseal(sealed, []byte(metaServerKey))
+	if err != nil {
+		// The sealed key belongs to a different enclave instance (e.g. a
+		// replica sharing the central repository, §V-F) or was tampered
+		// with. Either way this enclave simply has no usable persisted
+		// certificate and must be (re-)provisioned by the CA.
+		return false, nil
+	}
+	key, err := x509.ParseECPrivateKey(keyDER)
+	if err != nil {
+		return false, fmt.Errorf("segshare: parse server key: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(certDER)
+	if err != nil {
+		return false, fmt.Errorf("segshare: parse server cert: %w", err)
+	}
+	if err := c.install(certDER, key, leaf); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Certificate returns the current TLS certificate.
+func (c *Certifier) Certificate() (tls.Certificate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current == nil {
+		return tls.Certificate{}, errNoCertificate
+	}
+	return *c.current, nil
+}
+
+// setOnInstall registers the endpoint-roll callback.
+func (c *Certifier) setOnInstall(fn func(tls.Certificate)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onInstall = fn
+}
+
+// caCertFromKey builds a minimal certificate shell so that
+// CheckSignatureFrom can be attempted; verification really happens in
+// verifyCertSignature.
+func caCertFromKey(pub *ecdsa.PublicKey) *x509.Certificate {
+	return &x509.Certificate{
+		PublicKey:             pub,
+		PublicKeyAlgorithm:    x509.ECDSA,
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+}
+
+// verifyCertSignature checks cert's signature directly against the CA
+// public key hard-coded in the enclave.
+func verifyCertSignature(pub *ecdsa.PublicKey, cert *x509.Certificate) error {
+	shell := caCertFromKey(pub)
+	return cert.CheckSignatureFrom(shell)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"segshare/internal/acl"
+	"segshare/internal/fspath"
+)
+
+// DirectSession executes requests for a user directly against the
+// enclave, bypassing the network layer. It serves two purposes: an
+// embedded API for programs that link the server in-process, and fast
+// corpus setup for the benchmark harness (populating thousands of files
+// through TLS would measure the network, not the system under test).
+// Authorization is enforced exactly as over the wire; only transport and
+// certificate parsing are skipped.
+type DirectSession struct {
+	s *Server
+	u acl.UserID
+}
+
+// Direct returns an in-process session for the given user ID. The caller
+// vouches for the identity — in the deployed system identities only ever
+// come from client certificates.
+func (s *Server) Direct(user string) *DirectSession {
+	return &DirectSession{s: s, u: acl.UserID(user)}
+}
+
+func (d *DirectSession) parse(path string) (fspath.Path, error) {
+	return fspath.Parse(path)
+}
+
+// Mkdir creates a directory.
+func (d *DirectSession) Mkdir(path string) error {
+	p, err := d.parse(path)
+	if err != nil {
+		return err
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.ac.PutDir(d.u, p)
+}
+
+// Upload creates or updates a content file.
+func (d *DirectSession) Upload(path string, content []byte) error {
+	p, err := d.parse(path)
+	if err != nil {
+		return err
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	_, err = d.s.ac.PutFile(d.u, p, content)
+	return err
+}
+
+// Download returns a file's content.
+func (d *DirectSession) Download(path string) ([]byte, error) {
+	p, err := d.parse(path)
+	if err != nil {
+		return nil, err
+	}
+	d.s.mu.RLock()
+	defer d.s.mu.RUnlock()
+	return d.s.ac.GetFile(d.u, p)
+}
+
+// List returns a directory listing.
+func (d *DirectSession) List(path string) ([]ListedEntry, error) {
+	p, err := d.parse(path)
+	if err != nil {
+		return nil, err
+	}
+	d.s.mu.RLock()
+	defer d.s.mu.RUnlock()
+	return d.s.ac.GetDir(d.u, p)
+}
+
+// Remove deletes a file or empty directory.
+func (d *DirectSession) Remove(path string) error {
+	p, err := d.parse(path)
+	if err != nil {
+		return err
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.ac.Remove(d.u, p)
+}
+
+// Move relocates a file or directory subtree.
+func (d *DirectSession) Move(src, dst string) error {
+	sp, err := d.parse(src)
+	if err != nil {
+		return err
+	}
+	dp, err := d.parse(dst)
+	if err != nil {
+		return err
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.ac.Move(d.u, sp, dp)
+}
+
+// SetPermission sets a group's permission on a path ("none" clears).
+func (d *DirectSession) SetPermission(path, group string, permission PermissionSpec) error {
+	p, err := d.parse(path)
+	if err != nil {
+		return err
+	}
+	perm, err := ParsePermission(permission)
+	if err != nil {
+		return err
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.ac.SetPermission(d.u, p, acl.GroupName(group), perm)
+}
+
+// SetInherit toggles permission inheritance.
+func (d *DirectSession) SetInherit(path string, inherit bool) error {
+	p, err := d.parse(path)
+	if err != nil {
+		return err
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.ac.SetInherit(d.u, p, inherit)
+}
+
+// AddUser adds a user to a group (creating it on first use).
+func (d *DirectSession) AddUser(user, group string) error {
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.ac.AddUser(d.u, acl.UserID(user), acl.GroupName(group))
+}
+
+// RemoveUser removes a user from a group.
+func (d *DirectSession) RemoveUser(user, group string) error {
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.ac.RemoveUser(d.u, acl.UserID(user), acl.GroupName(group))
+}
+
+// StoredContentBytes reports the content store's total size; the
+// storage-overhead experiment reads it.
+func (s *Server) StoredContentBytes() (int64, error) {
+	return s.cfg.ContentStore.TotalBytes()
+}

@@ -1,0 +1,30 @@
+// Package core implements SeGShare's enclave: the trusted file manager,
+// the access control component, the request handler, and the server that
+// wires them to the split TLS interface and the untrusted stores (paper
+// §IV, Fig. 1).
+package core
+
+import "errors"
+
+// Core errors, matched by handlers and clients with errors.Is.
+var (
+	// ErrPermissionDenied is returned when the access control component
+	// rejects a request (auth_f or auth_g failed).
+	ErrPermissionDenied = errors.New("segshare: permission denied")
+	// ErrNotFound is returned for requests on absent files/directories.
+	ErrNotFound = errors.New("segshare: not found")
+	// ErrExists is returned when creating something that already exists.
+	ErrExists = errors.New("segshare: already exists")
+	// ErrNotEmpty is returned when removing a non-empty directory.
+	ErrNotEmpty = errors.New("segshare: directory not empty")
+	// ErrIntegrity is returned when stored data fails authenticated
+	// decryption — evidence of tampering by the untrusted provider.
+	ErrIntegrity = errors.New("segshare: integrity violation")
+	// ErrRollback is returned when the rollback-protection tree or the
+	// root guard detects stale data.
+	ErrRollback = errors.New("segshare: rollback detected")
+	// ErrBadRequest is returned for malformed requests.
+	ErrBadRequest = errors.New("segshare: bad request")
+	// ErrGroupNotFound is returned for operations on unknown groups.
+	ErrGroupNotFound = errors.New("segshare: group not found")
+)

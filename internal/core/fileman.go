@@ -1,0 +1,349 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+
+	"segshare/internal/acl"
+	"segshare/internal/dedup"
+	"segshare/internal/pae"
+	"segshare/internal/pfs"
+	"segshare/internal/rollback"
+	"segshare/internal/store"
+)
+
+// Reserved storage names for enclave metadata that lives outside the
+// file-system tree (sealed blobs and public certificates).
+const (
+	metaRootKey    = "!meta:rootkey"
+	metaServerCert = "!meta:servercert"
+	metaServerKey  = "!meta:serverkey"
+)
+
+// Group-store logical names.
+const (
+	groupRootName  = "groupsroot"
+	groupListName  = "grouplist"
+	memberNamePfx  = "member:"
+	contentRootKey = "content"
+	groupRootKey   = "group"
+)
+
+// namespace describes one store's logical file tree: the content store's
+// directory hierarchy or the group store's flat tree (paper §IV-B: "the
+// files in the group store are stored flat and a root directory file
+// stores a list of all contained files").
+type namespace struct {
+	kind     string
+	backend  store.Backend
+	guard    rollback.RootGuard
+	rootName string
+	parentOf func(name string) string
+	isInner  func(name string) bool
+}
+
+// fileManager is the trusted file manager (paper §IV-B): it owns the root
+// key SK_r, derives a unique file key per file, encrypts/decrypts every
+// stored object, maintains directory bodies, deduplication indirections,
+// and the rollback-protection hash tree. The untrusted file manager is
+// the store.Backend implementations it calls into.
+//
+// fileManager is not safe for concurrent mutation; the server serializes
+// state-changing requests (see Server).
+type fileManager struct {
+	rootKey []byte
+	hideKey []byte
+	hasher  *rollback.Hasher
+
+	content *namespace
+	group   *namespace
+	dedup   *dedup.Store
+
+	hidePaths  bool
+	rollbackOn bool
+	validate   bool
+}
+
+type fmConfig struct {
+	rootKey      []byte
+	contentStore store.Backend
+	groupStore   store.Backend
+	dedupStore   store.Backend
+
+	hidePaths    bool
+	rollbackOn   bool
+	dedupEnabled bool
+	contentGuard rollback.RootGuard
+	groupGuard   rollback.RootGuard
+}
+
+func newFileManager(cfg fmConfig) (*fileManager, error) {
+	hideKey, err := pae.DeriveBytes(cfg.rootKey, "path-hiding", nil, 32)
+	if err != nil {
+		return nil, err
+	}
+	treeKey, err := pae.DeriveBytes(cfg.rootKey, "rollback-tree", nil, 32)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.contentGuard == nil {
+		cfg.contentGuard = rollback.NopGuard{}
+	}
+	if cfg.groupGuard == nil {
+		cfg.groupGuard = rollback.NopGuard{}
+	}
+	fm := &fileManager{
+		rootKey:    cfg.rootKey,
+		hideKey:    hideKey,
+		hasher:     rollback.NewHasher(treeKey),
+		hidePaths:  cfg.hidePaths,
+		rollbackOn: cfg.rollbackOn,
+		validate:   cfg.rollbackOn,
+	}
+	fm.content = &namespace{
+		kind:     contentRootKey,
+		backend:  cfg.contentStore,
+		guard:    cfg.contentGuard,
+		rootName: "/",
+		parentOf: contentParent,
+		isInner:  func(name string) bool { return strings.HasSuffix(name, "/") },
+	}
+	fm.group = &namespace{
+		kind:     groupRootKey,
+		backend:  cfg.groupStore,
+		guard:    cfg.groupGuard,
+		rootName: groupRootName,
+		parentOf: func(name string) string {
+			if name == groupRootName {
+				return ""
+			}
+			return groupRootName
+		},
+		isInner: func(name string) bool { return name == groupRootName },
+	}
+	if cfg.dedupEnabled {
+		ds, err := dedup.New(cfg.dedupStore, cfg.rootKey)
+		if err != nil {
+			return nil, err
+		}
+		fm.dedup = ds
+	}
+	if err := fm.initRoots(); err != nil {
+		return nil, err
+	}
+	return fm, nil
+}
+
+// contentParent returns the tree parent of a content-store logical name.
+// A file's ACL is a sibling of the file (paper Fig. 2), so its parent is
+// the file's parent directory; the root's ACL is a child of the root.
+func contentParent(name string) string {
+	if name == "/" {
+		return ""
+	}
+	if name == "/.acl" {
+		return "/"
+	}
+	if strings.HasSuffix(name, "/.acl") { // directory ACL, e.g. "/D/.acl"
+		return parentDir(strings.TrimSuffix(name, ".acl"))
+	}
+	if strings.HasSuffix(name, ".acl") { // content-file ACL
+		return parentDir(strings.TrimSuffix(name, ".acl"))
+	}
+	return parentDir(name)
+}
+
+// parentDir returns the parent directory of a path-like logical name.
+func parentDir(name string) string {
+	trimmed := strings.TrimSuffix(name, "/")
+	idx := strings.LastIndexByte(trimmed, '/')
+	return trimmed[:idx+1]
+}
+
+// aclName returns the logical name of the ACL file accompanying a path
+// (content file or directory).
+func aclName(path string) string { return path + ".acl" }
+
+// storageName maps a logical name to the name used in the untrusted
+// store. With the filename-hiding extension (paper §V-C) it is the hex
+// HMAC of the logical name, placing every file at a pseudorandom flat
+// location; directory listing still works because directory bodies store
+// the original child names.
+func (fm *fileManager) storageName(ns *namespace, name string) string {
+	if !fm.hidePaths {
+		return name
+	}
+	mac := pae.MAC(fm.hideKey, []byte(ns.kind+":"+name))
+	return hex.EncodeToString(mac[:])
+}
+
+func (fm *fileManager) fileKey(ns *namespace, name string) (pae.Key, error) {
+	return pae.DeriveKey(fm.rootKey, "file-key/"+ns.kind, []byte(name))
+}
+
+func (fm *fileManager) fileID(ns *namespace, name string) []byte {
+	return []byte(ns.kind + ":" + name)
+}
+
+// putBlob encrypts and stores a logical file: optional rollback header
+// followed by the body, protected with the per-file key.
+func (fm *fileManager) putBlob(ns *namespace, name string, hdr *rollback.Header, body []byte) error {
+	var plain []byte
+	if hdr != nil {
+		enc := hdr.Encode()
+		plain = make([]byte, 0, len(enc)+len(body))
+		plain = append(plain, enc...)
+		plain = append(plain, body...)
+	} else {
+		plain = body
+	}
+	key, err := fm.fileKey(ns, name)
+	if err != nil {
+		return err
+	}
+	blob, err := pfs.Encrypt(key, fm.fileID(ns, name), plain)
+	if err != nil {
+		return err
+	}
+	if err := ns.backend.Put(fm.storageName(ns, name), blob); err != nil {
+		return fmt.Errorf("segshare: store %q: %w", name, err)
+	}
+	return nil
+}
+
+// getBlob loads, decrypts, and verifies a logical file, returning its
+// rollback header (nil when the extension is off) and body.
+func (fm *fileManager) getBlob(ns *namespace, name string) (*rollback.Header, []byte, error) {
+	raw, err := ns.backend.Get(fm.storageName(ns, name))
+	if errors.Is(err, store.ErrNotExist) {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("segshare: load %q: %w", name, err)
+	}
+	key, err := fm.fileKey(ns, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	plain, err := pfs.Decrypt(key, fm.fileID(ns, name), raw)
+	if errors.Is(err, pfs.ErrCorrupt) {
+		return nil, nil, fmt.Errorf("%w: %s", ErrIntegrity, name)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if !fm.rollbackOn {
+		return nil, plain, nil
+	}
+	hdr, body, err := rollback.DecodeHeader(plain)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %s: bad rollback header", ErrIntegrity, name)
+	}
+	return hdr, body, nil
+}
+
+// readHeader reads only the rollback header of a logical file, verifying
+// just the chunks it touches. Validation of sibling buckets uses it so
+// that checking one bucket costs header-sized reads, not full files
+// (paper §V-D's optimization).
+func (fm *fileManager) readHeader(ns *namespace, name string) (*rollback.Header, error) {
+	raw, err := ns.backend.Get(fm.storageName(ns, name))
+	if errors.Is(err, store.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("segshare: load %q: %w", name, err)
+	}
+	key, err := fm.fileKey(ns, name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := pfs.Open(key, fm.fileID(ns, name), bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrIntegrity, name)
+	}
+	maxHdr := (&rollback.Header{Inner: true}).EncodedSize()
+	if int64(maxHdr) > r.Size() {
+		maxHdr = int(r.Size())
+	}
+	buf := make([]byte, maxHdr)
+	if _, err := r.ReadAt(buf, 0); err != nil && maxHdr > 0 {
+		return nil, fmt.Errorf("%w: %s", ErrIntegrity, name)
+	}
+	hdr, _, err := rollback.DecodeHeader(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: bad rollback header", ErrIntegrity, name)
+	}
+	return hdr, nil
+}
+
+func (fm *fileManager) exists(ns *namespace, name string) (bool, error) {
+	ok, err := ns.backend.Exists(fm.storageName(ns, name))
+	if err != nil {
+		return false, fmt.Errorf("segshare: stat %q: %w", name, err)
+	}
+	return ok, nil
+}
+
+func (fm *fileManager) deleteBlob(ns *namespace, name string) error {
+	err := ns.backend.Delete(fm.storageName(ns, name))
+	if errors.Is(err, store.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return fmt.Errorf("segshare: delete %q: %w", name, err)
+	}
+	return nil
+}
+
+// initRoots creates the root nodes of both namespaces on first start:
+// the content root directory with its ACL, and the group-store root.
+// It is idempotent across restarts.
+func (fm *fileManager) initRoots() error {
+	if ok, err := fm.exists(fm.content, fm.content.rootName); err != nil {
+		return err
+	} else if !ok {
+		if err := fm.initContentRoot(); err != nil {
+			return err
+		}
+	}
+	if ok, err := fm.exists(fm.group, groupRootName); err != nil {
+		return err
+	} else if !ok {
+		if err := fm.writeRootNode(fm.group, &dirBody{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initContentRoot writes the root directory file and its (empty) ACL.
+// The root ACL is a tree child of the root itself.
+func (fm *fileManager) initContentRoot() error {
+	aclBody := (&acl.ACL{}).Encode()
+	rootBody := (&dirBody{}).encode()
+	rootACL := aclName(fm.content.rootName) // "/.acl"
+	if !fm.rollbackOn {
+		if err := fm.putBlob(fm.content, rootACL, nil, aclBody); err != nil {
+			return err
+		}
+		return fm.putBlob(fm.content, fm.content.rootName, nil, rootBody)
+	}
+	aclID := treeID(fm.content, rootACL)
+	aclMain := fm.hasher.LeafMain(aclID, rollback.ContentDigest(aclBody))
+	if err := fm.putBlob(fm.content, rootACL, &rollback.Header{Main: aclMain}, aclBody); err != nil {
+		return err
+	}
+	hdr := &rollback.Header{Inner: true}
+	hdr.Buckets.AddChild(fm.hasher, aclID, aclMain)
+	hdr.Main = fm.hasher.InnerMain(treeID(fm.content, fm.content.rootName), rollback.ContentDigest(rootBody), &hdr.Buckets)
+	token, err := fm.content.guard.Commit(hdr.Main)
+	if err != nil {
+		return err
+	}
+	hdr.Token = token
+	return fm.putBlob(fm.content, fm.content.rootName, hdr, rootBody)
+}

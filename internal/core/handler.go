@@ -1,0 +1,441 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"segshare/internal/acl"
+	"segshare/internal/ca"
+	"segshare/internal/fspath"
+)
+
+// The request handler (paper Fig. 1) parses each request, allocates it to
+// the user identified by the client certificate, and dispatches to the
+// access control component. The protocol is WebDAV-flavoured HTTP under
+// /fs/ (GET, PUT, DELETE, MKCOL, MOVE, PROPFIND) plus a JSON management
+// API under /api/ for the permission and group requests of Algo 1.
+
+// FSPrefix is the URL prefix of the file-system namespace.
+const FSPrefix = "/fs"
+
+// PermissionSpec is the wire form of a permission set.
+type PermissionSpec string
+
+// ParsePermission maps the wire form to permission bits.
+func ParsePermission(s PermissionSpec) (acl.Permission, error) {
+	switch s {
+	case "r":
+		return acl.PermRead, nil
+	case "w":
+		return acl.PermWrite, nil
+	case "rw":
+		return acl.PermReadWrite, nil
+	case "deny":
+		return acl.PermDeny, nil
+	case "none":
+		return acl.PermNone, nil
+	default:
+		return 0, fmt.Errorf("%w: permission %q", ErrBadRequest, s)
+	}
+}
+
+// FormatPermission is the inverse of ParsePermission for responses.
+func FormatPermission(p acl.Permission) PermissionSpec {
+	switch {
+	case p.Has(acl.PermDeny):
+		return "deny"
+	case p.Has(acl.PermReadWrite):
+		return "rw"
+	case p.Has(acl.PermWrite):
+		return "w"
+	case p.Has(acl.PermRead):
+		return "r"
+	default:
+		return "none"
+	}
+}
+
+// ListingEntry is the JSON form of one directory child.
+type ListingEntry struct {
+	Name       string         `json:"name"`
+	IsDir      bool           `json:"isDir"`
+	Permission PermissionSpec `json:"permission"`
+}
+
+// Listing is the JSON body of a directory GET/PROPFIND.
+type Listing struct {
+	Path    string         `json:"path"`
+	Entries []ListingEntry `json:"entries"`
+}
+
+// WhoAmI is the JSON body of GET /api/whoami.
+type WhoAmI struct {
+	UserID   string   `json:"userId"`
+	Email    string   `json:"email,omitempty"`
+	FullName string   `json:"fullName,omitempty"`
+	Groups   []string `json:"groups"`
+	// OwnedGroups are the groups the user may manage (auth_g).
+	OwnedGroups []string `json:"ownedGroups,omitempty"`
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, err := identityFromRequest(r)
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
+		u := acl.UserID(id.UserID)
+		switch {
+		case r.URL.Path == FSPrefix || strings.HasPrefix(r.URL.Path, FSPrefix+"/"):
+			s.serveFS(w, r, u)
+		case strings.HasPrefix(r.URL.Path, "/api/"):
+			s.serveAPI(w, r, id)
+		default:
+			writeErr(w, http.StatusNotFound, fmt.Errorf("%w: unknown path %s", ErrBadRequest, r.URL.Path))
+		}
+	})
+}
+
+func identityFromRequest(r *http.Request) (ca.Identity, error) {
+	if r.TLS == nil || len(r.TLS.PeerCertificates) == 0 {
+		return ca.Identity{}, errors.New("segshare: no client certificate")
+	}
+	return ca.IdentityFromCertificate(r.TLS.PeerCertificates[0])
+}
+
+// fsPath extracts and validates the file-system path from the URL.
+func fsPath(r *http.Request) (fspath.Path, error) {
+	raw := strings.TrimPrefix(r.URL.Path, FSPrefix)
+	if raw == "" {
+		raw = "/"
+	}
+	p, err := fspath.Parse(raw)
+	if err != nil {
+		return fspath.Path{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return p, nil
+}
+
+func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
+	path, err := fsPath(r)
+	if err != nil {
+		writeMappedErr(w, err)
+		return
+	}
+	switch r.Method {
+	case "PROPFIND":
+		s.servePropfind(w, r, u, path)
+
+	case http.MethodOptions:
+		serveOptions(w)
+
+	case http.MethodGet, http.MethodHead:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if path.IsDir() {
+			entries, err := s.ac.GetDir(u, path)
+			if err != nil {
+				writeMappedErr(w, err)
+				return
+			}
+			listing := Listing{Path: path.String(), Entries: make([]ListingEntry, 0, len(entries))}
+			for _, e := range entries {
+				listing.Entries = append(listing.Entries, ListingEntry{
+					Name:       e.Name,
+					IsDir:      e.IsDir,
+					Permission: FormatPermission(e.Permission),
+				})
+			}
+			writeJSON(w, http.StatusOK, listing)
+			return
+		}
+		content, err := s.ac.GetFile(u, path)
+		if err != nil {
+			writeMappedErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(content)
+
+	case http.MethodPut:
+		content, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.mu.Lock()
+		created, err := s.ac.PutFile(u, path, content)
+		s.mu.Unlock()
+		if err != nil {
+			writeMappedErr(w, err)
+			return
+		}
+		if created {
+			w.WriteHeader(http.StatusCreated)
+		} else {
+			w.WriteHeader(http.StatusNoContent)
+		}
+
+	case "MKCOL":
+		s.mu.Lock()
+		err := s.ac.PutDir(u, path)
+		s.mu.Unlock()
+		if err != nil {
+			writeMappedErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+
+	case http.MethodDelete:
+		s.mu.Lock()
+		err := s.ac.Remove(u, path)
+		s.mu.Unlock()
+		if err != nil {
+			writeMappedErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+
+	case "MOVE":
+		destRaw := r.Header.Get("Destination")
+		if !strings.HasPrefix(destRaw, FSPrefix) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("%w: Destination must start with %s", ErrBadRequest, FSPrefix))
+			return
+		}
+		dst, err := fspath.Parse(strings.TrimPrefix(destRaw, FSPrefix))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.mu.Lock()
+		err = s.ac.Move(u, path, dst)
+		s.mu.Unlock()
+		if err != nil {
+			writeMappedErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("%w: method %s", ErrBadRequest, r.Method))
+	}
+}
+
+// API request bodies.
+type (
+	permissionReq struct {
+		Path       string         `json:"path"`
+		Group      string         `json:"group"`
+		Permission PermissionSpec `json:"permission"`
+	}
+	inheritReq struct {
+		Path    string `json:"path"`
+		Inherit bool   `json:"inherit"`
+	}
+	ownerReq struct {
+		Path  string `json:"path"`
+		Group string `json:"group"`
+		Owner bool   `json:"owner"`
+	}
+	membershipReq struct {
+		User  string `json:"user"`
+		Group string `json:"group"`
+	}
+	groupOwnerReq struct {
+		Group      string `json:"group"`
+		OwnerGroup string `json:"ownerGroup"`
+		Owner      bool   `json:"owner"`
+	}
+	groupDeleteReq struct {
+		Group string `json:"group"`
+	}
+)
+
+func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity) {
+	u := acl.UserID(id.UserID)
+	route := strings.TrimPrefix(r.URL.Path, "/api/")
+
+	if r.Method == http.MethodGet {
+		if route != "whoami" {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("%w: unknown API %q", ErrBadRequest, route))
+			return
+		}
+		s.mu.RLock()
+		groups, err := s.ac.Memberships(u)
+		var owned []acl.GroupName
+		if err == nil {
+			owned, err = s.ac.OwnedGroups(u)
+		}
+		s.mu.RUnlock()
+		if err != nil {
+			writeMappedErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, WhoAmI{
+			UserID:      id.UserID,
+			Email:       id.Email,
+			FullName:    id.FullName,
+			Groups:      groupNames(groups),
+			OwnedGroups: groupNames(owned),
+		})
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("%w: method %s", ErrBadRequest, r.Method))
+		return
+	}
+
+	var err error
+	switch route {
+	case "permission":
+		var req permissionReq
+		if err = decodeJSON(r, &req); err != nil {
+			break
+		}
+		var p acl.Permission
+		if p, err = ParsePermission(req.Permission); err != nil {
+			break
+		}
+		var path fspath.Path
+		if path, err = parseAPIPath(req.Path); err != nil {
+			break
+		}
+		s.mu.Lock()
+		err = s.ac.SetPermission(u, path, acl.GroupName(req.Group), p)
+		s.mu.Unlock()
+
+	case "inherit":
+		var req inheritReq
+		if err = decodeJSON(r, &req); err != nil {
+			break
+		}
+		var path fspath.Path
+		if path, err = parseAPIPath(req.Path); err != nil {
+			break
+		}
+		s.mu.Lock()
+		err = s.ac.SetInherit(u, path, req.Inherit)
+		s.mu.Unlock()
+
+	case "owner":
+		var req ownerReq
+		if err = decodeJSON(r, &req); err != nil {
+			break
+		}
+		var path fspath.Path
+		if path, err = parseAPIPath(req.Path); err != nil {
+			break
+		}
+		s.mu.Lock()
+		err = s.ac.SetFileOwner(u, path, acl.GroupName(req.Group), req.Owner)
+		s.mu.Unlock()
+
+	case "groups/add":
+		var req membershipReq
+		if err = decodeJSON(r, &req); err != nil {
+			break
+		}
+		s.mu.Lock()
+		err = s.ac.AddUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
+		s.mu.Unlock()
+
+	case "groups/remove":
+		var req membershipReq
+		if err = decodeJSON(r, &req); err != nil {
+			break
+		}
+		s.mu.Lock()
+		err = s.ac.RemoveUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
+		s.mu.Unlock()
+
+	case "groups/owner":
+		var req groupOwnerReq
+		if err = decodeJSON(r, &req); err != nil {
+			break
+		}
+		s.mu.Lock()
+		err = s.ac.SetGroupOwner(u, acl.GroupName(req.Group), acl.GroupName(req.OwnerGroup), req.Owner)
+		s.mu.Unlock()
+
+	case "groups/delete":
+		var req groupDeleteReq
+		if err = decodeJSON(r, &req); err != nil {
+			break
+		}
+		s.mu.Lock()
+		err = s.ac.DeleteGroup(u, acl.GroupName(req.Group))
+		s.mu.Unlock()
+
+	default:
+		err = fmt.Errorf("%w: unknown API %q", ErrBadRequest, route)
+	}
+	if err != nil {
+		writeMappedErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func parseAPIPath(raw string) (fspath.Path, error) {
+	p, err := fspath.Parse(raw)
+	if err != nil {
+		return fspath.Path{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return p, nil
+}
+
+func decodeJSON(r *http.Request, into any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// writeMappedErr translates core errors to HTTP statuses.
+func writeMappedErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrPermissionDenied):
+		writeErr(w, http.StatusForbidden, err)
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrGroupNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrExists), errors.Is(err, ErrNotEmpty):
+		writeErr(w, http.StatusConflict, err)
+	case errors.Is(err, ErrBadRequest):
+		writeErr(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrIntegrity), errors.Is(err, ErrRollback):
+		writeErr(w, http.StatusInternalServerError, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+func groupNames(groups []acl.GroupName) []string {
+	names := make([]string, len(groups))
+	for i, g := range groups {
+		names[i] = string(g)
+	}
+	return names
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"segshare/internal/acl"
+	"segshare/internal/fspath"
+	"segshare/internal/rollback"
+)
+
+// This file implements the trusted file manager's logical operations:
+// content files, directories, ACL files (content store), and member
+// list / group list files (group store). Paths arrive pre-validated as
+// fspath.Path values from the request handler.
+
+func memberListName(u acl.UserID) string { return memberNamePfx + string(u) }
+
+// pathExists reports whether the file or directory at path exists.
+func (fm *fileManager) pathExists(path fspath.Path) (bool, error) {
+	return fm.exists(fm.content, path.String())
+}
+
+// createDir creates a directory with the given initial ACL. The parent
+// directory must exist; authorization is the caller's concern (Algo 1).
+func (fm *fileManager) createDir(path fspath.Path, dirACL *acl.ACL) error {
+	if !path.IsDir() || path.IsRoot() {
+		return fmt.Errorf("%w: %q is not a creatable directory path", ErrBadRequest, path)
+	}
+	name := path.String()
+	if ok, err := fm.exists(fm.content, name); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+
+	_, aclMain, err := fm.writeLeaf(fm.content, aclName(name), dirACL.Encode())
+	if err != nil {
+		return err
+	}
+	body := (&dirBody{}).encode()
+	var dirMain rollback.Digest
+	if fm.rollbackOn {
+		hdr := &rollback.Header{Inner: true}
+		hdr.Main = fm.hasher.InnerMain(treeID(fm.content, name), rollback.ContentDigest(body), &hdr.Buckets)
+		dirMain = hdr.Main
+		if err := fm.putBlob(fm.content, name, hdr, body); err != nil {
+			return err
+		}
+	} else if err := fm.putBlob(fm.content, name, nil, body); err != nil {
+		return err
+	}
+
+	return fm.applyToParent(fm.content, path.Parent().String(), func(db *dirBody) error {
+		if !db.add(path.Name(), true) {
+			return fmt.Errorf("%w: %s", ErrExists, name)
+		}
+		return nil
+	}, []bucketOp{
+		{child: treeID(fm.content, name), newMain: dirMain},
+		{child: treeID(fm.content, aclName(name)), newMain: aclMain},
+	})
+}
+
+// writeContent creates or updates a content file. On creation, newACL
+// becomes the file's ACL; on update the existing ACL is untouched.
+func (fm *fileManager) writeContent(path fspath.Path, content []byte, newACL *acl.ACL) (created bool, err error) {
+	if path.IsDir() {
+		return false, fmt.Errorf("%w: %q is a directory path", ErrBadRequest, path)
+	}
+	name := path.String()
+	existed, err := fm.exists(fm.content, name)
+	if err != nil {
+		return false, err
+	}
+
+	body, err := fm.encodeContent(name, content, existed)
+	if err != nil {
+		return false, err
+	}
+	oldMain, newMain, err := fm.writeLeaf(fm.content, name, body)
+	if err != nil {
+		return false, err
+	}
+	parent := path.Parent().String()
+	if existed {
+		return false, fm.applyToParent(fm.content, parent, nil, []bucketOp{
+			{child: treeID(fm.content, name), oldMain: oldMain, newMain: newMain},
+		})
+	}
+
+	_, aclMain, err := fm.writeLeaf(fm.content, aclName(name), newACL.Encode())
+	if err != nil {
+		return false, err
+	}
+	err = fm.applyToParent(fm.content, parent, func(db *dirBody) error {
+		db.add(path.Name(), false)
+		return nil
+	}, []bucketOp{
+		{child: treeID(fm.content, name), newMain: newMain},
+		{child: treeID(fm.content, aclName(name)), newMain: aclMain},
+	})
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// encodeContent builds a content file's body, deduplicating when the
+// extension is enabled (paper §V-A) and releasing the previous object on
+// update.
+func (fm *fileManager) encodeContent(name string, content []byte, existed bool) ([]byte, error) {
+	if fm.dedup == nil {
+		return encodeRawBody(content), nil
+	}
+	if existed {
+		if err := fm.releaseDedup(name); err != nil {
+			return nil, err
+		}
+	}
+	hName, _, err := fm.dedup.Put(content)
+	if err != nil {
+		return nil, err
+	}
+	return encodeDedupBody(hName), nil
+}
+
+// releaseDedup drops the dedup reference held by the current version of a
+// content file, if any.
+func (fm *fileManager) releaseDedup(name string) error {
+	if fm.dedup == nil {
+		return nil
+	}
+	_, body, err := fm.getBlob(fm.content, name)
+	if errors.Is(err, ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	_, hName, err := decodeContentBody(body)
+	if err != nil || hName == "" {
+		return err
+	}
+	if _, err := fm.dedup.Release(hName); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readContent returns a content file's plaintext, validating the
+// rollback tree and resolving deduplication indirections.
+func (fm *fileManager) readContent(path fspath.Path) ([]byte, error) {
+	if path.IsDir() {
+		return nil, fmt.Errorf("%w: %q is a directory path", ErrBadRequest, path)
+	}
+	name := path.String()
+	hdr, body, err := fm.getBlob(fm.content, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := fm.validateNode(fm.content, name, hdr, body); err != nil {
+		return nil, err
+	}
+	raw, hName, err := decodeContentBody(body)
+	if err != nil {
+		return nil, err
+	}
+	if hName == "" {
+		return raw, nil
+	}
+	if fm.dedup == nil {
+		return nil, fmt.Errorf("%w: %s: dedup reference without dedup store", ErrIntegrity, name)
+	}
+	return fm.dedup.Get(hName)
+}
+
+// readDir returns a directory's children, validating the rollback tree.
+func (fm *fileManager) readDir(path fspath.Path) ([]DirEntry, error) {
+	if !path.IsDir() {
+		return nil, fmt.Errorf("%w: %q is not a directory path", ErrBadRequest, path)
+	}
+	name := path.String()
+	hdr, body, err := fm.getBlob(fm.content, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := fm.validateNode(fm.content, name, hdr, body); err != nil {
+		return nil, err
+	}
+	db, err := decodeDirBody(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, len(db.entries))
+	copy(out, db.entries)
+	return out, nil
+}
+
+// readACL loads and validates the ACL file of a path.
+func (fm *fileManager) readACL(path fspath.Path) (*acl.ACL, error) {
+	name := aclName(path.String())
+	hdr, body, err := fm.getBlob(fm.content, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := fm.validateNode(fm.content, name, hdr, body); err != nil {
+		return nil, err
+	}
+	a, err := acl.DecodeACL(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, name, err)
+	}
+	return a, nil
+}
+
+// writeACL replaces the ACL file of an existing path — the constant-cost
+// permission update at the heart of immediate revocation (P3, S4).
+func (fm *fileManager) writeACL(path fspath.Path, a *acl.ACL) error {
+	name := aclName(path.String())
+	if ok, err := fm.exists(fm.content, name); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	oldMain, newMain, err := fm.writeLeaf(fm.content, name, a.Encode())
+	if err != nil {
+		return err
+	}
+	return fm.applyToParent(fm.content, contentParent(name), nil, []bucketOp{
+		{child: treeID(fm.content, name), oldMain: oldMain, newMain: newMain},
+	})
+}
+
+// removePath deletes a content file or an empty directory together with
+// its ACL. releaseDedup controls whether a dedup reference is dropped
+// (false during moves, which carry the reference to the new name).
+func (fm *fileManager) removePath(path fspath.Path, releaseDedup bool) error {
+	if path.IsRoot() {
+		return fmt.Errorf("%w: cannot remove the root directory", ErrBadRequest)
+	}
+	name := path.String()
+	if path.IsDir() {
+		_, db, err := fm.loadDir(fm.content, name)
+		if err != nil {
+			return err
+		}
+		if len(db.entries) > 0 {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, name)
+		}
+	} else if releaseDedup {
+		if err := fm.releaseDedup(name); err != nil {
+			return err
+		}
+	}
+
+	var fileMain, aclMain rollback.Digest
+	if fm.rollbackOn {
+		hdr, err := fm.readHeader(fm.content, name)
+		if err != nil {
+			return err
+		}
+		fileMain = hdr.Main
+		aclHdr, err := fm.readHeader(fm.content, aclName(name))
+		if err != nil {
+			return err
+		}
+		aclMain = aclHdr.Main
+	}
+	if err := fm.deleteBlob(fm.content, name); err != nil {
+		return err
+	}
+	if err := fm.deleteBlob(fm.content, aclName(name)); err != nil {
+		return err
+	}
+	return fm.applyToParent(fm.content, path.Parent().String(), func(db *dirBody) error {
+		if !db.remove(path.Name(), path.IsDir()) {
+			return fmt.Errorf("%w: %s missing in parent", ErrIntegrity, name)
+		}
+		return nil
+	}, []bucketOp{
+		{child: treeID(fm.content, name), oldMain: fileMain},
+		{child: treeID(fm.content, aclName(name)), oldMain: aclMain},
+	})
+}
+
+// movePath moves a content file or a whole directory subtree to a new
+// location (which must not exist). The file's ACL travels with it;
+// deduplication references are carried over, not re-counted.
+func (fm *fileManager) movePath(src, dst fspath.Path) error {
+	if src.IsDir() != dst.IsDir() {
+		return fmt.Errorf("%w: move between file and directory", ErrBadRequest)
+	}
+	if src.IsRoot() || dst.IsRoot() {
+		return fmt.Errorf("%w: cannot move the root directory", ErrBadRequest)
+	}
+	if src.IsDir() && (src == dst || src.IsAncestorOf(dst)) {
+		return fmt.Errorf("%w: cannot move a directory into itself", ErrBadRequest)
+	}
+	if ok, err := fm.pathExists(dst); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %s", ErrExists, dst)
+	}
+
+	srcACL, err := fm.readACL(src)
+	if err != nil {
+		return err
+	}
+	if src.IsDir() {
+		if err := fm.createDir(dst, srcACL); err != nil {
+			return err
+		}
+		entries, err := fm.readDir(src)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			var childSrc, childDst fspath.Path
+			var cErr error
+			if e.IsDir {
+				childSrc, cErr = src.ChildDir(e.Name)
+			} else {
+				childSrc, cErr = src.ChildFile(e.Name)
+			}
+			if cErr != nil {
+				return cErr
+			}
+			if e.IsDir {
+				childDst, cErr = dst.ChildDir(e.Name)
+			} else {
+				childDst, cErr = dst.ChildFile(e.Name)
+			}
+			if cErr != nil {
+				return cErr
+			}
+			if err := fm.movePath(childSrc, childDst); err != nil {
+				return err
+			}
+		}
+		return fm.removePath(src, false)
+	}
+
+	// Content file: carry the body (raw or dedup indirection) verbatim.
+	hdr, body, err := fm.getBlob(fm.content, src.String())
+	if err != nil {
+		return err
+	}
+	if err := fm.validateNode(fm.content, src.String(), hdr, body); err != nil {
+		return err
+	}
+	raw, hName, err := decodeContentBody(body)
+	if err != nil {
+		return err
+	}
+	var newBody []byte
+	if hName != "" {
+		newBody = encodeDedupBody(hName)
+	} else {
+		newBody = encodeRawBody(raw)
+	}
+	dstName := dst.String()
+	oldMain, newMain, err := fm.writeLeaf(fm.content, dstName, newBody)
+	if err != nil {
+		return err
+	}
+	_ = oldMain
+	_, aclMain, err := fm.writeLeaf(fm.content, aclName(dstName), srcACL.Encode())
+	if err != nil {
+		return err
+	}
+	err = fm.applyToParent(fm.content, dst.Parent().String(), func(db *dirBody) error {
+		db.add(dst.Name(), false)
+		return nil
+	}, []bucketOp{
+		{child: treeID(fm.content, dstName), newMain: newMain},
+		{child: treeID(fm.content, aclName(dstName)), newMain: aclMain},
+	})
+	if err != nil {
+		return err
+	}
+	return fm.removePath(src, false)
+}
+
+// readMemberList loads and validates a user's member list file. It
+// returns ErrNotFound for users without one.
+func (fm *fileManager) readMemberList(u acl.UserID) (*acl.MemberList, error) {
+	name := memberListName(u)
+	hdr, body, err := fm.getBlob(fm.group, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := fm.validateNode(fm.group, name, hdr, body); err != nil {
+		return nil, err
+	}
+	m, err := acl.DecodeMemberList(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, name, err)
+	}
+	return m, nil
+}
+
+// writeMemberList persists a user's member list file, creating it on
+// first use.
+func (fm *fileManager) writeMemberList(u acl.UserID, m *acl.MemberList) error {
+	return fm.writeGroupFile(memberListName(u), m.Encode())
+}
+
+// readGroupList loads and validates the group list file, returning an
+// empty list before any group exists.
+func (fm *fileManager) readGroupList() (*acl.GroupList, error) {
+	hdr, body, err := fm.getBlob(fm.group, groupListName)
+	if errors.Is(err, ErrNotFound) {
+		return acl.NewGroupList(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := fm.validateNode(fm.group, groupListName, hdr, body); err != nil {
+		return nil, err
+	}
+	l, err := acl.DecodeGroupList(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, groupListName, err)
+	}
+	return l, nil
+}
+
+// writeGroupList persists the group list file.
+func (fm *fileManager) writeGroupList(l *acl.GroupList) error {
+	return fm.writeGroupFile(groupListName, l.Encode())
+}
+
+// writeGroupFile writes one flat group-store file and keeps the group
+// root's children list and buckets in sync.
+func (fm *fileManager) writeGroupFile(name string, body []byte) error {
+	existed, err := fm.exists(fm.group, name)
+	if err != nil {
+		return err
+	}
+	oldMain, newMain, err := fm.writeLeaf(fm.group, name, body)
+	if err != nil {
+		return err
+	}
+	if existed {
+		return fm.applyToParent(fm.group, groupRootName, nil, []bucketOp{
+			{child: treeID(fm.group, name), oldMain: oldMain, newMain: newMain},
+		})
+	}
+	return fm.applyToParent(fm.group, groupRootName, func(db *dirBody) error {
+		db.add(name, false)
+		return nil
+	}, []bucketOp{
+		{child: treeID(fm.group, name), newMain: newMain},
+	})
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"crypto/ecdsa"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"segshare/internal/enclave"
+	"segshare/internal/enctls"
+	"segshare/internal/rollback"
+	"segshare/internal/store"
+)
+
+// GuardKind selects the whole-file-system rollback protection strategy
+// (paper §V-E).
+type GuardKind int
+
+const (
+	// GuardNone disables whole-file-system rollback protection.
+	GuardNone GuardKind = iota + 1
+	// GuardProtectedMemory binds root hashes to enclave protected memory.
+	GuardProtectedMemory
+	// GuardCounter binds root hashes to enclave monotonic counters.
+	GuardCounter
+)
+
+// Features selects the optional SeGShare extensions (paper §V).
+type Features struct {
+	// Dedup enables server-side deduplication (§V-A).
+	Dedup bool `json:"dedup"`
+	// HidePaths enables filename and directory-structure hiding (§V-C).
+	HidePaths bool `json:"hidePaths"`
+	// RollbackProtection enables the per-file rollback tree (§V-D).
+	RollbackProtection bool `json:"rollbackProtection"`
+	// Guard selects the whole-file-system guard (§V-E); requires
+	// RollbackProtection. Zero value means GuardNone.
+	Guard GuardKind `json:"guard"`
+}
+
+// Config configures a SeGShare server.
+type Config struct {
+	// CACertPEM is the certificate of the trusted CA. It is part of the
+	// enclave's measured code identity, so enclaves built for different
+	// CAs attest differently (paper §III-B).
+	CACertPEM []byte
+	// Version is the enclave version (ISVSVN equivalent).
+	Version uint32
+	// ContentStore, GroupStore, and DedupStore are the untrusted stores
+	// (paper §IV-B, §V-A). DedupStore may be nil when Features.Dedup is
+	// off.
+	ContentStore store.Backend
+	GroupStore   store.Backend
+	DedupStore   store.Backend
+	// Features selects the enabled extensions. Features are part of the
+	// measured identity: an operator cannot silently disable rollback
+	// protection without changing the measurement.
+	Features Features
+	// FileSystemOwner optionally names the FSO user whose default group
+	// becomes the root directory's owner on first contact.
+	FileSystemOwner string
+	// RootKey optionally injects SK_r obtained through the replication
+	// protocol (paper §V-F). When set, the sealed key in storage is
+	// ignored and nothing is persisted: replicas re-run replication after
+	// a restart.
+	RootKey []byte
+	// Bridge tunes the switchless call bridge.
+	Bridge enclave.BridgeConfig
+}
+
+// Server is one SeGShare enclave with its untrusted plumbing: the call
+// bridge, the split TLS stack, the trusted file manager, the access
+// control component, and the request handler.
+type Server struct {
+	cfg      Config
+	enclave  *enclave.Enclave
+	bridge   *enclave.Bridge
+	endpoint *enctls.TrustedEndpoint
+	caPub    *ecdsa.PublicKey
+	caPool   *x509.CertPool
+
+	certifier *Certifier
+	fm        *fileManager
+	ac        *accessControl
+
+	// mu serializes state-changing requests against readers.
+	mu sync.RWMutex
+	// reset tracks the outstanding backup-restoration challenge (§V-G).
+	reset resetState
+
+	httpServer *http.Server
+	terminator *enctls.UntrustedTerminator
+	serveOnce  sync.Once
+	closeOnce  sync.Once
+}
+
+// codeIdentity derives the enclave's measured identity from the
+// configuration that must be attested: CA certificate, version, features,
+// and FSO.
+func codeIdentity(cfg Config) (enclave.CodeIdentity, error) {
+	measured, err := json.Marshal(struct {
+		CACertPEM []byte   `json:"caCertPem"`
+		Features  Features `json:"features"`
+		FSO       string   `json:"fso"`
+	}{CACertPEM: cfg.CACertPEM, Features: cfg.Features, FSO: cfg.FileSystemOwner})
+	if err != nil {
+		return enclave.CodeIdentity{}, err
+	}
+	return enclave.CodeIdentity{Name: "segshare", Version: cfg.Version, Config: measured}, nil
+}
+
+// CodeIdentityFor returns the enclave code identity a server with this
+// configuration launches with, e.g. so a replication requester can run
+// under the same measurement.
+func CodeIdentityFor(cfg Config) (enclave.CodeIdentity, error) {
+	return codeIdentity(cfg)
+}
+
+// ExpectedMeasurement computes the measurement a CA should expect for a
+// given configuration, without launching anything.
+func ExpectedMeasurement(cfg Config) (enclave.Measurement, error) {
+	code, err := codeIdentity(cfg)
+	if err != nil {
+		return enclave.Measurement{}, err
+	}
+	return code.Measurement(), nil
+}
+
+// NewServer launches the SeGShare enclave on the platform and assembles
+// the server. The returned server has no TLS identity yet unless a
+// previously provisioned certificate is found in storage; run the CA's
+// ProvisionServer against Certifier() before Serve.
+func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
+	if cfg.ContentStore == nil || cfg.GroupStore == nil {
+		return nil, errors.New("segshare: content and group stores are required")
+	}
+	if cfg.Features.Dedup && cfg.DedupStore == nil {
+		return nil, errors.New("segshare: dedup feature requires a dedup store")
+	}
+	if cfg.Features.Guard != 0 && cfg.Features.Guard != GuardNone && !cfg.Features.RollbackProtection {
+		return nil, errors.New("segshare: whole-file-system guard requires rollback protection")
+	}
+
+	block, _ := pem.Decode(cfg.CACertPEM)
+	if block == nil {
+		return nil, errors.New("segshare: invalid CA certificate PEM")
+	}
+	caCert, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("segshare: parse CA certificate: %w", err)
+	}
+	caPub, ok := caCert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, errors.New("segshare: CA key must be ECDSA")
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(caCert)
+
+	code, err := codeIdentity(cfg)
+	if err != nil {
+		return nil, err
+	}
+	encl, err := platform.Launch(code)
+	if err != nil {
+		return nil, err
+	}
+
+	rootKey := cfg.RootKey
+	if rootKey == nil {
+		rootKey, err = loadOrCreateRootKey(encl, cfg.GroupStore)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var contentGuard, groupGuard rollback.RootGuard
+	switch cfg.Features.Guard {
+	case GuardProtectedMemory:
+		contentGuard = rollback.NewProtectedMemoryGuard(encl, "content-root")
+		groupGuard = rollback.NewProtectedMemoryGuard(encl, "group-root")
+	case GuardCounter:
+		contentGuard = rollback.NewCounterGuard(encl, "content-root")
+		groupGuard = rollback.NewCounterGuard(encl, "group-root")
+	}
+
+	fm, err := newFileManager(fmConfig{
+		rootKey:      rootKey,
+		contentStore: cfg.ContentStore,
+		groupStore:   cfg.GroupStore,
+		dedupStore:   cfg.DedupStore,
+		hidePaths:    cfg.Features.HidePaths,
+		rollbackOn:   cfg.Features.RollbackProtection,
+		dedupEnabled: cfg.Features.Dedup,
+		contentGuard: contentGuard,
+		groupGuard:   groupGuard,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:       cfg,
+		enclave:   encl,
+		caPub:     caPub,
+		caPool:    pool,
+		fm:        fm,
+		ac:        &accessControl{fm: fm, fso: userID(cfg.FileSystemOwner)},
+		certifier: newCertifier(encl, cfg.GroupStore, caPub),
+	}
+
+	s.bridge = enclave.NewBridge(cfg.Bridge)
+	s.endpoint = enctls.NewTrustedEndpoint(s.bridge, &tls.Config{ClientCAs: pool})
+	s.certifier.setOnInstall(s.endpoint.SetCertificate)
+	if _, err := s.certifier.loadPersisted(); err != nil {
+		s.bridge.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadOrCreateRootKey unseals SK_r from untrusted storage or generates
+// and seals a fresh one on first start (paper §IV-B).
+func loadOrCreateRootKey(encl *enclave.Enclave, meta store.Backend) ([]byte, error) {
+	sealed, err := meta.Get(metaRootKey)
+	switch {
+	case err == nil:
+		rootKey, err := encl.Unseal(sealed, []byte(metaRootKey))
+		if err != nil {
+			return nil, fmt.Errorf("segshare: unseal root key: %w", err)
+		}
+		return rootKey, nil
+	case errors.Is(err, store.ErrNotExist):
+		rootKey := make([]byte, 32)
+		if err := fillRandom(rootKey); err != nil {
+			return nil, err
+		}
+		sealed, err := encl.Seal(rootKey, []byte(metaRootKey))
+		if err != nil {
+			return nil, err
+		}
+		if err := meta.Put(metaRootKey, sealed); err != nil {
+			return nil, fmt.Errorf("segshare: persist root key: %w", err)
+		}
+		return rootKey, nil
+	default:
+		return nil, fmt.Errorf("segshare: load root key: %w", err)
+	}
+}
+
+// Certifier returns the trusted certification component for the CA's
+// provisioning protocol.
+func (s *Server) Certifier() *Certifier { return s.certifier }
+
+// Measurement returns the enclave's measurement, which the CA verifies
+// during attestation.
+func (s *Server) Measurement() enclave.Measurement { return s.enclave.Measurement() }
+
+// Enclave exposes the underlying (simulated) enclave, e.g. for
+// replication protocols.
+func (s *Server) Enclave() *enclave.Enclave { return s.enclave }
+
+// RootKey returns SK_r for the replication provider (paper §V-F). In a
+// real TEE deployment this accessor does not cross the enclave boundary:
+// only trusted code (the replication component) may call it.
+func (s *Server) RootKey() []byte {
+	out := make([]byte, len(s.fm.rootKey))
+	copy(out, s.fm.rootKey)
+	return out
+}
+
+// BridgeMetrics returns switchless-call traffic counters.
+func (s *Server) BridgeMetrics() enclave.BridgeMetrics { return s.bridge.Metrics() }
+
+// HasCertificate reports whether a server certificate is installed.
+func (s *Server) HasCertificate() bool {
+	_, err := s.certifier.Certificate()
+	return err == nil
+}
+
+// Serve accepts TLS clients on the given TCP listener until Close. It
+// fails immediately if no server certificate has been provisioned.
+func (s *Server) Serve(listener net.Listener) error {
+	cert, err := s.certifier.Certificate()
+	if err != nil {
+		return err
+	}
+	s.endpoint.SetCertificate(cert)
+
+	var startErr error
+	s.serveOnce.Do(func() {
+		s.terminator = enctls.NewUntrustedTerminator(s.bridge, listener)
+		s.httpServer = &http.Server{
+			Handler:           s.handler(),
+			ReadHeaderTimeout: 30 * time.Second,
+			// Failed handshakes (e.g. rejected client certificates) are
+			// expected under the threat model; don't spam the host log.
+			ErrorLog: log.New(io.Discard, "", 0),
+		}
+		go func() {
+			_ = s.httpServer.Serve(s.endpoint)
+		}()
+	})
+	return startErr
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	listener, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Serve(listener); err != nil {
+		listener.Close()
+		return nil, err
+	}
+	return listener.Addr(), nil
+}
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	if s.terminator == nil {
+		return nil
+	}
+	return s.terminator.Addr()
+}
+
+// Close shuts the server down: terminator, HTTP server, endpoint, bridge.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.terminator != nil {
+			err = s.terminator.Close()
+		}
+		if s.httpServer != nil {
+			s.httpServer.Close()
+		}
+		s.endpoint.Close()
+		s.bridge.Close()
+	})
+	return err
+}
+
+func fillRandom(b []byte) error {
+	if _, err := randRead(b); err != nil {
+		return fmt.Errorf("segshare: random: %w", err)
+	}
+	return nil
+}

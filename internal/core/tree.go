@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"segshare/internal/rollback"
+)
+
+// This file maintains and validates the rollback-protection hash tree
+// (paper §V-D/§V-E) over a namespace. Writes update one bucket per
+// ancestor and re-derive each ancestor's main hash — O(depth), no sibling
+// access. Reads validate one bucket per level, touching only the stored
+// headers of the files sharing the bucket.
+
+// treeID is the canonical identifier of a node in the hash tree,
+// namespaced by store kind.
+func treeID(ns *namespace, name string) string { return ns.kind + ":" + name }
+
+// bucketOp describes one child-hash change in a parent's buckets.
+// A zero oldMain means the child is new; a zero newMain means it is being
+// removed.
+type bucketOp struct {
+	child   string
+	oldMain rollback.Digest
+	newMain rollback.Digest
+}
+
+// writeLeaf writes a leaf file (content file, ACL, or administration
+// file) and returns its previous and new main hashes (zero values when
+// rollback protection is off, or when the file did not exist).
+func (fm *fileManager) writeLeaf(ns *namespace, name string, body []byte) (oldMain, newMain rollback.Digest, err error) {
+	if !fm.rollbackOn {
+		return rollback.Digest{}, rollback.Digest{}, fm.putBlob(ns, name, nil, body)
+	}
+	prev, err := fm.readHeader(ns, name)
+	switch {
+	case err == nil:
+		oldMain = prev.Main
+	case errors.Is(err, ErrNotFound):
+		// creating
+	default:
+		return oldMain, newMain, err
+	}
+	newMain = fm.hasher.LeafMain(treeID(ns, name), rollback.ContentDigest(body))
+	return oldMain, newMain, fm.putBlob(ns, name, &rollback.Header{Main: newMain}, body)
+}
+
+// loadDir loads an inner node's header and decoded directory body.
+func (fm *fileManager) loadDir(ns *namespace, name string) (*rollback.Header, *dirBody, error) {
+	hdr, body, err := fm.getBlob(ns, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := decodeDirBody(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return hdr, db, nil
+}
+
+// writeRootNode initializes a namespace root with the given body and no
+// children (group store) — used only at first start.
+func (fm *fileManager) writeRootNode(ns *namespace, db *dirBody) error {
+	body := db.encode()
+	var hdr *rollback.Header
+	if fm.rollbackOn {
+		hdr = &rollback.Header{Inner: true}
+		hdr.Main = fm.hasher.InnerMain(treeID(ns, ns.rootName), rollback.ContentDigest(body), &hdr.Buckets)
+		token, err := ns.guard.Commit(hdr.Main)
+		if err != nil {
+			return err
+		}
+		hdr.Token = token
+	}
+	return fm.putBlob(ns, ns.rootName, hdr, body)
+}
+
+// applyToParent mutates an inner node: an optional directory-body change
+// plus bucket updates for changed children, then recomputes the node's
+// main hash and propagates the change to the namespace root, committing
+// the root guard.
+func (fm *fileManager) applyToParent(ns *namespace, parentName string, mutate func(*dirBody) error, ops []bucketOp) error {
+	hdr, db, err := fm.loadDir(ns, parentName)
+	if err != nil {
+		return err
+	}
+	if mutate != nil {
+		if err := mutate(db); err != nil {
+			return err
+		}
+	}
+	body := db.encode()
+	if !fm.rollbackOn {
+		return fm.putBlob(ns, parentName, nil, body)
+	}
+	oldMain := hdr.Main
+	fm.applyBucketOps(hdr, ops)
+	hdr.Main = fm.hasher.InnerMain(treeID(ns, parentName), rollback.ContentDigest(body), &hdr.Buckets)
+	if parentName == ns.rootName {
+		token, err := ns.guard.Commit(hdr.Main)
+		if err != nil {
+			return err
+		}
+		hdr.Token = token
+	}
+	if err := fm.putBlob(ns, parentName, hdr, body); err != nil {
+		return err
+	}
+	if parentName == ns.rootName {
+		return nil
+	}
+	return fm.propagateReplace(ns, parentName, oldMain, hdr.Main)
+}
+
+func (fm *fileManager) applyBucketOps(hdr *rollback.Header, ops []bucketOp) {
+	for _, op := range ops {
+		child := op.child
+		switch {
+		case op.oldMain.IsZero():
+			hdr.Buckets.AddChild(fm.hasher, child, op.newMain)
+		case op.newMain.IsZero():
+			hdr.Buckets.RemoveChild(fm.hasher, child, op.oldMain)
+		default:
+			hdr.Buckets.ReplaceChild(fm.hasher, child, op.oldMain, op.newMain)
+		}
+	}
+}
+
+// propagateReplace walks from child's parent to the root, swapping the
+// child's main hash in each ancestor's bucket and re-deriving the
+// ancestor's main hash.
+func (fm *fileManager) propagateReplace(ns *namespace, child string, oldMain, newMain rollback.Digest) error {
+	for name := ns.parentOf(child); name != ""; name = ns.parentOf(name) {
+		hdr, body, err := fm.getBlob(ns, name)
+		if err != nil {
+			return err
+		}
+		hdr.Buckets.ReplaceChild(fm.hasher, treeID(ns, child), oldMain, newMain)
+		prev := hdr.Main
+		hdr.Main = fm.hasher.InnerMain(treeID(ns, name), rollback.ContentDigest(body), &hdr.Buckets)
+		if name == ns.rootName {
+			token, err := ns.guard.Commit(hdr.Main)
+			if err != nil {
+				return err
+			}
+			hdr.Token = token
+		}
+		if err := fm.putBlob(ns, name, hdr, body); err != nil {
+			return err
+		}
+		child, oldMain, newMain = name, prev, hdr.Main
+	}
+	return nil
+}
+
+// treeChildren enumerates the tree children of an inner node from its
+// directory body: in the content store each entry contributes the child
+// itself and its ACL file; the root additionally parents its own ACL.
+func (fm *fileManager) treeChildren(ns *namespace, name string, db *dirBody) []string {
+	var out []string
+	if ns == fm.group {
+		for _, e := range db.entries {
+			out = append(out, e.Name)
+		}
+		return out
+	}
+	for _, e := range db.entries {
+		child := name + e.Name
+		if e.IsDir {
+			child += "/"
+		}
+		out = append(out, child, aclName(child))
+	}
+	if name == ns.rootName {
+		out = append(out, aclName(name))
+	}
+	return out
+}
+
+// validateNode performs the read-path rollback check of paper §V-D: the
+// node's own main hash is recomputed from its content; then, for each
+// ancestor level, the single bucket containing the child is recomputed
+// from the stored main hashes of the files sharing it; finally the root's
+// main hash is checked against the root guard (§V-E).
+func (fm *fileManager) validateNode(ns *namespace, name string, hdr *rollback.Header, body []byte) error {
+	if !fm.rollbackOn || !fm.validate {
+		return nil
+	}
+	if hdr == nil {
+		return fmt.Errorf("%w: %s: missing rollback header", ErrIntegrity, name)
+	}
+	var want rollback.Digest
+	if hdr.Inner {
+		want = fm.hasher.InnerMain(treeID(ns, name), rollback.ContentDigest(body), &hdr.Buckets)
+	} else {
+		want = fm.hasher.LeafMain(treeID(ns, name), rollback.ContentDigest(body))
+	}
+	if want != hdr.Main {
+		return fmt.Errorf("%w: %s: stale main hash", ErrRollback, name)
+	}
+	if name == ns.rootName {
+		if err := ns.guard.Check(hdr.Main, hdr.Token); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrRollback, name, err)
+		}
+		return nil
+	}
+
+	child := name
+	childMain := hdr.Main
+	for anc := ns.parentOf(name); anc != ""; anc = ns.parentOf(anc) {
+		ancHdr, ancBody, err := fm.getBlob(ns, anc)
+		if err != nil {
+			return err
+		}
+		ancDB, err := decodeDirBody(ancBody)
+		if err != nil {
+			return err
+		}
+		recomputed := fm.hasher.InnerMain(treeID(ns, anc), rollback.ContentDigest(ancBody), &ancHdr.Buckets)
+		if recomputed != ancHdr.Main {
+			return fmt.Errorf("%w: %s: stale main hash", ErrRollback, anc)
+		}
+		// Recompute the single bucket holding child from the stored main
+		// hashes of the files sharing it.
+		childID := treeID(ns, child)
+		bucketIdx := fm.hasher.BucketIndex(childID)
+		var mains []rollback.Digest
+		for _, sibling := range fm.treeChildren(ns, anc, ancDB) {
+			sibID := treeID(ns, sibling)
+			if fm.hasher.BucketIndex(sibID) != bucketIdx {
+				continue
+			}
+			if sibling == child {
+				mains = append(mains, childMain)
+				continue
+			}
+			sibHdr, err := fm.readHeader(ns, sibling)
+			if err != nil {
+				return err
+			}
+			mains = append(mains, sibHdr.Main)
+		}
+		if err := ancHdr.Buckets.VerifyBucket(fm.hasher, childID, mains); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrRollback, anc, err)
+		}
+		if anc == ns.rootName {
+			if err := ns.guard.Check(ancHdr.Main, ancHdr.Token); err != nil {
+				return fmt.Errorf("%w: %s: %v", ErrRollback, anc, err)
+			}
+		}
+		child, childMain = anc, ancHdr.Main
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"crypto/rand"
+
+	"segshare/internal/acl"
+)
+
+func randRead(b []byte) (int, error) { return rand.Read(b) }
+
+func userID(s string) acl.UserID { return acl.UserID(s) }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/xml"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// parsedMultistatus mirrors the wire format for assertions (namespace
+// prefixes collapse during parsing).
+type parsedMultistatus struct {
+	XMLName   xml.Name `xml:"multistatus"`
+	Responses []struct {
+		Href string `xml:"href"`
+		Prop struct {
+			DisplayName  string `xml:"propstat>prop>displayname"`
+			ContentLen   string `xml:"propstat>prop>getcontentlength"`
+			ResourceType struct {
+				Collection *struct{} `xml:"collection"`
+			} `xml:"propstat>prop>resourcetype"`
+		} `xml:",any"`
+	} `xml:"response"`
+}
+
+func TestPropfindDirectory(t *testing.T) {
+	f := newHandlerFixture(t)
+	if rec := f.do(t, "alice", "MKCOL", "/fs/d/", nil, nil); rec.Code != 201 {
+		t.Fatal(rec.Body)
+	}
+	if rec := f.do(t, "alice", "PUT", "/fs/d/file.bin", []byte("12345"), nil); rec.Code != 201 {
+		t.Fatal(rec.Body)
+	}
+	if rec := f.do(t, "alice", "MKCOL", "/fs/d/sub/", nil, nil); rec.Code != 201 {
+		t.Fatal(rec.Body)
+	}
+
+	rec := f.do(t, "alice", "PROPFIND", "/fs/d/", nil, map[string]string{"Depth": "1"})
+	if rec.Code != http.StatusMultiStatus {
+		t.Fatalf("PROPFIND = %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "xml") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `xmlns:D="DAV:"`) {
+		t.Fatalf("missing DAV namespace: %s", body)
+	}
+	var ms parsedMultistatus
+	if err := xml.Unmarshal(rec.Body.Bytes(), &ms); err != nil {
+		t.Fatalf("unmarshal multistatus: %v\n%s", err, body)
+	}
+	if len(ms.Responses) != 3 { // self + file + subdir
+		t.Fatalf("responses = %d: %s", len(ms.Responses), body)
+	}
+	hrefs := map[string]bool{}
+	for _, r := range ms.Responses {
+		hrefs[r.Href] = true
+	}
+	for _, want := range []string{"/fs/d/", "/fs/d/file.bin", "/fs/d/sub/"} {
+		if !hrefs[want] {
+			t.Fatalf("missing href %s in %v", want, hrefs)
+		}
+	}
+	if !strings.Contains(body, "<D:getcontentlength>5</D:getcontentlength>") {
+		t.Fatalf("missing content length: %s", body)
+	}
+	if !strings.Contains(body, "<D:collection") {
+		t.Fatalf("missing collection marker: %s", body)
+	}
+}
+
+func TestPropfindDepthZeroAndFile(t *testing.T) {
+	f := newHandlerFixture(t)
+	if rec := f.do(t, "alice", "MKCOL", "/fs/d/", nil, nil); rec.Code != 201 {
+		t.Fatal(rec.Body)
+	}
+	if rec := f.do(t, "alice", "PUT", "/fs/d/f", []byte("xyz"), nil); rec.Code != 201 {
+		t.Fatal(rec.Body)
+	}
+
+	rec := f.do(t, "alice", "PROPFIND", "/fs/d/", nil, map[string]string{"Depth": "0"})
+	if rec.Code != 207 {
+		t.Fatalf("depth 0 = %d", rec.Code)
+	}
+	var ms parsedMultistatus
+	if err := xml.Unmarshal(rec.Body.Bytes(), &ms); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Responses) != 1 {
+		t.Fatalf("depth-0 responses = %d", len(ms.Responses))
+	}
+
+	rec = f.do(t, "alice", "PROPFIND", "/fs/d/f", nil, nil)
+	if rec.Code != 207 {
+		t.Fatalf("file PROPFIND = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "<D:getcontentlength>3</D:getcontentlength>") {
+		t.Fatalf("file length missing: %s", rec.Body)
+	}
+
+	rec = f.do(t, "alice", "PROPFIND", "/fs/d/", nil, map[string]string{"Depth": "infinity"})
+	if rec.Code != 400 {
+		t.Fatalf("depth infinity = %d", rec.Code)
+	}
+}
+
+func TestPropfindAuthorization(t *testing.T) {
+	f := newHandlerFixture(t)
+	if rec := f.do(t, "alice", "MKCOL", "/fs/d/", nil, nil); rec.Code != 201 {
+		t.Fatal(rec.Body)
+	}
+	if rec := f.do(t, "eve", "PROPFIND", "/fs/d/", nil, nil); rec.Code != 403 {
+		t.Fatalf("foreign PROPFIND = %d", rec.Code)
+	}
+}
+
+func TestOptionsAdvertisesDAV(t *testing.T) {
+	f := newHandlerFixture(t)
+	rec := f.do(t, "alice", "OPTIONS", "/fs/", nil, nil)
+	if rec.Code != 200 {
+		t.Fatalf("OPTIONS = %d", rec.Code)
+	}
+	if rec.Header().Get("DAV") == "" {
+		t.Fatal("DAV header missing")
+	}
+	if !strings.Contains(rec.Header().Get("Allow"), "PROPFIND") {
+		t.Fatalf("Allow = %q", rec.Header().Get("Allow"))
+	}
+}

@@ -1,0 +1,358 @@
+// Package dedup implements SeGShare's server-side, file-based
+// deduplication store (paper §V-A). Plaintext data is deduplicated inside
+// the enclave and only a single encrypted copy is stored:
+//
+//   - an uploaded file is streamed into the store under a unique random
+//     temporary name while an HMAC over its plaintext accumulates,
+//   - the HMAC's hex form hName is the file's content address,
+//   - if no object named hName exists, the temporary object is renamed to
+//     hName; otherwise the temporary object is removed.
+//
+// Content files in the content store then hold hName as an indirection
+// (like a symbolic link). Deduplication works across groups, and
+// membership revocation never requires re-encryption because the enclave
+// owns all keys.
+//
+// Reference counting is an extension beyond the paper (which leaves
+// garbage collection unspecified): the store keeps an encrypted reference
+// index so that Release can delete an object once no content file points
+// at it. Every stored object wraps a random per-object key so the
+// temp-to-final rename needs no re-encryption; the hName↔content binding
+// is verified on every read by recomputing the HMAC.
+package dedup
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"segshare/internal/pae"
+	"segshare/internal/pfs"
+	"segshare/internal/store"
+)
+
+// Dedup errors.
+var (
+	// ErrNotFound is returned for an unknown content address.
+	ErrNotFound = errors.New("dedup: object not found")
+	// ErrCorrupt is returned when a stored object fails decryption or its
+	// content does not match its content address.
+	ErrCorrupt = errors.New("dedup: object corrupt")
+)
+
+const (
+	tempPrefix = "tmp:"
+	refsName   = "_refs"
+)
+
+// Store is the deduplication store. It is safe for concurrent use.
+type Store struct {
+	backend store.Backend
+	nameKey []byte  // HMAC key for content addressing
+	wrapKey pae.Key // key-encryption key for per-object keys
+	refsKey pae.Key // key for the reference index
+
+	mu sync.Mutex
+}
+
+// New creates a deduplication store over backend. All keys are derived
+// from rootKey (the store's slice of SK_r).
+func New(backend store.Backend, rootKey []byte) (*Store, error) {
+	nameKey, err := pae.DeriveBytes(rootKey, "dedup-name", nil, 32)
+	if err != nil {
+		return nil, err
+	}
+	wrapKey, err := pae.DeriveKey(rootKey, "dedup-wrap", nil)
+	if err != nil {
+		return nil, err
+	}
+	refsKey, err := pae.DeriveKey(rootKey, "dedup-refs", nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{backend: backend, nameKey: nameKey, wrapKey: wrapKey, refsKey: refsKey}, nil
+}
+
+// contentName computes hName, the hex content address of plaintext.
+func (s *Store) contentName(content []byte) string {
+	mac := pae.MAC(s.nameKey, content)
+	return hex.EncodeToString(mac[:])
+}
+
+// hashingReader tees plaintext through the content HMAC while it is being
+// consumed.
+type hashingReader struct {
+	r   io.Reader
+	mac io.Writer
+}
+
+func (h *hashingReader) Read(p []byte) (int, error) {
+	n, err := h.r.Read(p)
+	if n > 0 {
+		h.mac.Write(p[:n])
+	}
+	return n, err
+}
+
+// encodeObject encrypts content under a fresh random key and returns the
+// stored object bytes: wrapped key ‖ protected blob.
+func (s *Store) encodeObject(content []byte) ([]byte, error) {
+	fileKey, err := pae.NewRandomKey()
+	if err != nil {
+		return nil, err
+	}
+	wrapped, err := pae.Encrypt(s.wrapKey, fileKey[:], []byte("dedup-object-key"))
+	if err != nil {
+		return nil, err
+	}
+	blob, err := pfs.Encrypt(fileKey, nil, content)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 4+len(wrapped)+len(blob))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(wrapped)))
+	out = append(out, wrapped...)
+	out = append(out, blob...)
+	return out, nil
+}
+
+func (s *Store) decodeObject(raw []byte) ([]byte, error) {
+	if len(raw) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := binary.BigEndian.Uint32(raw)
+	if uint64(len(raw)-4) < uint64(n) {
+		return nil, ErrCorrupt
+	}
+	keyRaw, err := pae.Decrypt(s.wrapKey, raw[4:4+n], []byte("dedup-object-key"))
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	fileKey, err := pae.KeyFromBytes(keyRaw)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	content, err := pfs.Decrypt(fileKey, nil, raw[4+n:])
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	return content, nil
+}
+
+// Put deduplicates and stores content, returning its content address and
+// whether it was already present. The reference count of the address is
+// incremented either way.
+func (s *Store) Put(content []byte) (hName string, duplicate bool, err error) {
+	return s.put(s.contentName(content), content)
+}
+
+// PutFrom streams content from r using the paper's temp-object protocol:
+// the object is written under a random temporary name while the HMAC
+// accumulates, then renamed or discarded.
+func (s *Store) PutFrom(r io.Reader) (hName string, duplicate bool, err error) {
+	var tmp [16]byte
+	if _, err := io.ReadFull(rand.Reader, tmp[:]); err != nil {
+		return "", false, fmt.Errorf("dedup: temp name: %w", err)
+	}
+	tempName := tempPrefix + hex.EncodeToString(tmp[:])
+
+	mac := newMACWriter(s.nameKey)
+	content, err := io.ReadAll(&hashingReader{r: r, mac: mac})
+	if err != nil {
+		return "", false, fmt.Errorf("dedup: read upload: %w", err)
+	}
+	obj, err := s.encodeObject(content)
+	if err != nil {
+		return "", false, err
+	}
+	if err := s.backend.Put(tempName, obj); err != nil {
+		return "", false, fmt.Errorf("dedup: store temp: %w", err)
+	}
+	hName = hex.EncodeToString(mac.Sum())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exists, err := s.backend.Exists(hName)
+	if err != nil {
+		return "", false, err
+	}
+	if exists {
+		if err := s.backend.Delete(tempName); err != nil {
+			return "", false, err
+		}
+	} else if err := s.backend.Rename(tempName, hName); err != nil {
+		return "", false, err
+	}
+	if err := s.addRefLocked(hName, 1); err != nil {
+		return "", false, err
+	}
+	return hName, exists, nil
+}
+
+func (s *Store) put(hName string, content []byte) (string, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exists, err := s.backend.Exists(hName)
+	if err != nil {
+		return "", false, err
+	}
+	if !exists {
+		obj, err := s.encodeObject(content)
+		if err != nil {
+			return "", false, err
+		}
+		if err := s.backend.Put(hName, obj); err != nil {
+			return "", false, err
+		}
+	}
+	if err := s.addRefLocked(hName, 1); err != nil {
+		return "", false, err
+	}
+	return hName, exists, nil
+}
+
+// Get returns the plaintext stored under the content address, verifying
+// both the ciphertext integrity and the address↔content binding.
+func (s *Store) Get(hName string) ([]byte, error) {
+	raw, err := s.backend.Get(hName)
+	if errors.Is(err, store.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, hName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	content, err := s.decodeObject(raw)
+	if err != nil {
+		return nil, err
+	}
+	if s.contentName(content) != hName {
+		return nil, fmt.Errorf("%w: content does not match address", ErrCorrupt)
+	}
+	return content, nil
+}
+
+// Release decrements the reference count of the content address, deleting
+// the object when it reaches zero. It reports whether the object was
+// physically removed.
+func (s *Store) Release(hName string) (removed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs, err := s.loadRefsLocked()
+	if err != nil {
+		return false, err
+	}
+	n, ok := refs[hName]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNotFound, hName)
+	}
+	if n > 1 {
+		refs[hName] = n - 1
+		return false, s.saveRefsLocked(refs)
+	}
+	delete(refs, hName)
+	if err := s.backend.Delete(hName); err != nil && !errors.Is(err, store.ErrNotExist) {
+		return false, err
+	}
+	return true, s.saveRefsLocked(refs)
+}
+
+// RefCount returns the current reference count of a content address
+// (zero if unknown).
+func (s *Store) RefCount(hName string) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs, err := s.loadRefsLocked()
+	if err != nil {
+		return 0, err
+	}
+	return refs[hName], nil
+}
+
+// TotalBytes reports the backend's stored bytes (the dedup savings
+// experiment reads it).
+func (s *Store) TotalBytes() (int64, error) { return s.backend.TotalBytes() }
+
+func (s *Store) addRefLocked(hName string, delta uint32) error {
+	refs, err := s.loadRefsLocked()
+	if err != nil {
+		return err
+	}
+	refs[hName] += delta
+	return s.saveRefsLocked(refs)
+}
+
+func (s *Store) loadRefsLocked() (map[string]uint32, error) {
+	raw, err := s.backend.Get(refsName)
+	if errors.Is(err, store.ErrNotExist) {
+		return make(map[string]uint32), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	pt, err := pae.Decrypt(s.refsKey, raw, []byte(refsName))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reference index", ErrCorrupt)
+	}
+	return decodeRefs(pt)
+}
+
+func (s *Store) saveRefsLocked(refs map[string]uint32) error {
+	ct, err := pae.Encrypt(s.refsKey, encodeRefs(refs), []byte(refsName))
+	if err != nil {
+		return err
+	}
+	return s.backend.Put(refsName, ct)
+}
+
+func encodeRefs(refs map[string]uint32) []byte {
+	names := make([]string, 0, len(refs))
+	for name := range refs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out bytes.Buffer
+	var scratch [4]byte
+	binary.BigEndian.PutUint32(scratch[:], uint32(len(names)))
+	out.Write(scratch[:])
+	for _, name := range names {
+		binary.BigEndian.PutUint32(scratch[:], uint32(len(name)))
+		out.Write(scratch[:])
+		out.WriteString(name)
+		binary.BigEndian.PutUint32(scratch[:], refs[name])
+		out.Write(scratch[:])
+	}
+	return out.Bytes()
+}
+
+func decodeRefs(data []byte) (map[string]uint32, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	refs := make(map[string]uint32, n)
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 4 {
+			return nil, ErrCorrupt
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint64(len(data)) < uint64(l)+4 {
+			return nil, ErrCorrupt
+		}
+		name := string(data[:l])
+		count := binary.BigEndian.Uint32(data[l:])
+		data = data[l+4:]
+		refs[name] = count
+	}
+	if len(data) != 0 {
+		return nil, ErrCorrupt
+	}
+	return refs, nil
+}

@@ -1,0 +1,25 @@
+package dedup
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"hash"
+)
+
+// macWriter incrementally computes the content HMAC while plaintext
+// streams through, so the enclave never needs the whole file in memory to
+// address it (paper §VI streaming).
+type macWriter struct {
+	mac hash.Hash
+}
+
+func newMACWriter(key []byte) *macWriter {
+	return &macWriter{mac: hmac.New(sha256.New, key)}
+}
+
+func (m *macWriter) Write(p []byte) (int, error) {
+	return m.mac.Write(p)
+}
+
+// Sum returns the accumulated HMAC.
+func (m *macWriter) Sum() []byte { return m.mac.Sum(nil) }

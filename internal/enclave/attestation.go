@@ -1,0 +1,72 @@
+package enclave
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// ReportDataSize is the size of the user data field bound into a quote,
+// matching SGX's 64-byte REPORTDATA.
+const ReportDataSize = 64
+
+// Attestation errors.
+var (
+	// ErrQuoteSignature is returned when a quote's signature does not
+	// verify under the platform attestation key.
+	ErrQuoteSignature = errors.New("enclave: invalid quote signature")
+	// ErrQuoteMeasurement is returned when a verified quote reports an
+	// unexpected measurement.
+	ErrQuoteMeasurement = errors.New("enclave: unexpected measurement")
+)
+
+// Quote is a remote-attestation statement: "an enclave with this
+// measurement, running on the platform holding the attestation key, bound
+// these 64 bytes of report data". SeGShare's CA verifies a quote before
+// provisioning the server certificate (paper §IV-A), and replicas verify
+// each other's quotes before transferring the root key (§V-F).
+type Quote struct {
+	Measurement Measurement
+	ReportData  [ReportDataSize]byte
+	Signature   []byte
+}
+
+func quoteDigest(m Measurement, reportData [ReportDataSize]byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("segshare-quote/v1\x00"))
+	h.Write(m[:])
+	h.Write(reportData[:])
+	return h.Sum(nil)
+}
+
+// Quote produces a signed quote over the enclave's measurement and the
+// given report data. Report data longer than ReportDataSize is rejected;
+// callers typically put a hash of channel-binding material there.
+func (e *Enclave) Quote(reportData []byte) (*Quote, error) {
+	if len(reportData) > ReportDataSize {
+		return nil, fmt.Errorf("enclave: report data %d bytes exceeds %d", len(reportData), ReportDataSize)
+	}
+	q := &Quote{Measurement: e.measurement}
+	copy(q.ReportData[:], reportData)
+	sig, err := ecdsa.SignASN1(rand.Reader, e.platform.attKey, quoteDigest(q.Measurement, q.ReportData))
+	if err != nil {
+		return nil, fmt.Errorf("enclave: sign quote: %w", err)
+	}
+	q.Signature = sig
+	return q, nil
+}
+
+// VerifyQuote checks that q was signed by the platform owning
+// attestationKey and reports the expected measurement. It returns
+// ErrQuoteSignature or ErrQuoteMeasurement on failure.
+func VerifyQuote(attestationKey *ecdsa.PublicKey, q *Quote, expected Measurement) error {
+	if !ecdsa.VerifyASN1(attestationKey, quoteDigest(q.Measurement, q.ReportData), q.Signature) {
+		return ErrQuoteSignature
+	}
+	if q.Measurement != expected {
+		return fmt.Errorf("%w: got %v, want %v", ErrQuoteMeasurement, q.Measurement, expected)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package enclave
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkBridgeECall isolates the per-call cost of the two bridge
+// modes, the microscopic version of the E8 ablation.
+func BenchmarkBridgeECall(b *testing.B) {
+	for _, tt := range []struct {
+		name string
+		mode CallMode
+	}{
+		{name: "switchless", mode: ModeSwitchless},
+		{name: "blocking", mode: ModeBlocking},
+	} {
+		b.Run(tt.name, func(b *testing.B) {
+			br := NewBridge(BridgeConfig{Mode: tt.mode, SwitchLatency: 6 * time.Microsecond})
+			defer br.Close()
+			br.RegisterECall("noop", func(p []byte) ([]byte, error) { return p, nil })
+			payload := make([]byte, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := br.ECall("noop", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSealUnseal(b *testing.B) {
+	p, err := NewPlatform(PlatformConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := p.Launch(CodeIdentity{Name: "bench", Version: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed, err := e.Seal(data, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Unseal(sealed, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

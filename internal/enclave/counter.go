@@ -1,0 +1,68 @@
+package enclave
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrCounterWornOut is returned when a monotonic counter has exceeded the
+// platform's wear limit, mirroring the fast wear-out of SGX's hardware
+// counters the paper cites (§V-E, [63]).
+var ErrCounterWornOut = errors.New("enclave: monotonic counter worn out")
+
+// MonotonicCounter is a persisted, strictly increasing counter accessible
+// only to enclaves with the owning measurement. SeGShare's whole-file-
+// system rollback protection binds each store's root hash to a counter
+// value (paper §V-E).
+type MonotonicCounter struct {
+	enclave *Enclave
+	id      counterID
+}
+
+// Counter returns the named monotonic counter for this enclave identity,
+// creating it at zero on first use.
+func (e *Enclave) Counter(name string) *MonotonicCounter {
+	id := counterID{measurement: e.measurement, name: name}
+	e.platform.mu.Lock()
+	defer e.platform.mu.Unlock()
+	if _, ok := e.platform.counters[id]; !ok {
+		e.platform.counters[id] = &counterState{}
+	}
+	return &MonotonicCounter{enclave: e, id: id}
+}
+
+// Value returns the counter's current value.
+func (c *MonotonicCounter) Value() uint64 {
+	p := c.enclave.platform
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counters[c.id].value
+}
+
+// Increment advances the counter by one and returns the new value. It
+// simulates the hardware increment latency and enforces the wear limit
+// configured on the platform.
+func (c *MonotonicCounter) Increment() (uint64, error) {
+	p := c.enclave.platform
+	if d := p.cfg.CounterIncrementLatency; d > 0 {
+		time.Sleep(d)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.counters[c.id]
+	if limit := p.cfg.CounterWearLimit; limit > 0 && st.wear >= limit {
+		return st.value, ErrCounterWornOut
+	}
+	st.wear++
+	st.value++
+	return st.value, nil
+}
+
+// Wear returns the number of increments performed on the counter, used by
+// tests and the ablation benchmarks.
+func (c *MonotonicCounter) Wear() uint64 {
+	p := c.enclave.platform
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counters[c.id].wear
+}

@@ -1,0 +1,98 @@
+package enclave
+
+import (
+	"errors"
+	"fmt"
+
+	"segshare/internal/pae"
+)
+
+// Sealing and protected memory errors.
+var (
+	// ErrUnseal is returned when sealed data cannot be unsealed, either
+	// because it was sealed by an enclave with a different measurement or
+	// on a different platform, or because it was tampered with.
+	ErrUnseal = errors.New("enclave: unseal failed")
+	// ErrNoProtectedData is returned when reading a protected memory slot
+	// that has never been written.
+	ErrNoProtectedData = errors.New("enclave: no protected data")
+)
+
+// Enclave is one launched enclave instance. It exposes the hardware-backed
+// primitives trusted code may use. Enclaves are stateless across restarts
+// except through sealing, monotonic counters, and protected memory, just
+// like SGX enclaves (paper §II-A "Data Sealing").
+type Enclave struct {
+	platform    *Platform
+	code        CodeIdentity
+	measurement Measurement
+	sealKey     []byte
+}
+
+func deriveSealKey(deviceKey []byte, m Measurement) ([]byte, error) {
+	key, err := pae.DeriveBytes(deviceKey, "sgx-seal-key/mrenclave", m[:], 32)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: derive seal key: %w", err)
+	}
+	return key, nil
+}
+
+// Measurement returns the enclave's measurement (MRENCLAVE).
+func (e *Enclave) Measurement() Measurement { return e.measurement }
+
+// CodeIdentity returns the identity the enclave was launched with.
+func (e *Enclave) CodeIdentity() CodeIdentity { return e.code }
+
+// Seal encrypts and integrity-protects data under the enclave's sealing
+// key (policy MRENCLAVE: only an enclave with the same measurement on the
+// same platform can unseal). The associated data is bound but not stored.
+func (e *Enclave) Seal(plaintext, associatedData []byte) ([]byte, error) {
+	key, err := pae.DeriveKey(e.sealKey, "seal", nil)
+	if err != nil {
+		return nil, err
+	}
+	return pae.Encrypt(key, plaintext, associatedData)
+}
+
+// Unseal reverses Seal. It returns ErrUnseal if the blob was produced by
+// a different enclave identity or platform, or was modified.
+func (e *Enclave) Unseal(sealed, associatedData []byte) ([]byte, error) {
+	key, err := pae.DeriveKey(e.sealKey, "seal", nil)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := pae.Decrypt(key, sealed, associatedData)
+	if err != nil {
+		return nil, ErrUnseal
+	}
+	return pt, nil
+}
+
+// ProtectedWrite stores data in the platform's protected memory slot for
+// this enclave identity (paper §V-E's first whole-file-system rollback
+// mitigation: memory only a specific enclave can access, persisted across
+// restarts).
+func (e *Enclave) ProtectedWrite(name string, data []byte) {
+	id := protMemID{measurement: e.measurement, name: name}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	e.platform.mu.Lock()
+	defer e.platform.mu.Unlock()
+	e.platform.protMem[id] = cp
+}
+
+// ProtectedRead reads a protected memory slot. It returns
+// ErrNoProtectedData if the slot has never been written by this enclave
+// identity.
+func (e *Enclave) ProtectedRead(name string) ([]byte, error) {
+	id := protMemID{measurement: e.measurement, name: name}
+	e.platform.mu.Lock()
+	defer e.platform.mu.Unlock()
+	data, ok := e.platform.protMem[id]
+	if !ok {
+		return nil, ErrNoProtectedData
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}

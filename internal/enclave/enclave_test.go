@@ -1,0 +1,329 @@
+package enclave
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(PlatformConfig{})
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	return p
+}
+
+func launch(t *testing.T, p *Platform, code CodeIdentity) *Enclave {
+	t.Helper()
+	e, err := p.Launch(code)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	return e
+}
+
+var testCode = CodeIdentity{Name: "segshare", Version: 1, Config: []byte("ca-pub")}
+
+func TestMeasurementDeterministic(t *testing.T) {
+	m1 := testCode.Measurement()
+	m2 := CodeIdentity{Name: "segshare", Version: 1, Config: []byte("ca-pub")}.Measurement()
+	if m1 != m2 {
+		t.Fatal("identical code identities measured differently")
+	}
+}
+
+func TestMeasurementSensitivity(t *testing.T) {
+	base := testCode.Measurement()
+	tests := []struct {
+		name string
+		code CodeIdentity
+	}{
+		{name: "name", code: CodeIdentity{Name: "segshareX", Version: 1, Config: []byte("ca-pub")}},
+		{name: "version", code: CodeIdentity{Name: "segshare", Version: 2, Config: []byte("ca-pub")}},
+		{name: "config", code: CodeIdentity{Name: "segshare", Version: 1, Config: []byte("ca-pub2")}},
+		{name: "boundary shift", code: CodeIdentity{Name: "segsharec", Version: 1, Config: []byte("a-pub")}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.code.Measurement() == base {
+				t.Fatal("different code identity collided with base measurement")
+			}
+		})
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+	sealed, err := e.Seal([]byte("root key"), []byte("ad"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	pt, err := e.Unseal(sealed, []byte("ad"))
+	if err != nil {
+		t.Fatalf("Unseal: %v", err)
+	}
+	if !bytes.Equal(pt, []byte("root key")) {
+		t.Fatalf("round trip got %q", pt)
+	}
+}
+
+func TestUnsealSurvivesRelaunch(t *testing.T) {
+	p := newTestPlatform(t)
+	e1 := launch(t, p, testCode)
+	sealed, err := e1.Seal([]byte("persisted"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// Simulate enclave destruction and relaunch of the same code.
+	e2 := launch(t, p, testCode)
+	pt, err := e2.Unseal(sealed, nil)
+	if err != nil {
+		t.Fatalf("Unseal after relaunch: %v", err)
+	}
+	if string(pt) != "persisted" {
+		t.Fatalf("got %q", pt)
+	}
+}
+
+func TestUnsealRejectsOtherIdentityAndPlatform(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+	sealed, err := e.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+
+	t.Run("different measurement", func(t *testing.T) {
+		other := launch(t, p, CodeIdentity{Name: "evil", Version: 1})
+		if _, err := other.Unseal(sealed, nil); !errors.Is(err, ErrUnseal) {
+			t.Fatalf("want ErrUnseal, got %v", err)
+		}
+	})
+	t.Run("different platform", func(t *testing.T) {
+		other := launch(t, newTestPlatform(t), testCode)
+		if _, err := other.Unseal(sealed, nil); !errors.Is(err, ErrUnseal) {
+			t.Fatalf("want ErrUnseal, got %v", err)
+		}
+	})
+	t.Run("tampered blob", func(t *testing.T) {
+		bad := bytes.Clone(sealed)
+		bad[len(bad)/2] ^= 1
+		if _, err := e.Unseal(bad, nil); !errors.Is(err, ErrUnseal) {
+			t.Fatalf("want ErrUnseal, got %v", err)
+		}
+	})
+	t.Run("wrong associated data", func(t *testing.T) {
+		if _, err := e.Unseal(sealed, []byte("x")); !errors.Is(err, ErrUnseal) {
+			t.Fatalf("want ErrUnseal, got %v", err)
+		}
+	})
+}
+
+func TestQuoteVerify(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+	q, err := e.Quote([]byte("channel binding"))
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	if err := VerifyQuote(p.AttestationPublicKey(), q, testCode.Measurement()); err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+}
+
+func TestQuoteVerifyFailures(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+	q, err := e.Quote([]byte("rd"))
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+
+	t.Run("wrong expected measurement", func(t *testing.T) {
+		other := CodeIdentity{Name: "other"}.Measurement()
+		if err := VerifyQuote(p.AttestationPublicKey(), q, other); !errors.Is(err, ErrQuoteMeasurement) {
+			t.Fatalf("want ErrQuoteMeasurement, got %v", err)
+		}
+	})
+	t.Run("forged measurement", func(t *testing.T) {
+		forged := *q
+		forged.Measurement = CodeIdentity{Name: "evil"}.Measurement()
+		if err := VerifyQuote(p.AttestationPublicKey(), &forged, forged.Measurement); !errors.Is(err, ErrQuoteSignature) {
+			t.Fatalf("want ErrQuoteSignature, got %v", err)
+		}
+	})
+	t.Run("forged report data", func(t *testing.T) {
+		forged := *q
+		forged.ReportData[0] ^= 1
+		if err := VerifyQuote(p.AttestationPublicKey(), &forged, testCode.Measurement()); !errors.Is(err, ErrQuoteSignature) {
+			t.Fatalf("want ErrQuoteSignature, got %v", err)
+		}
+	})
+	t.Run("wrong platform key", func(t *testing.T) {
+		other := newTestPlatform(t)
+		if err := VerifyQuote(other.AttestationPublicKey(), q, testCode.Measurement()); !errors.Is(err, ErrQuoteSignature) {
+			t.Fatalf("want ErrQuoteSignature, got %v", err)
+		}
+	})
+}
+
+func TestQuoteReportDataTooLong(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+	if _, err := e.Quote(make([]byte, ReportDataSize+1)); err == nil {
+		t.Fatal("over-long report data accepted")
+	}
+}
+
+func TestProtectedMemory(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+
+	if _, err := e.ProtectedRead("root-hash"); !errors.Is(err, ErrNoProtectedData) {
+		t.Fatalf("want ErrNoProtectedData, got %v", err)
+	}
+	e.ProtectedWrite("root-hash", []byte{1, 2, 3})
+	got, err := e.ProtectedRead("root-hash")
+	if err != nil {
+		t.Fatalf("ProtectedRead: %v", err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+
+	// Survives relaunch of the same identity.
+	e2 := launch(t, p, testCode)
+	if got, err := e2.ProtectedRead("root-hash"); err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("after relaunch: %v %v", got, err)
+	}
+
+	// Invisible to other identities.
+	other := launch(t, p, CodeIdentity{Name: "other"})
+	if _, err := other.ProtectedRead("root-hash"); !errors.Is(err, ErrNoProtectedData) {
+		t.Fatalf("other identity read protected data: %v", err)
+	}
+}
+
+func TestMonotonicCounter(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+	c := e.Counter("fs")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	for i := uint64(1); i <= 10; i++ {
+		v, err := c.Increment()
+		if err != nil {
+			t.Fatalf("Increment: %v", err)
+		}
+		if v != i {
+			t.Fatalf("Increment returned %d, want %d", v, i)
+		}
+	}
+
+	// Persisted across relaunch.
+	e2 := launch(t, p, testCode)
+	if v := e2.Counter("fs").Value(); v != 10 {
+		t.Fatalf("after relaunch counter = %d, want 10", v)
+	}
+
+	// Isolated per identity and per name.
+	if v := e.Counter("other").Value(); v != 0 {
+		t.Fatalf("different counter name shared state: %d", v)
+	}
+	otherEnclave := launch(t, p, CodeIdentity{Name: "other"})
+	if v := otherEnclave.Counter("fs").Value(); v != 0 {
+		t.Fatalf("different identity shared counter: %d", v)
+	}
+}
+
+func TestCounterWearLimit(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{CounterWearLimit: 3})
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	e, err := p.Launch(testCode)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	c := e.Counter("fs")
+	for i := 0; i < 3; i++ {
+		if _, err := c.Increment(); err != nil {
+			t.Fatalf("Increment %d: %v", i, err)
+		}
+	}
+	if _, err := c.Increment(); !errors.Is(err, ErrCounterWornOut) {
+		t.Fatalf("want ErrCounterWornOut, got %v", err)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("value advanced past wear limit: %d", c.Value())
+	}
+	if c.Wear() != 3 {
+		t.Fatalf("wear = %d, want 3", c.Wear())
+	}
+}
+
+// Property: sealing round-trips for arbitrary payloads and associated data.
+func TestQuickSealUnseal(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+	prop := func(pt, ad []byte) bool {
+		sealed, err := e.Seal(pt, ad)
+		if err != nil {
+			return false
+		}
+		got, err := e.Unseal(sealed, ad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	p := newTestPlatform(t)
+	e := launch(t, p, testCode)
+	c := e.Counter("concurrent")
+
+	const (
+		workers = 8
+		perW    = 50
+	)
+	var wg sync.WaitGroup
+	seen := make([]map[uint64]bool, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		seen[w] = make(map[uint64]bool, perW)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				v, err := c.Increment()
+				if err != nil {
+					t.Errorf("Increment: %v", err)
+					return
+				}
+				seen[w][v] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Values are unique across workers and the final value equals the
+	// total number of increments — strict monotonicity under concurrency.
+	all := make(map[uint64]bool)
+	for _, m := range seen {
+		for v := range m {
+			if all[v] {
+				t.Fatalf("duplicate counter value %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if c.Value() != workers*perW {
+		t.Fatalf("final value = %d, want %d", c.Value(), workers*perW)
+	}
+}

@@ -1,0 +1,217 @@
+package enclave
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CallMode selects how calls cross the enclave boundary.
+type CallMode int
+
+const (
+	// ModeSwitchless routes calls through task queues served by persistent
+	// worker threads, SGX SDK switchless-call style (paper §II-A, §VI).
+	ModeSwitchless CallMode = iota + 1
+	// ModeBlocking performs a synchronous enclave transition per call,
+	// paying the configured switch latency. Used for the ablation bench.
+	ModeBlocking
+)
+
+// Bridge errors.
+var (
+	// ErrBridgeClosed is returned for calls on a closed bridge.
+	ErrBridgeClosed = errors.New("enclave: bridge closed")
+	// ErrUnknownOp is returned when no handler is registered for an op.
+	ErrUnknownOp = errors.New("enclave: unknown bridge op")
+)
+
+// Handler is a function exposed across the enclave boundary.
+type Handler func(payload []byte) ([]byte, error)
+
+// BridgeConfig tunes the call bridge.
+type BridgeConfig struct {
+	// Mode selects switchless or blocking transitions. Defaults to
+	// ModeSwitchless.
+	Mode CallMode
+	// Workers is the number of worker goroutines per direction in
+	// switchless mode. Defaults to 4.
+	Workers int
+	// QueueDepth is the task ring capacity per direction in switchless
+	// mode. Defaults to 64.
+	QueueDepth int
+	// SwitchLatency is the simulated cost of one enclave transition
+	// (enter or exit) in blocking mode. Defaults to 6µs, in the range
+	// reported for SGX ecall round trips.
+	SwitchLatency time.Duration
+}
+
+func (c BridgeConfig) withDefaults() BridgeConfig {
+	if c.Mode == 0 {
+		c.Mode = ModeSwitchless
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SwitchLatency <= 0 {
+		c.SwitchLatency = 6 * time.Microsecond
+	}
+	return c
+}
+
+// BridgeMetrics reports call traffic across the boundary.
+type BridgeMetrics struct {
+	ECalls      uint64
+	OCalls      uint64
+	Transitions uint64
+}
+
+type bridgeTask struct {
+	handler Handler
+	payload []byte
+	resp    chan bridgeResult
+}
+
+type bridgeResult struct {
+	data []byte
+	err  error
+}
+
+// Bridge is the interface between the untrusted host process and the
+// trusted enclave code. The untrusted side invokes trusted functions via
+// ECall; trusted code invokes untrusted functions (storage, network) via
+// OCall. All SeGShare network and file traffic crosses a Bridge, mirroring
+// the prototype's use of switchless calls for its TLS library and the
+// protected file system (paper §VI).
+type Bridge struct {
+	cfg BridgeConfig
+
+	mu     sync.RWMutex
+	ecalls map[string]Handler
+	ocalls map[string]Handler
+
+	etasks chan bridgeTask
+	otasks chan bridgeTask
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	nECalls      atomic.Uint64
+	nOCalls      atomic.Uint64
+	nTransitions atomic.Uint64
+}
+
+// NewBridge creates a bridge and, in switchless mode, starts its worker
+// goroutines. The caller must Close the bridge to stop them.
+func NewBridge(cfg BridgeConfig) *Bridge {
+	cfg = cfg.withDefaults()
+	b := &Bridge{
+		cfg:    cfg,
+		ecalls: make(map[string]Handler),
+		ocalls: make(map[string]Handler),
+		done:   make(chan struct{}),
+	}
+	if cfg.Mode == ModeSwitchless {
+		b.etasks = make(chan bridgeTask)
+		b.otasks = make(chan bridgeTask)
+		for i := 0; i < cfg.Workers; i++ {
+			b.wg.Add(2)
+			go b.worker(b.etasks)
+			go b.worker(b.otasks)
+		}
+	}
+	return b
+}
+
+func (b *Bridge) worker(tasks <-chan bridgeTask) {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.done:
+			return
+		case t := <-tasks:
+			data, err := t.handler(t.payload)
+			t.resp <- bridgeResult{data: data, err: err}
+		}
+	}
+}
+
+// RegisterECall exposes a trusted function to the untrusted side.
+func (b *Bridge) RegisterECall(op string, fn Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ecalls[op] = fn
+}
+
+// RegisterOCall exposes an untrusted function to trusted code.
+func (b *Bridge) RegisterOCall(op string, fn Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ocalls[op] = fn
+}
+
+// ECall invokes the trusted handler registered for op.
+func (b *Bridge) ECall(op string, payload []byte) ([]byte, error) {
+	b.nECalls.Add(1)
+	return b.call(b.ecalls, b.etasks, op, payload)
+}
+
+// OCall invokes the untrusted handler registered for op.
+func (b *Bridge) OCall(op string, payload []byte) ([]byte, error) {
+	b.nOCalls.Add(1)
+	return b.call(b.ocalls, b.otasks, op, payload)
+}
+
+func (b *Bridge) call(table map[string]Handler, tasks chan bridgeTask, op string, payload []byte) ([]byte, error) {
+	if b.closed.Load() {
+		return nil, ErrBridgeClosed
+	}
+	b.mu.RLock()
+	fn, ok := table[op]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownOp, op)
+	}
+	if b.cfg.Mode == ModeBlocking {
+		// One transition to enter, one to leave.
+		b.nTransitions.Add(2)
+		time.Sleep(2 * b.cfg.SwitchLatency)
+		return fn(payload)
+	}
+	t := bridgeTask{handler: fn, payload: payload, resp: make(chan bridgeResult, 1)}
+	select {
+	case <-b.done:
+		return nil, ErrBridgeClosed
+	case tasks <- t:
+	}
+	select {
+	case <-b.done:
+		return nil, ErrBridgeClosed
+	case r := <-t.resp:
+		return r.data, r.err
+	}
+}
+
+// Metrics returns a snapshot of call counters.
+func (b *Bridge) Metrics() BridgeMetrics {
+	return BridgeMetrics{
+		ECalls:      b.nECalls.Load(),
+		OCalls:      b.nOCalls.Load(),
+		Transitions: b.nTransitions.Load(),
+	}
+}
+
+// Close stops the worker goroutines and fails all subsequent calls with
+// ErrBridgeClosed. Close is idempotent.
+func (b *Bridge) Close() {
+	if b.closed.Swap(true) {
+		return
+	}
+	close(b.done)
+	b.wg.Wait()
+}

@@ -1,0 +1,177 @@
+// Package enctls implements SeGShare's split TLS interface (paper §IV-B,
+// §VI): the *untrusted* TLS interface terminates the TCP connection
+// (enclaves cannot perform I/O) and forwards raw records across the
+// switchless call bridge; the *trusted* TLS interface inside the enclave
+// performs the handshake with the enclave-held server certificate,
+// requires and verifies client certificates against the hard-coded CA,
+// and is the true endpoint of the secure channel.
+//
+// Concretely: an UntrustedTerminator accepts TCP connections and pumps
+// bytes through bridge calls; a TrustedEndpoint exposes those byte
+// streams as net.Conns inside the enclave, wraps them in crypto/tls
+// server connections, and hands them to the request handler via a
+// net.Listener interface, so net/http can serve directly on top.
+package enctls
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// errConnClosed is returned from conn operations after Close.
+var errConnClosed = errors.New("enctls: connection closed")
+
+// maxBuffered bounds the per-connection in-enclave receive buffer; the
+// bridge call delivering more data blocks until the handler drains it,
+// which backpressures the TCP reader (the enclave keeps only a small,
+// constant buffer per request — paper §VI).
+const maxBuffered = 1 << 20
+
+// bridgeAddr is the synthetic address of in-enclave connection endpoints.
+type bridgeAddr struct{ id uint64 }
+
+func (bridgeAddr) Network() string  { return "enclave-bridge" }
+func (a bridgeAddr) String() string { return "bridge-conn" }
+
+// trustedConn is the in-enclave side of one client connection: Read pulls
+// bytes delivered by ECalls from the terminator; Write issues OCalls that
+// the terminator relays to the TCP socket.
+type trustedConn struct {
+	id    uint64
+	write func(id uint64, p []byte) error
+	close func(id uint64)
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	buf          []byte
+	eof          bool
+	closed       bool
+	readDeadline time.Time
+}
+
+var _ net.Conn = (*trustedConn)(nil)
+
+func newTrustedConn(id uint64, write func(uint64, []byte) error, closeFn func(uint64)) *trustedConn {
+	c := &trustedConn{id: id, write: write, close: closeFn}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// deliver appends bytes received from the untrusted side, blocking while
+// the buffer is full (backpressure on the TCP reader).
+func (c *trustedConn) deliver(p []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.buf) > maxBuffered && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return errConnClosed
+	}
+	c.buf = append(c.buf, p...)
+	c.cond.Broadcast()
+	return nil
+}
+
+// deliverEOF marks the untrusted side's read loop as finished.
+func (c *trustedConn) deliverEOF() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eof = true
+	c.cond.Broadcast()
+}
+
+// Read implements net.Conn.
+func (c *trustedConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return 0, errConnClosed
+		}
+		if len(c.buf) > 0 {
+			n := copy(p, c.buf)
+			c.buf = c.buf[n:]
+			if len(c.buf) == 0 {
+				c.buf = nil
+			}
+			c.cond.Broadcast()
+			return n, nil
+		}
+		if c.eof {
+			return 0, io.EOF
+		}
+		if dl := c.readDeadline; !dl.IsZero() {
+			if !time.Now().Before(dl) {
+				return 0, timeoutError{}
+			}
+			// Wake up at the deadline so the wait is bounded.
+			timer := time.AfterFunc(time.Until(dl), c.cond.Broadcast)
+			c.cond.Wait()
+			timer.Stop()
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
+// Write implements net.Conn.
+func (c *trustedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, errConnClosed
+	}
+	if err := c.write(c.id, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close implements net.Conn.
+func (c *trustedConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.close(c.id)
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *trustedConn) LocalAddr() net.Addr { return bridgeAddr{id: c.id} }
+
+// RemoteAddr implements net.Conn.
+func (c *trustedConn) RemoteAddr() net.Addr { return bridgeAddr{id: c.id} }
+
+// SetDeadline implements net.Conn.
+func (c *trustedConn) SetDeadline(t time.Time) error {
+	return c.SetReadDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *trustedConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readDeadline = t
+	c.cond.Broadcast()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn. Writes are synchronous bridge
+// calls; deadlines are not enforced on them.
+func (c *trustedConn) SetWriteDeadline(time.Time) error { return nil }
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "enctls: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }

@@ -1,0 +1,159 @@
+package enctls
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"segshare/internal/enclave"
+)
+
+// UntrustedTerminator is the host-process half: it owns the TCP listener
+// (the enclave cannot perform I/O), forwards inbound bytes to the trusted
+// endpoint through ECalls, and relays the enclave's OCall writes back to
+// the sockets. It never sees plaintext — everything it shuttles is TLS
+// record data.
+type UntrustedTerminator struct {
+	bridge   *enclave.Bridge
+	listener net.Listener
+
+	nextID atomic.Uint64
+	mu     sync.Mutex
+	conns  map[uint64]net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewUntrustedTerminator wires the untrusted half onto the bridge and
+// starts accepting on listener. Call Close to stop.
+func NewUntrustedTerminator(bridge *enclave.Bridge, listener net.Listener) *UntrustedTerminator {
+	t := &UntrustedTerminator{
+		bridge:   bridge,
+		listener: listener,
+		conns:    make(map[uint64]net.Conn),
+	}
+	bridge.RegisterOCall(opWrite, t.handleWrite)
+	bridge.RegisterOCall(opClose, t.handleClose)
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+// Addr returns the TCP address clients connect to.
+func (t *UntrustedTerminator) Addr() net.Addr { return t.listener.Addr() }
+
+func (t *UntrustedTerminator) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		id := t.nextID.Add(1)
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[id] = conn
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(id, conn)
+	}
+}
+
+func (t *UntrustedTerminator) serveConn(id uint64, conn net.Conn) {
+	defer t.wg.Done()
+	defer t.dropConn(id, conn)
+
+	var idBuf [8]byte
+	binary.BigEndian.PutUint64(idBuf[:], id)
+	if _, err := t.bridge.ECall(opOpen, idBuf[:]); err != nil {
+		return
+	}
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			payload := make([]byte, 8+n)
+			copy(payload, idBuf[:])
+			copy(payload[8:], buf[:n])
+			if _, err := t.bridge.ECall(opData, payload); err != nil {
+				return
+			}
+		}
+		if err != nil {
+			_, _ = t.bridge.ECall(opEOF, idBuf[:])
+			return
+		}
+	}
+}
+
+func (t *UntrustedTerminator) dropConn(id uint64, conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, id)
+	t.mu.Unlock()
+	conn.Close()
+}
+
+func (t *UntrustedTerminator) handleWrite(payload []byte) ([]byte, error) {
+	id, data, err := splitID(payload)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	conn := t.conns[id]
+	t.mu.Unlock()
+	if conn == nil {
+		return nil, fmt.Errorf("enctls: write to unknown connection %d", id)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return nil, fmt.Errorf("enctls: socket write: %w", err)
+	}
+	return nil, nil
+}
+
+func (t *UntrustedTerminator) handleClose(payload []byte) ([]byte, error) {
+	id, _, err := splitID(payload)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	conn := t.conns[id]
+	delete(t.conns, id)
+	t.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	return nil, nil
+}
+
+// Close stops accepting, closes all sockets, and waits for the pump
+// goroutines to exit.
+func (t *UntrustedTerminator) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

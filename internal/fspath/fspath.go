@@ -1,0 +1,222 @@
+// Package fspath implements SeGShare's file-system path model (paper
+// §II-C): a tree of directory files rooted at "/", where a directory's
+// path is the concatenation of directory names delimited and concluded by
+// "/", and a content file's path is its parent directory's path followed
+// by the filename. Consequently a path denotes a directory iff it ends in
+// "/".
+package fspath
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MaxPathLen bounds the length of an accepted path. It keeps ACL files,
+// directory listings, and protocol messages small.
+const MaxPathLen = 4096
+
+// Path errors.
+var (
+	// ErrInvalidPath is returned for syntactically invalid paths.
+	ErrInvalidPath = errors.New("fspath: invalid path")
+	// ErrNotDir is returned when a directory path is required.
+	ErrNotDir = errors.New("fspath: not a directory path")
+)
+
+// Root is the path of the root directory file f_Dr.
+var Root = Path{raw: "/", dir: true}
+
+// Path is a validated SeGShare path. The zero value is invalid; obtain
+// paths via Parse, Dir, File, or navigation methods.
+type Path struct {
+	raw string
+	dir bool
+}
+
+// Parse validates s and returns it as a Path. Directory paths must end in
+// "/"; all path segments must be non-empty, must not be "." or "..", and
+// must not contain control characters.
+func Parse(s string) (Path, error) {
+	if s == "" {
+		return Path{}, fmt.Errorf("%w: empty", ErrInvalidPath)
+	}
+	if len(s) > MaxPathLen {
+		return Path{}, fmt.Errorf("%w: longer than %d bytes", ErrInvalidPath, MaxPathLen)
+	}
+	if s[0] != '/' {
+		return Path{}, fmt.Errorf("%w: %q is not absolute", ErrInvalidPath, s)
+	}
+	if s == "/" {
+		return Root, nil
+	}
+	dir := strings.HasSuffix(s, "/")
+	trimmed := strings.TrimSuffix(s[1:], "/")
+	for _, seg := range strings.Split(trimmed, "/") {
+		if err := validateSegment(seg); err != nil {
+			return Path{}, fmt.Errorf("%w: %q: %v", ErrInvalidPath, s, err)
+		}
+	}
+	return Path{raw: s, dir: dir}, nil
+}
+
+// MustParse is Parse for statically known-good paths; it panics on error.
+// It is intended for tests and package-internal constants only.
+func MustParse(s string) Path {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Dir builds a directory path from segments, e.g. Dir("a","b") == "/a/b/".
+func Dir(segments ...string) (Path, error) {
+	return build(segments, true)
+}
+
+// File builds a content-file path from segments, e.g.
+// File("a","f.txt") == "/a/f.txt".
+func File(segments ...string) (Path, error) {
+	if len(segments) == 0 {
+		return Path{}, fmt.Errorf("%w: a file path needs at least a filename", ErrInvalidPath)
+	}
+	return build(segments, false)
+}
+
+func build(segments []string, dir bool) (Path, error) {
+	if len(segments) == 0 {
+		return Root, nil
+	}
+	var b strings.Builder
+	for _, seg := range segments {
+		if err := validateSegment(seg); err != nil {
+			return Path{}, fmt.Errorf("%w: %v", ErrInvalidPath, err)
+		}
+		b.WriteByte('/')
+		b.WriteString(seg)
+	}
+	if dir {
+		b.WriteByte('/')
+	}
+	return Parse(b.String())
+}
+
+func validateSegment(seg string) error {
+	switch seg {
+	case "":
+		return errors.New("empty segment")
+	case ".", "..":
+		return fmt.Errorf("segment %q not allowed", seg)
+	}
+	for _, r := range seg {
+		if r == '/' {
+			return errors.New("slash in segment")
+		}
+		if r < 0x20 || r == 0x7f {
+			return errors.New("control character in segment")
+		}
+	}
+	return nil
+}
+
+// String returns the canonical textual form of the path.
+func (p Path) String() string { return p.raw }
+
+// IsZero reports whether p is the invalid zero value.
+func (p Path) IsZero() bool { return p.raw == "" }
+
+// IsDir reports whether p denotes a directory file.
+func (p Path) IsDir() bool { return p.dir }
+
+// IsRoot reports whether p is the root directory "/".
+func (p Path) IsRoot() bool { return p.raw == "/" }
+
+// Name returns the last segment of the path: the directory name for
+// directories (§II-C defines the root's name as "/") and the filename for
+// content files.
+func (p Path) Name() string {
+	if p.IsRoot() {
+		return "/"
+	}
+	trimmed := strings.TrimSuffix(p.raw, "/")
+	return trimmed[strings.LastIndexByte(trimmed, '/')+1:]
+}
+
+// Parent returns the path of the parent directory. The parent of the root
+// is the root itself; callers that need to distinguish should check
+// IsRoot first.
+func (p Path) Parent() Path {
+	if p.IsRoot() || p.IsZero() {
+		return Root
+	}
+	trimmed := strings.TrimSuffix(p.raw, "/")
+	idx := strings.LastIndexByte(trimmed, '/')
+	if idx == 0 {
+		return Root
+	}
+	return Path{raw: trimmed[:idx+1], dir: true}
+}
+
+// Segments returns the path's segments in order from the root. The root
+// has no segments.
+func (p Path) Segments() []string {
+	if p.IsRoot() || p.IsZero() {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(p.raw[1:], "/"), "/")
+}
+
+// Depth returns the number of segments.
+func (p Path) Depth() int { return len(p.Segments()) }
+
+// ChildDir returns the directory child of p named name. p must be a
+// directory path.
+func (p Path) ChildDir(name string) (Path, error) {
+	return p.child(name, true)
+}
+
+// ChildFile returns the content-file child of p named name. p must be a
+// directory path.
+func (p Path) ChildFile(name string) (Path, error) {
+	return p.child(name, false)
+}
+
+func (p Path) child(name string, dir bool) (Path, error) {
+	if !p.IsDir() {
+		return Path{}, fmt.Errorf("%w: %q", ErrNotDir, p.raw)
+	}
+	if err := validateSegment(name); err != nil {
+		return Path{}, fmt.Errorf("%w: %v", ErrInvalidPath, err)
+	}
+	raw := p.raw + name
+	if dir {
+		raw += "/"
+	}
+	return Parse(raw)
+}
+
+// IsAncestorOf reports whether p is a (strict) ancestor directory of
+// other.
+func (p Path) IsAncestorOf(other Path) bool {
+	if !p.IsDir() || p.raw == other.raw {
+		return false
+	}
+	return strings.HasPrefix(other.raw, p.raw)
+}
+
+// Rebase rewrites p, which must be equal to from or a descendant of from,
+// so that the prefix from is replaced by to. Both from and to must be
+// directory paths. It is the primitive behind MOVE of directories.
+func (p Path) Rebase(from, to Path) (Path, error) {
+	if !from.IsDir() || !to.IsDir() {
+		return Path{}, fmt.Errorf("%w: rebase endpoints must be directories", ErrNotDir)
+	}
+	if p.raw != from.raw && !from.IsAncestorOf(p) {
+		return Path{}, fmt.Errorf("%w: %q is not under %q", ErrInvalidPath, p.raw, from.raw)
+	}
+	return Parse(to.raw + strings.TrimPrefix(p.raw, from.raw))
+}
+
+// Compare orders paths lexicographically by their canonical string form.
+func Compare(a, b Path) int { return strings.Compare(a.raw, b.raw) }

@@ -1,0 +1,254 @@
+package fspath
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	tests := []struct {
+		give     string
+		wantDir  bool
+		wantName string
+	}{
+		{give: "/", wantDir: true, wantName: "/"},
+		{give: "/a/", wantDir: true, wantName: "a"},
+		{give: "/a/b/", wantDir: true, wantName: "b"},
+		{give: "/file.txt", wantDir: false, wantName: "file.txt"},
+		{give: "/a/file.txt", wantDir: false, wantName: "file.txt"},
+		{give: "/a b/c d.txt", wantDir: false, wantName: "c d.txt"},
+		{give: "/ünïcodé/f", wantDir: false, wantName: "f"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			p, err := Parse(tt.give)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.give, err)
+			}
+			if p.String() != tt.give {
+				t.Fatalf("String() = %q", p.String())
+			}
+			if p.IsDir() != tt.wantDir {
+				t.Fatalf("IsDir() = %v", p.IsDir())
+			}
+			if p.Name() != tt.wantName {
+				t.Fatalf("Name() = %q, want %q", p.Name(), tt.wantName)
+			}
+		})
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	tests := []string{
+		"",
+		"relative",
+		"relative/",
+		"//",
+		"/a//b",
+		"/a//",
+		"/./",
+		"/../",
+		"/a/./b",
+		"/a/../b",
+		"/a/\x00bad",
+		"/a/\x1fbad/",
+		"/" + strings.Repeat("x", MaxPathLen+1),
+	}
+	for _, give := range tests {
+		t.Run(give, func(t *testing.T) {
+			if _, err := Parse(give); !errors.Is(err, ErrInvalidPath) {
+				t.Fatalf("Parse(%q): want ErrInvalidPath, got %v", give, err)
+			}
+		})
+	}
+}
+
+func TestDirAndFileBuilders(t *testing.T) {
+	d, err := Dir("a", "b")
+	if err != nil {
+		t.Fatalf("Dir: %v", err)
+	}
+	if d.String() != "/a/b/" {
+		t.Fatalf("Dir = %q", d)
+	}
+	f, err := File("a", "b.txt")
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	if f.String() != "/a/b.txt" {
+		t.Fatalf("File = %q", f)
+	}
+	root, err := Dir()
+	if err != nil || !root.IsRoot() {
+		t.Fatalf("Dir() = %v, %v", root, err)
+	}
+	if _, err := File(); !errors.Is(err, ErrInvalidPath) {
+		t.Fatalf("File(): want ErrInvalidPath, got %v", err)
+	}
+	if _, err := Dir("a", ".."); !errors.Is(err, ErrInvalidPath) {
+		t.Fatalf("Dir with ..: want ErrInvalidPath, got %v", err)
+	}
+}
+
+func TestParent(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "/", want: "/"},
+		{give: "/a/", want: "/"},
+		{give: "/file", want: "/"},
+		{give: "/a/b/", want: "/a/"},
+		{give: "/a/b/c.txt", want: "/a/b/"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			if got := MustParse(tt.give).Parent().String(); got != tt.want {
+				t.Fatalf("Parent(%q) = %q, want %q", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentsAndDepth(t *testing.T) {
+	if s := Root.Segments(); s != nil {
+		t.Fatalf("root segments = %v", s)
+	}
+	p := MustParse("/a/b/c.txt")
+	want := []string{"a", "b", "c.txt"}
+	got := p.Segments()
+	if len(got) != len(want) {
+		t.Fatalf("segments = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segments = %v, want %v", got, want)
+		}
+	}
+	if p.Depth() != 3 {
+		t.Fatalf("Depth = %d", p.Depth())
+	}
+}
+
+func TestChildren(t *testing.T) {
+	d := MustParse("/a/")
+	cd, err := d.ChildDir("b")
+	if err != nil || cd.String() != "/a/b/" {
+		t.Fatalf("ChildDir: %v %v", cd, err)
+	}
+	cf, err := d.ChildFile("f.txt")
+	if err != nil || cf.String() != "/a/f.txt" {
+		t.Fatalf("ChildFile: %v %v", cf, err)
+	}
+	if _, err := cf.ChildFile("x"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("child of file: want ErrNotDir, got %v", err)
+	}
+	if _, err := d.ChildDir("a/b"); !errors.Is(err, ErrInvalidPath) {
+		t.Fatalf("slash in name: want ErrInvalidPath, got %v", err)
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{a: "/", b: "/a/", want: true},
+		{a: "/", b: "/f", want: true},
+		{a: "/a/", b: "/a/b/c", want: true},
+		{a: "/a/", b: "/a/", want: false},
+		{a: "/a/", b: "/ab/", want: false},
+		{a: "/a/b/", b: "/a/", want: false},
+		{a: "/f", b: "/f", want: false},
+	}
+	for _, tt := range tests {
+		a, b := MustParse(tt.a), MustParse(tt.b)
+		if got := a.IsAncestorOf(b); got != tt.want {
+			t.Errorf("IsAncestorOf(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestRebase(t *testing.T) {
+	p := MustParse("/a/b/c.txt")
+	got, err := p.Rebase(MustParse("/a/"), MustParse("/x/y/"))
+	if err != nil {
+		t.Fatalf("Rebase: %v", err)
+	}
+	if got.String() != "/x/y/b/c.txt" {
+		t.Fatalf("Rebase = %q", got)
+	}
+
+	if _, err := p.Rebase(MustParse("/z/"), MustParse("/x/")); !errors.Is(err, ErrInvalidPath) {
+		t.Fatalf("rebase outside subtree: want ErrInvalidPath, got %v", err)
+	}
+	if _, err := p.Rebase(MustParse("/f"), MustParse("/x/")); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("rebase from file: want ErrNotDir, got %v", err)
+	}
+
+	// Rebasing the moved directory itself.
+	d := MustParse("/a/b/")
+	got, err = d.Rebase(MustParse("/a/b/"), MustParse("/c/"))
+	if err != nil || got.String() != "/c/" {
+		t.Fatalf("self rebase = %v, %v", got, err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a, b := MustParse("/a/"), MustParse("/b/")
+	if Compare(a, b) >= 0 || Compare(b, a) <= 0 || Compare(a, a) != 0 {
+		t.Fatal("Compare ordering broken")
+	}
+}
+
+// Property: any path built from valid segments parses back to itself, and
+// Parent/Name decompose it consistently.
+func TestQuickBuildParseRoundTrip(t *testing.T) {
+	sanitize := func(segs []string) []string {
+		var out []string
+		for _, s := range segs {
+			clean := strings.Map(func(r rune) rune {
+				if r < 0x20 || r == 0x7f || r == '/' {
+					return 'x'
+				}
+				return r
+			}, s)
+			if clean == "" || clean == "." || clean == ".." {
+				clean = "seg"
+			}
+			out = append(out, clean)
+		}
+		return out
+	}
+	prop := func(rawSegs []string, dir bool) bool {
+		segs := sanitize(rawSegs)
+		if len(segs) == 0 || len(strings.Join(segs, "/")) > MaxPathLen-8 {
+			return true
+		}
+		var (
+			p   Path
+			err error
+		)
+		if dir {
+			p, err = Dir(segs...)
+		} else {
+			p, err = File(segs...)
+		}
+		if err != nil {
+			return false
+		}
+		reparsed, err := Parse(p.String())
+		if err != nil || reparsed != p {
+			return false
+		}
+		if p.Name() != segs[len(segs)-1] {
+			return false
+		}
+		return p.Depth() == len(segs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package fspath
+
+import "testing"
+
+// FuzzParse asserts Parse never panics, and accepted paths are stable
+// under re-parsing and self-consistent with their decomposition.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"", "/", "/a", "/a/", "/a/b.txt", "/a//b", "/ünïcode/ f ", "/..", "x"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		again, err := Parse(p.String())
+		if err != nil || again != p {
+			t.Fatalf("unstable parse: %q -> %q (%v)", s, p, err)
+		}
+		if p.IsRoot() {
+			return
+		}
+		parent := p.Parent()
+		if !parent.IsDir() {
+			t.Fatalf("parent of %q is not a directory: %q", p, parent)
+		}
+		// Rebuilding the child from parent+name gives the path back.
+		var (
+			rebuilt Path
+			rErr    error
+		)
+		if p.IsDir() {
+			rebuilt, rErr = parent.ChildDir(p.Name())
+		} else {
+			rebuilt, rErr = parent.ChildFile(p.Name())
+		}
+		if rErr != nil || rebuilt != p {
+			t.Fatalf("decomposition broken: %q != %q (%v)", rebuilt, p, rErr)
+		}
+	})
+}

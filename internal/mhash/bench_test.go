@@ -1,0 +1,27 @@
+package mhash
+
+import "testing"
+
+func BenchmarkAdd(b *testing.B) {
+	acc := NewAccumulator(make([]byte, 32))
+	elem := []byte("a-main-hash-element-of-32-bytes!")
+	var h Hash
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h = acc.Add(h, elem)
+	}
+	_ = h
+}
+
+func BenchmarkReplace(b *testing.B) {
+	acc := NewAccumulator(make([]byte, 32))
+	oldE := []byte("old-element")
+	newE := []byte("new-element")
+	var h Hash
+	h = acc.Add(h, oldE)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h = acc.Replace(h, oldE, newE)
+		oldE, newE = newE, oldE
+	}
+}

@@ -1,0 +1,182 @@
+package mhash
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHash(t *testing.T) {
+	var h Hash
+	if !h.IsEmpty() {
+		t.Fatal("zero Hash is not empty")
+	}
+	if h.Cardinality() != 0 {
+		t.Fatalf("empty cardinality = %d", h.Cardinality())
+	}
+	acc := NewAccumulator([]byte("k"))
+	if !acc.HashMultiset(nil).Equal(h) {
+		t.Fatal("HashMultiset(nil) != zero Hash")
+	}
+}
+
+func TestAddRemoveInverse(t *testing.T) {
+	acc := NewAccumulator([]byte("key"))
+	var h Hash
+	h = acc.Add(h, []byte("a"))
+	h = acc.Add(h, []byte("b"))
+	h = acc.Remove(h, []byte("a"))
+	want := acc.HashMultiset([][]byte{[]byte("b")})
+	if !h.Equal(want) {
+		t.Fatal("add/remove did not invert")
+	}
+	h = acc.Remove(h, []byte("b"))
+	if !h.IsEmpty() {
+		t.Fatal("removing all elements did not return to empty hash")
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	acc := NewAccumulator([]byte("key"))
+	elems := [][]byte{[]byte("x"), []byte("y"), []byte("z"), []byte("x")}
+	perm := [][]byte{[]byte("x"), []byte("x"), []byte("z"), []byte("y")}
+	if !acc.HashMultiset(elems).Equal(acc.HashMultiset(perm)) {
+		t.Fatal("multiset hash depends on order")
+	}
+}
+
+func TestMultiplicityMatters(t *testing.T) {
+	acc := NewAccumulator([]byte("key"))
+	once := acc.HashMultiset([][]byte{[]byte("x")})
+	thrice := acc.HashMultiset([][]byte{[]byte("x"), []byte("x"), []byte("x")})
+	if once.Equal(thrice) {
+		t.Fatal("multiplicity 1 and 3 collided")
+	}
+	// Even multiplicities cancel in the XOR accumulator; the cardinality
+	// must still distinguish them.
+	empty := Hash{}
+	twice := acc.HashMultiset([][]byte{[]byte("x"), []byte("x")})
+	if twice.Equal(empty) {
+		t.Fatal("multiplicity 2 collided with empty multiset")
+	}
+	if !bytes.Equal(twice.acc[:], empty.acc[:]) {
+		t.Fatal("XOR accumulator should cancel for even multiplicity")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	a := NewAccumulator([]byte("key-a"))
+	b := NewAccumulator([]byte("key-b"))
+	if a.ElementHash([]byte("e")).Equal(b.ElementHash([]byte("e"))) {
+		t.Fatal("different keys produced equal element hashes")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	acc := NewAccumulator([]byte("key"))
+	h := acc.HashMultiset([][]byte{[]byte("old"), []byte("other")})
+	h = acc.Replace(h, []byte("old"), []byte("new"))
+	want := acc.HashMultiset([][]byte{[]byte("new"), []byte("other")})
+	if !h.Equal(want) {
+		t.Fatal("Replace != remove+add semantics")
+	}
+}
+
+func TestCombineSubtract(t *testing.T) {
+	acc := NewAccumulator([]byte("key"))
+	left := acc.HashMultiset([][]byte{[]byte("a"), []byte("b")})
+	right := acc.HashMultiset([][]byte{[]byte("c")})
+	union := left.Combine(right)
+	want := acc.HashMultiset([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if !union.Equal(want) {
+		t.Fatal("Combine != multiset union")
+	}
+	if !union.Subtract(right).Equal(left) {
+		t.Fatal("Subtract did not invert Combine")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	acc := NewAccumulator([]byte("key"))
+	h := acc.HashMultiset([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	dec, err := DecodeHash(h.Encode())
+	if err != nil {
+		t.Fatalf("DecodeHash: %v", err)
+	}
+	if !dec.Equal(h) {
+		t.Fatal("encode/decode round trip mismatch")
+	}
+}
+
+func TestDecodeHashRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, 1, EncodedSize - 1, EncodedSize + 1} {
+		if _, err := DecodeHash(make([]byte, n)); !errors.Is(err, ErrDecode) {
+			t.Fatalf("len %d: want ErrDecode, got %v", n, err)
+		}
+	}
+}
+
+func TestStringIsStable(t *testing.T) {
+	acc := NewAccumulator([]byte("key"))
+	h := acc.ElementHash([]byte("e"))
+	if h.String() == "" || h.String() != h.String() {
+		t.Fatal("String not stable")
+	}
+}
+
+// Property: hashing a shuffled multiset yields the same hash.
+func TestQuickOrderInvariance(t *testing.T) {
+	acc := NewAccumulator([]byte("quick-key"))
+	prop := func(elems [][]byte, seed int64) bool {
+		h1 := acc.HashMultiset(elems)
+		shuffled := make([][]byte, len(elems))
+		copy(shuffled, elems)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return acc.HashMultiset(shuffled).Equal(h1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incremental add/remove over a random sequence agrees with the
+// from-scratch hash of the surviving multiset.
+func TestQuickIncrementalAgreesWithReference(t *testing.T) {
+	acc := NewAccumulator([]byte("quick-key"))
+	prop := func(elems [][]byte, removeMask uint32) bool {
+		var h Hash
+		for _, e := range elems {
+			h = acc.Add(h, e)
+		}
+		var survivors [][]byte
+		for i, e := range elems {
+			if removeMask&(1<<(uint(i)%32)) != 0 && i < 32 {
+				h = acc.Remove(h, e)
+			} else {
+				survivors = append(survivors, e)
+			}
+		}
+		return h.Equal(acc.HashMultiset(survivors))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode is the identity.
+func TestQuickEncodeDecode(t *testing.T) {
+	acc := NewAccumulator([]byte("quick-key"))
+	prop := func(elems [][]byte) bool {
+		h := acc.HashMultiset(elems)
+		dec, err := DecodeHash(h.Encode())
+		return err == nil && dec.Equal(h)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

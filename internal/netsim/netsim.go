@@ -1,0 +1,93 @@
+// Package netsim provides a simple network-condition simulator for the
+// evaluation: the paper measured a client in Azure central US against a
+// server in east US, so benchmarks can optionally wrap their connections
+// with a fixed one-way latency and a bandwidth cap to recover WAN-like
+// shapes on loopback. The default profile is transparent (no delay).
+package netsim
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Profile describes simulated link conditions.
+type Profile struct {
+	// Latency is the one-way propagation delay added to the first byte
+	// of every Write call batch.
+	Latency time.Duration
+	// Bandwidth caps throughput in bytes per second; zero means
+	// unlimited.
+	Bandwidth int64
+}
+
+// AzureInterRegion approximates the paper's central-US↔east-US setup:
+// ~15 ms one-way latency on a fat pipe.
+var AzureInterRegion = Profile{Latency: 15 * time.Millisecond, Bandwidth: 100 << 20}
+
+// IsZero reports whether the profile changes nothing.
+func (p Profile) IsZero() bool { return p.Latency == 0 && p.Bandwidth == 0 }
+
+// burstWindow separates write bursts: writes that follow the previous
+// one within this window belong to the same message (e.g. the TLS
+// records of one HTTP response) and pay the propagation delay only once.
+const burstWindow = time.Millisecond
+
+// Conn wraps a net.Conn with the profile applied to writes.
+type Conn struct {
+	net.Conn
+
+	profile  Profile
+	mu       sync.Mutex
+	lastSend time.Time
+}
+
+// Wrap applies the profile to conn. A zero profile returns conn
+// unchanged.
+func Wrap(conn net.Conn, profile Profile) net.Conn {
+	if profile.IsZero() {
+		return conn
+	}
+	return &Conn{Conn: conn, profile: profile}
+}
+
+// Write implements net.Conn, pacing the payload to the profile: one
+// propagation delay per write burst plus transmission time under the
+// bandwidth cap.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.profile.Latency > 0 && time.Since(c.lastSend) > burstWindow {
+		time.Sleep(c.profile.Latency)
+	}
+	if bw := c.profile.Bandwidth; bw > 0 {
+		transmission := time.Duration(int64(len(p)) * int64(time.Second) / bw)
+		time.Sleep(transmission)
+	}
+	c.lastSend = time.Now()
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+// Listener wraps every accepted connection with the profile.
+type Listener struct {
+	net.Listener
+
+	profile Profile
+}
+
+// WrapListener applies the profile to all accepted conns.
+func WrapListener(l net.Listener, profile Profile) net.Listener {
+	if profile.IsZero() {
+		return l
+	}
+	return &Listener{Listener: l, profile: profile}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(conn, l.profile), nil
+}

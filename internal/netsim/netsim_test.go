@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func pipePair(t *testing.T, profile Profile) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return Wrap(a, profile), b
+}
+
+func TestZeroProfileIsTransparent(t *testing.T) {
+	raw, _ := net.Pipe()
+	defer raw.Close()
+	if Wrap(raw, Profile{}) != raw {
+		t.Fatal("zero profile wrapped the conn")
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	const latency = 30 * time.Millisecond
+	a, b := pipePair(t, Profile{Latency: latency})
+
+	done := make(chan time.Duration, 1)
+	go func() {
+		buf := make([]byte, 5)
+		start := time.Now()
+		io.ReadFull(b, buf)
+		done <- time.Since(start)
+	}()
+	start := time.Now()
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < latency {
+		t.Fatalf("write returned after %v, want >= %v", elapsed, latency)
+	}
+	<-done
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	// 1 MiB/s cap: 256 KiB should take >= ~200ms.
+	a, b := pipePair(t, Profile{Bandwidth: 1 << 20})
+	go io.Copy(io.Discard, b)
+
+	payload := make([]byte, 256<<10)
+	start := time.Now()
+	if _, err := a.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("256KiB at 1MiB/s took %v, want >= 200ms", elapsed)
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	tcp, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	l := WrapListener(tcp, Profile{Latency: time.Millisecond})
+
+	go func() {
+		conn, err := net.Dial("tcp", tcp.Addr().String())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	conn, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *netsim.Conn", conn)
+	}
+
+	if WrapListener(tcp, Profile{}) != tcp {
+		t.Fatal("zero profile wrapped the listener")
+	}
+}

@@ -1,0 +1,62 @@
+package pae
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSeal(b *testing.B) {
+	key, err := NewRandomKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		pt := make([]byte, size)
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Seal(pt, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	key, err := NewRandomKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		ct, err := c.Seal(make([]byte, size), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Open(ct, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDeriveKey(b *testing.B) {
+	secret := make([]byte, 32)
+	for i := 0; i < b.N; i++ {
+		if _, err := DeriveKey(secret, "file-key", []byte("/some/path")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package pae implements the probabilistic authenticated encryption (PAE)
+// primitive that SeGShare uses for every stored object (paper §II-B), plus
+// the key-derivation helpers the trusted file manager needs to derive
+// per-file keys from the sealed root key.
+//
+// PAE_Enc(SK, IV, v) is realised as AES-128-GCM with a fresh random
+// 96-bit nonce per encryption; PAE_Dec(SK, c) authenticates and decrypts.
+// Key derivation follows the HKDF construction (RFC 5869) built from
+// HMAC-SHA256, implemented here directly so the module stays stdlib-only.
+package pae
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// KeySize is the size in bytes of a PAE secret key (AES-128).
+	KeySize = 16
+	// NonceSize is the size in bytes of the random initialization vector.
+	NonceSize = 12
+	// TagSize is the size in bytes of the GCM authentication tag.
+	TagSize = 16
+	// Overhead is the total ciphertext expansion of Seal: nonce plus tag.
+	Overhead = NonceSize + TagSize
+)
+
+var (
+	// ErrDecrypt is returned when a ciphertext fails authentication or is
+	// structurally malformed. Callers treat it as evidence of tampering.
+	ErrDecrypt = errors.New("pae: message authentication failed")
+	// ErrKeySize is returned when a key of the wrong length is supplied.
+	ErrKeySize = errors.New("pae: invalid key size")
+)
+
+// Key is a PAE secret key.
+type Key [KeySize]byte
+
+// NewRandomKey returns a fresh uniformly random key.
+func NewRandomKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("pae: generate key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes copies b into a Key. It returns ErrKeySize if len(b) is not
+// KeySize.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return k, ErrKeySize
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Equal reports whether two keys are equal in constant time.
+func (k Key) Equal(other Key) bool {
+	return subtle.ConstantTimeCompare(k[:], other[:]) == 1
+}
+
+// Cipher provides PAE over a fixed key. It is safe for concurrent use.
+type Cipher struct {
+	aead cipher.AEAD
+}
+
+// NewCipher constructs a PAE cipher from key.
+func NewCipher(key Key) (*Cipher, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("pae: new cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("pae: new gcm: %w", err)
+	}
+	return &Cipher{aead: aead}, nil
+}
+
+// Seal encrypts plaintext with a fresh random IV, binding the optional
+// associated data. The returned ciphertext layout is nonce ‖ sealed.
+func (c *Cipher) Seal(plaintext, associatedData []byte) ([]byte, error) {
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
+	if _, err := io.ReadFull(rand.Reader, out[:NonceSize]); err != nil {
+		return nil, fmt.Errorf("pae: nonce: %w", err)
+	}
+	return c.aead.Seal(out, out[:NonceSize], plaintext, associatedData), nil
+}
+
+// Open authenticates and decrypts a ciphertext produced by Seal under the
+// same associated data. It returns ErrDecrypt on any authentication
+// failure.
+func (c *Cipher) Open(ciphertext, associatedData []byte) ([]byte, error) {
+	if len(ciphertext) < Overhead {
+		return nil, ErrDecrypt
+	}
+	pt, err := c.aead.Open(nil, ciphertext[:NonceSize], ciphertext[NonceSize:], associatedData)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// Encrypt is a convenience wrapper that creates a one-shot cipher for key.
+func Encrypt(key Key, plaintext, associatedData []byte) ([]byte, error) {
+	c, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.Seal(plaintext, associatedData)
+}
+
+// Decrypt is a convenience wrapper that creates a one-shot cipher for key.
+func Decrypt(key Key, ciphertext, associatedData []byte) ([]byte, error) {
+	c, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.Open(ciphertext, associatedData)
+}

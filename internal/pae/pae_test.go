@@ -1,0 +1,219 @@
+package pae
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustKey(t *testing.T) Key {
+	t.Helper()
+	k, err := NewRandomKey()
+	if err != nil {
+		t.Fatalf("NewRandomKey: %v", err)
+	}
+	return k
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := mustKey(t)
+	c, err := NewCipher(k)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+
+	tests := []struct {
+		name string
+		pt   []byte
+		ad   []byte
+	}{
+		{name: "empty", pt: nil, ad: nil},
+		{name: "small", pt: []byte("hello"), ad: nil},
+		{name: "with ad", pt: []byte("hello"), ad: []byte("/dir/file")},
+		{name: "binary", pt: []byte{0, 1, 2, 255, 254}, ad: []byte{9}},
+		{name: "large", pt: bytes.Repeat([]byte{0xAB}, 1<<16), ad: []byte("big")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ct, err := c.Seal(tt.pt, tt.ad)
+			if err != nil {
+				t.Fatalf("Seal: %v", err)
+			}
+			if len(ct) != len(tt.pt)+Overhead {
+				t.Fatalf("ciphertext length = %d, want %d", len(ct), len(tt.pt)+Overhead)
+			}
+			got, err := c.Open(ct, tt.ad)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if !bytes.Equal(got, tt.pt) {
+				t.Fatalf("round trip mismatch: got %q want %q", got, tt.pt)
+			}
+		})
+	}
+}
+
+func TestSealIsProbabilistic(t *testing.T) {
+	k := mustKey(t)
+	c, err := NewCipher(k)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	pt := []byte("same plaintext")
+	ct1, err := c.Seal(pt, nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	ct2, err := c.Seal(pt, nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("two encryptions of the same plaintext produced identical ciphertexts")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	k := mustKey(t)
+	c, err := NewCipher(k)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	ct, err := c.Seal([]byte("sensitive"), []byte("ad"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+
+	t.Run("flip each byte", func(t *testing.T) {
+		for i := range ct {
+			mutated := bytes.Clone(ct)
+			mutated[i] ^= 0x01
+			if _, err := c.Open(mutated, []byte("ad")); !errors.Is(err, ErrDecrypt) {
+				t.Fatalf("byte %d: Open accepted tampered ciphertext (err=%v)", i, err)
+			}
+		}
+	})
+	t.Run("wrong ad", func(t *testing.T) {
+		if _, err := c.Open(ct, []byte("other")); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("Open accepted wrong associated data (err=%v)", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut <= len(ct); cut++ {
+			if _, err := c.Open(ct[:len(ct)-cut], []byte("ad")); !errors.Is(err, ErrDecrypt) {
+				t.Fatalf("Open accepted truncated ciphertext (cut=%d, err=%v)", cut, err)
+			}
+		}
+	})
+	t.Run("wrong key", func(t *testing.T) {
+		other, err := NewCipher(mustKey(t))
+		if err != nil {
+			t.Fatalf("NewCipher: %v", err)
+		}
+		if _, err := other.Open(ct, []byte("ad")); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("Open accepted ciphertext under wrong key (err=%v)", err)
+		}
+	})
+}
+
+func TestOpenRejectsShortCiphertext(t *testing.T) {
+	k := mustKey(t)
+	c, err := NewCipher(k)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	for n := 0; n < Overhead; n++ {
+		if _, err := c.Open(make([]byte, n), nil); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("len %d: want ErrDecrypt, got %v", n, err)
+		}
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, KeySize-1)); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("short key: want ErrKeySize, got %v", err)
+	}
+	if _, err := KeyFromBytes(make([]byte, KeySize+1)); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("long key: want ErrKeySize, got %v", err)
+	}
+	raw := bytes.Repeat([]byte{7}, KeySize)
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		t.Fatalf("KeyFromBytes: %v", err)
+	}
+	if !bytes.Equal(k[:], raw) {
+		t.Fatal("KeyFromBytes did not copy the input")
+	}
+}
+
+func TestKeyEqual(t *testing.T) {
+	a := mustKey(t)
+	b := a
+	if !a.Equal(b) {
+		t.Fatal("identical keys reported unequal")
+	}
+	b[0] ^= 1
+	if a.Equal(b) {
+		t.Fatal("different keys reported equal")
+	}
+}
+
+func TestEncryptDecryptConvenience(t *testing.T) {
+	k := mustKey(t)
+	ct, err := Encrypt(k, []byte("payload"), []byte("ad"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	pt, err := Decrypt(k, ct, []byte("ad"))
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if string(pt) != "payload" {
+		t.Fatalf("got %q, want %q", pt, "payload")
+	}
+}
+
+// Property: Open(Seal(pt, ad), ad) == pt for arbitrary inputs.
+func TestQuickRoundTrip(t *testing.T) {
+	k := mustKey(t)
+	c, err := NewCipher(k)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	prop := func(pt, ad []byte) bool {
+		ct, err := c.Seal(pt, ad)
+		if err != nil {
+			return false
+		}
+		got, err := c.Open(ct, ad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-bit flip anywhere in the ciphertext is rejected.
+func TestQuickTamperDetection(t *testing.T) {
+	k := mustKey(t)
+	c, err := NewCipher(k)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	prop := func(pt []byte, pos uint16, bit uint8) bool {
+		ct, err := c.Seal(pt, nil)
+		if err != nil {
+			return false
+		}
+		ct[int(pos)%len(ct)] ^= 1 << (bit % 8)
+		_, err = c.Open(ct, nil)
+		return errors.Is(err, ErrDecrypt)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package pfs
+
+import (
+	"bytes"
+	"testing"
+
+	"segshare/internal/pae"
+)
+
+// FuzzDecrypt feeds arbitrary blobs to the verified reader: it must never
+// panic and must reject everything that is not a faithful encryption.
+func FuzzDecrypt(f *testing.F) {
+	key, err := pae.KeyFromBytes(bytes.Repeat([]byte{3}, pae.KeySize))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := Encrypt(key, []byte("/f"), bytes.Repeat([]byte("x"), 3*ChunkSize/2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		pt, err := Decrypt(key, []byte("/f"), blob)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encrypt to the same plaintext (the
+		// blob itself differs due to fresh nonces).
+		re, err := Encrypt(key, []byte("/f"), pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decrypt(key, []byte("/f"), re)
+		if err != nil || !bytes.Equal(back, pt) {
+			t.Fatalf("round trip after fuzz-accepted blob failed: %v", err)
+		}
+	})
+}
+
+// FuzzMutateValid flips fuzz-chosen bytes of a valid blob; decryption
+// must either return the original plaintext (no effective change) or an
+// error — never wrong data.
+func FuzzMutateValid(f *testing.F) {
+	key, err := pae.KeyFromBytes(bytes.Repeat([]byte{5}, pae.KeySize))
+	if err != nil {
+		f.Fatal(err)
+	}
+	plaintext := bytes.Repeat([]byte("secret"), 2048)
+	valid, err := Encrypt(key, []byte("/f"), plaintext)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint32(0), byte(1))
+	f.Add(uint32(len(valid)-1), byte(0xFF))
+	f.Fuzz(func(t *testing.T, pos uint32, mask byte) {
+		blob := bytes.Clone(valid)
+		blob[int(pos)%len(blob)] ^= mask
+		got, err := Decrypt(key, []byte("/f"), blob)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got, plaintext) {
+			t.Fatalf("mutated blob decrypted to different plaintext (pos=%d mask=%x)", pos, mask)
+		}
+	})
+}

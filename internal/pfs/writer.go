@@ -1,0 +1,159 @@
+package pfs
+
+import (
+	"fmt"
+	"io"
+
+	"segshare/internal/pae"
+)
+
+// Writer encrypts a protected file in one streaming pass. Only one chunk
+// of plaintext is buffered at a time; leaf hashes (32 bytes per 4 KiB
+// chunk) accumulate until Close writes the Merkle tree and footer.
+//
+// Writer mirrors the library's single-writer discipline: it is not safe
+// for concurrent use.
+type Writer struct {
+	cipher *pae.Cipher
+	macKey []byte
+	fileID []byte
+	dst    io.Writer
+
+	buf    []byte
+	index  int64
+	plain  int64
+	leaves [][hashSize]byte
+	closed bool
+	err    error
+}
+
+var _ io.WriteCloser = (*Writer)(nil)
+
+// NewWriter starts writing a protected file identified by fileID (the
+// associated data binding chunks to this file, e.g. its path) to dst
+// under fileKey.
+func NewWriter(fileKey pae.Key, fileID []byte, dst io.Writer) (*Writer, error) {
+	ck, err := chunkKey(fileKey)
+	if err != nil {
+		return nil, err
+	}
+	cipher, err := pae.NewCipher(ck)
+	if err != nil {
+		return nil, err
+	}
+	mk, err := macKey(fileKey)
+	if err != nil {
+		return nil, err
+	}
+	id := make([]byte, len(fileID))
+	copy(id, fileID)
+	return &Writer{
+		cipher: cipher,
+		macKey: mk,
+		fileID: id,
+		dst:    dst,
+		buf:    make([]byte, 0, ChunkSize),
+	}, nil
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrWriterClosed
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	written := 0
+	for len(p) > 0 {
+		room := ChunkSize - len(w.buf)
+		n := min(room, len(p))
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		written += n
+		if len(w.buf) == ChunkSize {
+			if err := w.flushChunk(); err != nil {
+				w.err = err
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+func (w *Writer) flushChunk() error {
+	ct, err := w.cipher.Seal(w.buf, chunkAAD(w.fileID, w.index))
+	if err != nil {
+		return fmt.Errorf("pfs: seal chunk %d: %w", w.index, err)
+	}
+	if _, err := w.dst.Write(ct); err != nil {
+		return fmt.Errorf("pfs: write chunk %d: %w", w.index, err)
+	}
+	w.leaves = append(w.leaves, leafHash(ct))
+	w.plain += int64(len(w.buf))
+	w.index++
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes the final chunk, writes the Merkle tree and the
+// authenticated footer, and invalidates the writer. It does not close the
+// underlying destination.
+func (w *Writer) Close() error {
+	if w.closed {
+		return ErrWriterClosed
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	// An empty file is stored as a single empty chunk so that the format
+	// (and the integrity protection) is uniform.
+	if len(w.buf) > 0 || w.index == 0 {
+		if err := w.flushChunk(); err != nil {
+			return err
+		}
+	}
+	levels := buildTree(w.leaves)
+	// The leaf level is recomputable from the chunk ciphertexts and is not
+	// stored; everything above it is.
+	for _, level := range levels[1:] {
+		for _, node := range level {
+			if _, err := w.dst.Write(node[:]); err != nil {
+				return fmt.Errorf("pfs: write tree: %w", err)
+			}
+		}
+	}
+	f := footer{plainSize: w.plain, numChunks: w.index, root: levels[len(levels)-1][0]}
+	if _, err := w.dst.Write(f.encode(w.macKey)); err != nil {
+		return fmt.Errorf("pfs: write footer: %w", err)
+	}
+	return nil
+}
+
+// Encrypt is the one-shot convenience: it protects plaintext and returns
+// the encoded blob.
+func Encrypt(fileKey pae.Key, fileID, plaintext []byte) ([]byte, error) {
+	var buf sliceWriter
+	w, err := NewWriter(fileKey, fileID, &buf)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(plaintext); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.data, nil
+}
+
+// sliceWriter is a minimal in-memory io.Writer that keeps ownership of
+// its buffer (bytes.Buffer would also work; this avoids the extra copy on
+// extraction).
+type sliceWriter struct{ data []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.data = append(s.data, p...)
+	return len(p), nil
+}

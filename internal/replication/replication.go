@@ -1,0 +1,189 @@
+// Package replication implements SeGShare replication (paper §V-F):
+// deploying multiple SeGShare enclaves over one central data repository
+// requires every enclave to hold the same root key SK_r. A fresh
+// (non-root) enclave obtains SK_r from a root enclave by mutual remote
+// attestation: each side verifies that the other runs an enclave with the
+// *same measurement* — and hence was compiled for the same CA, whose
+// public key is part of the measured code — and the key travels over an
+// ephemeral ECDH channel bound into both quotes.
+//
+// The package is transport-agnostic: KeyRequest and KeyResponse are plain
+// values the caller may ship over any channel; all security comes from
+// the quotes and the key schedule, not the transport.
+package replication
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"segshare/internal/enclave"
+	"segshare/internal/pae"
+)
+
+// Replication errors.
+var (
+	// ErrAttestation is returned when the peer's quote fails verification
+	// or reports a different measurement.
+	ErrAttestation = errors.New("replication: peer attestation failed")
+	// ErrBinding is returned when a quote does not bind the expected
+	// handshake transcript.
+	ErrBinding = errors.New("replication: quote does not bind handshake")
+	// ErrDecrypt is returned when the encrypted root key cannot be
+	// recovered.
+	ErrDecrypt = errors.New("replication: root key decryption failed")
+)
+
+// KeyRequest is the non-root enclave's first message.
+type KeyRequest struct {
+	// Quote attests the requesting enclave and binds ECDHPub.
+	Quote *enclave.Quote
+	// ECDHPub is the requester's ephemeral X25519 public key.
+	ECDHPub []byte
+}
+
+// KeyResponse is the root enclave's reply.
+type KeyResponse struct {
+	// Quote attests the root enclave and binds the whole handshake.
+	Quote *enclave.Quote
+	// ECDHPub is the provider's ephemeral X25519 public key.
+	ECDHPub []byte
+	// EncryptedRootKey is SK_r sealed under the handshake key.
+	EncryptedRootKey []byte
+}
+
+func requestBinding(ecdhPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("segshare-replication-request/v1\x00"))
+	h.Write(ecdhPub)
+	return h.Sum(nil)
+}
+
+func responseBinding(requesterPub, providerPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("segshare-replication-response/v1\x00"))
+	h.Write(requesterPub)
+	h.Write(providerPub)
+	return h.Sum(nil)
+}
+
+func handshakeKey(shared, requesterPub, providerPub []byte) (pae.Key, error) {
+	context := append(append([]byte{}, requesterPub...), providerPub...)
+	return pae.DeriveKey(shared, "replication-root-key-wrap", context)
+}
+
+// Requester is the non-root enclave's side of the protocol.
+type Requester struct {
+	enclave *enclave.Enclave
+	priv    *ecdh.PrivateKey
+	request *KeyRequest
+}
+
+// NewRequester generates the ephemeral key and the attested request.
+func NewRequester(e *enclave.Enclave) (*Requester, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("replication: ephemeral key: %w", err)
+	}
+	pub := priv.PublicKey().Bytes()
+	quote, err := e.Quote(requestBinding(pub))
+	if err != nil {
+		return nil, err
+	}
+	return &Requester{
+		enclave: e,
+		priv:    priv,
+		request: &KeyRequest{Quote: quote, ECDHPub: pub},
+	}, nil
+}
+
+// Request returns the message to send to a root enclave.
+func (r *Requester) Request() *KeyRequest { return r.request }
+
+// Receive verifies the root enclave's response — signature under the
+// provider platform's attestation key, measurement equal to the
+// requester's own, handshake binding — and recovers SK_r.
+func (r *Requester) Receive(resp *KeyResponse, providerAttKey *ecdsa.PublicKey) ([]byte, error) {
+	if err := enclave.VerifyQuote(providerAttKey, resp.Quote, r.enclave.Measurement()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	var want [enclave.ReportDataSize]byte
+	copy(want[:], responseBinding(r.request.ECDHPub, resp.ECDHPub))
+	if resp.Quote.ReportData != want {
+		return nil, ErrBinding
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(resp.ECDHPub)
+	if err != nil {
+		return nil, fmt.Errorf("replication: peer key: %w", err)
+	}
+	shared, err := r.priv.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("replication: ecdh: %w", err)
+	}
+	key, err := handshakeKey(shared, r.request.ECDHPub, resp.ECDHPub)
+	if err != nil {
+		return nil, err
+	}
+	rootKey, err := pae.Decrypt(key, resp.EncryptedRootKey, []byte("segshare-root-key"))
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return rootKey, nil
+}
+
+// Provider is the root enclave's side of the protocol: it holds SK_r and
+// releases it only to enclaves with its own measurement.
+type Provider struct {
+	enclave *enclave.Enclave
+	rootKey []byte
+}
+
+// NewProvider wraps a root enclave and its root key. The key is copied.
+func NewProvider(e *enclave.Enclave, rootKey []byte) *Provider {
+	k := make([]byte, len(rootKey))
+	copy(k, rootKey)
+	return &Provider{enclave: e, rootKey: k}
+}
+
+// Respond verifies the requester's quote — signed by the requester
+// platform's attestation key and reporting the provider's own measurement
+// — and returns the encrypted root key.
+func (p *Provider) Respond(req *KeyRequest, requesterAttKey *ecdsa.PublicKey) (*KeyResponse, error) {
+	if err := enclave.VerifyQuote(requesterAttKey, req.Quote, p.enclave.Measurement()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	var want [enclave.ReportDataSize]byte
+	copy(want[:], requestBinding(req.ECDHPub))
+	if req.Quote.ReportData != want {
+		return nil, ErrBinding
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(req.ECDHPub)
+	if err != nil {
+		return nil, fmt.Errorf("replication: peer key: %w", err)
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("replication: ephemeral key: %w", err)
+	}
+	shared, err := priv.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("replication: ecdh: %w", err)
+	}
+	pub := priv.PublicKey().Bytes()
+	key, err := handshakeKey(shared, req.ECDHPub, pub)
+	if err != nil {
+		return nil, err
+	}
+	encrypted, err := pae.Encrypt(key, p.rootKey, []byte("segshare-root-key"))
+	if err != nil {
+		return nil, err
+	}
+	quote, err := p.enclave.Quote(responseBinding(req.ECDHPub, pub))
+	if err != nil {
+		return nil, err
+	}
+	return &KeyResponse{Quote: quote, ECDHPub: pub, EncryptedRootKey: encrypted}, nil
+}

@@ -1,0 +1,138 @@
+package replication
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"segshare/internal/enclave"
+)
+
+var replCode = enclave.CodeIdentity{Name: "segshare", Version: 1, Config: []byte("ca-pub")}
+
+func launch(t *testing.T, code enclave.CodeIdentity) (*enclave.Platform, *enclave.Enclave) {
+	t.Helper()
+	p, err := enclave.NewPlatform(enclave.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, e
+}
+
+func TestRootKeyTransfer(t *testing.T) {
+	rootPlatform, rootEnclave := launch(t, replCode)
+	replicaPlatform, replicaEnclave := launch(t, replCode)
+
+	rootKey := bytes.Repeat([]byte{0x42}, 32)
+	provider := NewProvider(rootEnclave, rootKey)
+
+	req, err := NewRequester(replicaEnclave)
+	if err != nil {
+		t.Fatalf("NewRequester: %v", err)
+	}
+	resp, err := provider.Respond(req.Request(), replicaPlatform.AttestationPublicKey())
+	if err != nil {
+		t.Fatalf("Respond: %v", err)
+	}
+	got, err := req.Receive(resp, rootPlatform.AttestationPublicKey())
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if !bytes.Equal(got, rootKey) {
+		t.Fatalf("transferred key = %x", got)
+	}
+}
+
+func TestProviderRejectsDifferentMeasurement(t *testing.T) {
+	_, rootEnclave := launch(t, replCode)
+	evilPlatform, evilEnclave := launch(t, enclave.CodeIdentity{Name: "evil", Version: 1})
+
+	provider := NewProvider(rootEnclave, make([]byte, 32))
+	req, err := NewRequester(evilEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := provider.Respond(req.Request(), evilPlatform.AttestationPublicKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("want ErrAttestation, got %v", err)
+	}
+}
+
+func TestProviderRejectsForgedQuoteKey(t *testing.T) {
+	_, rootEnclave := launch(t, replCode)
+	otherPlatform, _ := launch(t, replCode)
+	_, replicaEnclave := launch(t, replCode)
+
+	provider := NewProvider(rootEnclave, make([]byte, 32))
+	req, err := NewRequester(replicaEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verifying against the wrong platform's attestation key must fail.
+	if _, err := provider.Respond(req.Request(), otherPlatform.AttestationPublicKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("want ErrAttestation, got %v", err)
+	}
+}
+
+func TestProviderRejectsUnboundECDHKey(t *testing.T) {
+	_, rootEnclave := launch(t, replCode)
+	replicaPlatform, replicaEnclave := launch(t, replCode)
+
+	provider := NewProvider(rootEnclave, make([]byte, 32))
+	req, err := NewRequester(replicaEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A MITM swaps the ECDH key after quoting.
+	tampered := *req.Request()
+	tampered.ECDHPub = bytes.Clone(tampered.ECDHPub)
+	tampered.ECDHPub[0] ^= 1
+	if _, err := provider.Respond(&tampered, replicaPlatform.AttestationPublicKey()); !errors.Is(err, ErrBinding) {
+		t.Fatalf("want ErrBinding, got %v", err)
+	}
+}
+
+func TestRequesterRejectsBadResponses(t *testing.T) {
+	rootPlatform, rootEnclave := launch(t, replCode)
+	replicaPlatform, replicaEnclave := launch(t, replCode)
+
+	provider := NewProvider(rootEnclave, bytes.Repeat([]byte{1}, 32))
+	req, err := NewRequester(replicaEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := provider.Respond(req.Request(), replicaPlatform.AttestationPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong provider attestation key", func(t *testing.T) {
+		if _, err := req.Receive(resp, replicaPlatform.AttestationPublicKey()); !errors.Is(err, ErrAttestation) {
+			t.Fatalf("want ErrAttestation, got %v", err)
+		}
+	})
+	t.Run("swapped ecdh key", func(t *testing.T) {
+		tampered := *resp
+		tampered.ECDHPub = bytes.Clone(resp.ECDHPub)
+		tampered.ECDHPub[3] ^= 1
+		if _, err := req.Receive(&tampered, rootPlatform.AttestationPublicKey()); !errors.Is(err, ErrBinding) {
+			t.Fatalf("want ErrBinding, got %v", err)
+		}
+	})
+	t.Run("tampered ciphertext", func(t *testing.T) {
+		tampered := *resp
+		tampered.EncryptedRootKey = bytes.Clone(resp.EncryptedRootKey)
+		tampered.EncryptedRootKey[5] ^= 1
+		if _, err := req.Receive(&tampered, rootPlatform.AttestationPublicKey()); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("want ErrDecrypt, got %v", err)
+		}
+	})
+	t.Run("valid response still accepted", func(t *testing.T) {
+		if _, err := req.Receive(resp, rootPlatform.AttestationPublicKey()); err != nil {
+			t.Fatalf("Receive: %v", err)
+		}
+	})
+}

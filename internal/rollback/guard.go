@@ -1,0 +1,126 @@
+package rollback
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"segshare/internal/enclave"
+)
+
+// A RootGuard binds a store's root main hash to enclave-protected state
+// so that even a rollback of the *entire* store (root file included) is
+// detected (paper §V-E). The paper proposes two strategies, both
+// implemented here.
+type RootGuard interface {
+	// Commit records the new root digest after a store update and returns
+	// the token to embed in the root file (meaningful only for the
+	// counter strategy; zero otherwise).
+	Commit(root Digest) (token uint64, err error)
+	// Check validates the decrypted root file's digest and token against
+	// the protected state. It returns ErrRollback on mismatch.
+	Check(root Digest, token uint64) error
+	// Reset overwrites the protected state with the given digest/token,
+	// used after a CA-authorized backup restoration (paper §V-G).
+	Reset(root Digest, token uint64) error
+}
+
+// ProtectedMemoryGuard stores the root hash in enclave protected memory —
+// the paper's first strategy. The token is unused.
+type ProtectedMemoryGuard struct {
+	enclave *enclave.Enclave
+	slot    string
+}
+
+var _ RootGuard = (*ProtectedMemoryGuard)(nil)
+
+// NewProtectedMemoryGuard creates a guard using the named protected
+// memory slot of e.
+func NewProtectedMemoryGuard(e *enclave.Enclave, slot string) *ProtectedMemoryGuard {
+	return &ProtectedMemoryGuard{enclave: e, slot: slot}
+}
+
+// Commit implements RootGuard.
+func (g *ProtectedMemoryGuard) Commit(root Digest) (uint64, error) {
+	g.enclave.ProtectedWrite(g.slot, root[:])
+	return 0, nil
+}
+
+// Check implements RootGuard.
+func (g *ProtectedMemoryGuard) Check(root Digest, _ uint64) error {
+	stored, err := g.enclave.ProtectedRead(g.slot)
+	if errors.Is(err, enclave.ErrNoProtectedData) {
+		// First use: nothing committed yet.
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("rollback: protected read: %w", err)
+	}
+	if !bytes.Equal(stored, root[:]) {
+		return fmt.Errorf("%w: root hash differs from protected memory", ErrRollback)
+	}
+	return nil
+}
+
+// Reset implements RootGuard.
+func (g *ProtectedMemoryGuard) Reset(root Digest, _ uint64) error {
+	g.enclave.ProtectedWrite(g.slot, root[:])
+	return nil
+}
+
+// CounterGuard binds the root file to a monotonic counter — the paper's
+// second strategy: every update increments the counter and embeds the new
+// value in the root file; a rolled-back root file carries a stale value.
+type CounterGuard struct {
+	counter *enclave.MonotonicCounter
+}
+
+var _ RootGuard = (*CounterGuard)(nil)
+
+// NewCounterGuard creates a guard over the named monotonic counter of e.
+func NewCounterGuard(e *enclave.Enclave, name string) *CounterGuard {
+	return &CounterGuard{counter: e.Counter(name)}
+}
+
+// Commit implements RootGuard.
+func (g *CounterGuard) Commit(Digest) (uint64, error) {
+	v, err := g.counter.Increment()
+	if err != nil {
+		return 0, fmt.Errorf("rollback: counter increment: %w", err)
+	}
+	return v, nil
+}
+
+// Check implements RootGuard.
+func (g *CounterGuard) Check(_ Digest, token uint64) error {
+	if current := g.counter.Value(); token != current {
+		return fmt.Errorf("%w: root token %d, counter %d", ErrRollback, token, current)
+	}
+	return nil
+}
+
+// Reset implements RootGuard. After a restoration the enclave overwrites
+// the stored token with the counter's current value (paper §V-G); here
+// that means the caller must rewrite the root file with the returned
+// current value, so Reset advances nothing and never fails.
+func (g *CounterGuard) Reset(_ Digest, _ uint64) error { return nil }
+
+// CurrentToken returns the counter's present value, which a restoration
+// writes into the restored root file.
+func (g *CounterGuard) CurrentToken() uint64 { return g.counter.Value() }
+
+// NopGuard disables whole-store rollback protection (the default when the
+// extension is off). Individual-file protection still applies if the tree
+// is enabled.
+type NopGuard struct{}
+
+var _ RootGuard = NopGuard{}
+
+// Commit implements RootGuard.
+func (NopGuard) Commit(Digest) (uint64, error) { return 0, nil }
+
+// Check implements RootGuard.
+func (NopGuard) Check(Digest, uint64) error { return nil }
+
+// Reset implements RootGuard.
+func (NopGuard) Reset(Digest, uint64) error { return nil }

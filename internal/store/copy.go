@@ -1,0 +1,49 @@
+package store
+
+import "fmt"
+
+// Copy replicates every object from src into dst, supporting the paper's
+// backup story (§V-G): "the cloud provider only has to copy the files on
+// disk". Objects already present in dst are overwritten; objects present
+// only in dst are left alone (use CopyExact for a faithful restore).
+func Copy(dst, src Backend) error {
+	names, err := src.List()
+	if err != nil {
+		return fmt.Errorf("store: copy list: %w", err)
+	}
+	for _, name := range names {
+		data, err := src.Get(name)
+		if err != nil {
+			return fmt.Errorf("store: copy get %q: %w", name, err)
+		}
+		if err := dst.Put(name, data); err != nil {
+			return fmt.Errorf("store: copy put %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// CopyExact makes dst an exact replica of src: objects not present in src
+// are deleted from dst first. It is the restore direction of a backup.
+func CopyExact(dst, src Backend) error {
+	srcNames, err := src.List()
+	if err != nil {
+		return fmt.Errorf("store: restore list: %w", err)
+	}
+	keep := make(map[string]bool, len(srcNames))
+	for _, name := range srcNames {
+		keep[name] = true
+	}
+	dstNames, err := dst.List()
+	if err != nil {
+		return fmt.Errorf("store: restore list dst: %w", err)
+	}
+	for _, name := range dstNames {
+		if !keep[name] {
+			if err := dst.Delete(name); err != nil {
+				return fmt.Errorf("store: restore delete %q: %w", name, err)
+			}
+		}
+	}
+	return Copy(dst, src)
+}

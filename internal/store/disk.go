@@ -1,0 +1,246 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk is an on-disk Backend. Each object lives in one file named by the
+// SHA-256 of its object name, so arbitrary names (including SeGShare paths
+// containing "/" and names longer than NAME_MAX) map to flat, safe file
+// names. The object file stores the real name in a small header followed
+// by the payload. Disk supports the file-system backup story of paper
+// §V-G: backing up the store is copying the directory.
+type Disk struct {
+	dir string
+	mu  sync.RWMutex
+}
+
+var _ Backend = (*Disk)(nil)
+
+const diskObjSuffix = ".obj"
+
+// NewDisk creates (if necessary) and opens a disk-backed store rooted at
+// dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the directory holding the store, e.g. for backups.
+func (d *Disk) Dir() string { return d.dir }
+
+func (d *Disk) fileFor(name string) string {
+	sum := sha256.Sum256([]byte(name))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+diskObjSuffix)
+}
+
+func encodeObject(name string, data []byte) []byte {
+	out := make([]byte, 8+len(name)+len(data))
+	binary.BigEndian.PutUint64(out, uint64(len(name)))
+	copy(out[8:], name)
+	copy(out[8+len(name):], data)
+	return out
+}
+
+func decodeObject(raw []byte) (name string, data []byte, err error) {
+	if len(raw) < 8 {
+		return "", nil, errors.New("store: short object file")
+	}
+	n := binary.BigEndian.Uint64(raw)
+	if uint64(len(raw)-8) < n {
+		return "", nil, errors.New("store: truncated object file")
+	}
+	return string(raw[8 : 8+n]), raw[8+n:], nil
+}
+
+// Put implements Backend. Writes go through a temp file plus rename for
+// crash atomicity.
+func (d *Disk) Put(name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeObject(d.fileFor(name), name, data)
+}
+
+func (d *Disk) writeObject(target, name string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(encodeObject(name, data)); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmpName, target); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+func (d *Disk) readObject(name string) ([]byte, error) {
+	raw, err := os.ReadFile(d.fileFor(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	storedName, data, err := decodeObject(raw)
+	if err != nil {
+		return nil, err
+	}
+	if storedName != name {
+		return nil, fmt.Errorf("store: object name mismatch: stored %q, want %q", storedName, name)
+	}
+	return data, nil
+}
+
+// Get implements Backend.
+func (d *Disk) Get(name string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.readObject(name)
+}
+
+// Delete implements Backend.
+func (d *Disk) Delete(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := os.Remove(d.fileFor(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %q", ErrNotExist, name)
+	}
+	if err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return nil
+}
+
+// Rename implements Backend. Because the stored header carries the object
+// name, renaming rewrites the object under its new name.
+func (d *Disk) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := os.Stat(d.fileFor(newName)); err == nil {
+		return fmt.Errorf("%w: %q", ErrExist, newName)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: stat: %w", err)
+	}
+	data, err := d.readObject(oldName)
+	if err != nil {
+		return err
+	}
+	if err := d.writeObject(d.fileFor(newName), newName, data); err != nil {
+		return err
+	}
+	if err := os.Remove(d.fileFor(oldName)); err != nil {
+		return fmt.Errorf("store: remove old: %w", err)
+	}
+	return nil
+}
+
+// Exists implements Backend.
+func (d *Disk) Exists(name string) (bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if _, err := os.Stat(d.fileFor(name)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: stat: %w", err)
+	}
+	return true, nil
+}
+
+func (d *Disk) scan(visit func(name string, payloadBytes int64) error) error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: list: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), diskObjSuffix) {
+			continue
+		}
+		name, size, err := readObjectHeader(filepath.Join(d.dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := visit(name, size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readObjectHeader(file string) (name string, payloadBytes int64, err error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return "", 0, fmt.Errorf("store: open: %w", err)
+	}
+	defer f.Close()
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+		return "", 0, fmt.Errorf("store: header: %w", err)
+	}
+	n := binary.BigEndian.Uint64(lenBuf[:])
+	nameBuf := make([]byte, n)
+	if _, err := io.ReadFull(f, nameBuf); err != nil {
+		return "", 0, fmt.Errorf("store: header name: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return "", 0, fmt.Errorf("store: stat: %w", err)
+	}
+	return string(nameBuf), info.Size() - 8 - int64(n), nil
+}
+
+// List implements Backend.
+func (d *Disk) List() ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var names []string
+	err := d.scan(func(name string, _ int64) error {
+		names = append(names, name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TotalBytes implements Backend. It counts payload bytes only, excluding
+// the name headers, so it is comparable with Memory.TotalBytes.
+func (d *Disk) TotalBytes() (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total int64
+	err := d.scan(func(_ string, payloadBytes int64) error {
+		total += payloadBytes
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}

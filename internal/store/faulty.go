@@ -1,0 +1,109 @@
+package store
+
+import (
+	"sync"
+)
+
+// Faulty wraps a Backend and injects errors on selected operations. It is
+// the failure-injection harness used by tests to verify that I/O faults
+// surface as errors instead of corrupting trusted state.
+type Faulty struct {
+	inner Backend
+
+	mu        sync.Mutex
+	failAfter map[string]int // op name -> remaining successes before failing
+	failWith  error
+}
+
+var _ Backend = (*Faulty)(nil)
+
+// NewFaulty wraps inner. Until FailAfter is called it is transparent.
+func NewFaulty(inner Backend) *Faulty {
+	return &Faulty{inner: inner, failAfter: make(map[string]int)}
+}
+
+// FailAfter arranges for the n-th subsequent invocation of op ("put",
+// "get", "delete", "rename", "exists", "list") to fail with err, counting
+// from 1. n == 1 fails the next call.
+func (f *Faulty) FailAfter(op string, n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAfter[op] = n
+	f.failWith = err
+}
+
+// Clear removes all pending fault injections.
+func (f *Faulty) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAfter = make(map[string]int)
+}
+
+func (f *Faulty) shouldFail(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.failAfter[op]
+	if !ok {
+		return nil
+	}
+	n--
+	if n > 0 {
+		f.failAfter[op] = n
+		return nil
+	}
+	delete(f.failAfter, op)
+	return f.failWith
+}
+
+// Put implements Backend.
+func (f *Faulty) Put(name string, data []byte) error {
+	if err := f.shouldFail("put"); err != nil {
+		return err
+	}
+	return f.inner.Put(name, data)
+}
+
+// Get implements Backend.
+func (f *Faulty) Get(name string) ([]byte, error) {
+	if err := f.shouldFail("get"); err != nil {
+		return nil, err
+	}
+	return f.inner.Get(name)
+}
+
+// Delete implements Backend.
+func (f *Faulty) Delete(name string) error {
+	if err := f.shouldFail("delete"); err != nil {
+		return err
+	}
+	return f.inner.Delete(name)
+}
+
+// Rename implements Backend.
+func (f *Faulty) Rename(oldName, newName string) error {
+	if err := f.shouldFail("rename"); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldName, newName)
+}
+
+// Exists implements Backend.
+func (f *Faulty) Exists(name string) (bool, error) {
+	if err := f.shouldFail("exists"); err != nil {
+		return false, err
+	}
+	return f.inner.Exists(name)
+}
+
+// List implements Backend.
+func (f *Faulty) List() ([]string, error) {
+	if err := f.shouldFail("list"); err != nil {
+		return nil, err
+	}
+	return f.inner.List()
+}
+
+// TotalBytes implements Backend.
+func (f *Faulty) TotalBytes() (int64, error) {
+	return f.inner.TotalBytes()
+}

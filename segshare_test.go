@@ -1,0 +1,651 @@
+package segshare_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"segshare"
+	"segshare/internal/core"
+	"segshare/internal/store"
+)
+
+// deployment is a full SeGShare installation: CA, platform, server
+// serving on a loopback TCP port, and a client factory.
+type deployment struct {
+	authority *segshare.CertAuthority
+	platform  *segshare.Platform
+	server    *segshare.Server
+	cfg       segshare.ServerConfig
+	addr      string
+
+	contentAdv *store.Adversary
+	groupAdv   *store.Adversary
+}
+
+func deploy(t *testing.T, features segshare.Features, fso string) *deployment {
+	t.Helper()
+	authority, err := segshare.NewCA("Integration CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := segshare.NewPlatform(segshare.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contentAdv := store.NewAdversary(store.NewMemory())
+	groupAdv := store.NewAdversary(store.NewMemory())
+	cfg := segshare.ServerConfig{
+		CACertPEM:       authority.CertificatePEM(),
+		ContentStore:    contentAdv,
+		GroupStore:      groupAdv,
+		DedupStore:      segshare.NewMemoryStore(),
+		Features:        features,
+		FileSystemOwner: fso,
+	}
+	server, err := segshare.NewServer(platform, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := segshare.Provision(authority, platform, server, cfg, []string{"localhost"}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+	return &deployment{
+		authority:  authority,
+		platform:   platform,
+		server:     server,
+		cfg:        cfg,
+		addr:       addr.String(),
+		contentAdv: contentAdv,
+		groupAdv:   groupAdv,
+	}
+}
+
+func (d *deployment) client(t *testing.T, user string) *segshare.Client {
+	t.Helper()
+	cred, err := d.authority.IssueClientCertificate(segshare.Identity{
+		UserID: user,
+		Email:  user + "@example.com",
+	}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := segshare.NewClient(segshare.ClientConfig{
+		Addr:       d.addr,
+		CACertPEM:  d.authority.CertificatePEM(),
+		Credential: cred,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+var allFeatures = segshare.Features{
+	Dedup:              true,
+	HidePaths:          true,
+	RollbackProtection: true,
+	Guard:              segshare.GuardCounter,
+}
+
+func TestEndToEndSingleUser(t *testing.T) {
+	for _, tt := range []struct {
+		name     string
+		features segshare.Features
+	}{
+		{name: "base", features: segshare.Features{}},
+		{name: "all-extensions", features: allFeatures},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			d := deploy(t, tt.features, "")
+			alice := d.client(t, "alice")
+
+			who, err := alice.WhoAmI()
+			if err != nil {
+				t.Fatalf("WhoAmI: %v", err)
+			}
+			if who.UserID != "alice" || who.Email != "alice@example.com" {
+				t.Fatalf("identity = %+v", who)
+			}
+
+			if err := alice.Mkdir("/docs/"); err != nil {
+				t.Fatalf("Mkdir: %v", err)
+			}
+			content := bytes.Repeat([]byte("hello world "), 10_000)
+			if err := alice.Upload("/docs/big.txt", content); err != nil {
+				t.Fatalf("Upload: %v", err)
+			}
+			got, err := alice.Download("/docs/big.txt")
+			if err != nil || !bytes.Equal(got, content) {
+				t.Fatalf("Download: %d bytes, err %v", len(got), err)
+			}
+
+			listing, err := alice.List("/docs/")
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			if len(listing.Entries) != 1 || listing.Entries[0].Name != "big.txt" {
+				t.Fatalf("listing = %+v", listing)
+			}
+			if listing.Entries[0].Permission != "rw" {
+				t.Fatalf("owner permission = %s", listing.Entries[0].Permission)
+			}
+
+			if err := alice.Move("/docs/big.txt", "/docs/renamed.txt"); err != nil {
+				t.Fatalf("Move: %v", err)
+			}
+			if _, err := alice.Download("/docs/big.txt"); !errors.Is(err, segshare.ErrNotFound) {
+				t.Fatalf("old path after move: %v", err)
+			}
+			if err := alice.Remove("/docs/renamed.txt"); err != nil {
+				t.Fatalf("Remove: %v", err)
+			}
+			if err := alice.Remove("/docs/"); err != nil {
+				t.Fatalf("Remove dir: %v", err)
+			}
+		})
+	}
+}
+
+func TestEndToEndGroupSharingAndRevocation(t *testing.T) {
+	d := deploy(t, allFeatures, "")
+	alice := d.client(t, "alice")
+	bob := d.client(t, "bob")
+	carol := d.client(t, "carol")
+
+	if err := alice.Mkdir("/team/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Upload("/team/plan.txt", []byte("the plan")); err != nil {
+		t.Fatal(err)
+	}
+	// Strangers are locked out (S1 enforcement path).
+	if _, err := bob.Download("/team/plan.txt"); !errors.Is(err, segshare.ErrPermissionDenied) {
+		t.Fatalf("bob before grant: %v", err)
+	}
+
+	// Group-based sharing (F1, P2).
+	if err := alice.AddUser("bob", "engineering"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SetPermission("/team/plan.txt", "engineering", "rw"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bob.Download("/team/plan.txt")
+	if err != nil || string(got) != "the plan" {
+		t.Fatalf("bob read: %q %v", got, err)
+	}
+	if err := bob.Upload("/team/plan.txt", []byte("revised plan")); err != nil {
+		t.Fatalf("bob write: %v", err)
+	}
+
+	// Membership is per group: carol is out until added.
+	if _, err := carol.Download("/team/plan.txt"); !errors.Is(err, segshare.ErrPermissionDenied) {
+		t.Fatalf("carol: %v", err)
+	}
+	if err := alice.AddUser("carol", "engineering"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := carol.Download("/team/plan.txt"); err != nil {
+		t.Fatalf("carol after add: %v", err)
+	}
+
+	// Immediate membership revocation (P3/S4): one request, no
+	// re-encryption, and bob is out on the very next access.
+	if err := alice.RemoveUser("bob", "engineering"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Download("/team/plan.txt"); !errors.Is(err, segshare.ErrPermissionDenied) {
+		t.Fatalf("bob after revocation: %v", err)
+	}
+	// Carol is unaffected (same encrypted file, same group).
+	if _, err := carol.Download("/team/plan.txt"); err != nil {
+		t.Fatalf("carol after bob's revocation: %v", err)
+	}
+}
+
+func TestEndToEndInheritance(t *testing.T) {
+	d := deploy(t, segshare.Features{}, "")
+	alice := d.client(t, "alice")
+	bob := d.client(t, "bob")
+
+	if err := alice.Mkdir("/wiki/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Upload("/wiki/page1", []byte("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Upload("/wiki/page2", []byte("p2")); err != nil {
+		t.Fatal(err)
+	}
+	// Central management (F10): grant on the directory, flag the files.
+	if err := alice.SetPermission("/wiki/", "user:bob", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SetInherit("/wiki/page1", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Download("/wiki/page1"); err != nil {
+		t.Fatalf("inherited read: %v", err)
+	}
+	// page2 has no inherit flag: still denied.
+	if _, err := bob.Download("/wiki/page2"); !errors.Is(err, segshare.ErrPermissionDenied) {
+		t.Fatalf("non-inheriting file: %v", err)
+	}
+}
+
+func TestEndToEndDeduplication(t *testing.T) {
+	d := deploy(t, segshare.Features{Dedup: true}, "")
+	alice := d.client(t, "alice")
+	bob := d.client(t, "bob")
+
+	payload := bytes.Repeat([]byte("dataset row\n"), 20_000)
+	if err := alice.Upload("/alice-copy.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	size1, err := d.cfg.DedupStore.TotalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different user (different group) uploads identical content
+	// (§V-A: dedup across groups).
+	if err := bob.Upload("/bob-copy.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	size2, err := d.cfg.DedupStore.TotalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size2-size1 > 2048 {
+		t.Fatalf("duplicate upload consumed %d extra dedup bytes", size2-size1)
+	}
+	got, err := bob.Download("/bob-copy.bin")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("bob download: %v", err)
+	}
+}
+
+func TestEndToEndRollbackAttackDetected(t *testing.T) {
+	d := deploy(t, segshare.Features{RollbackProtection: true, Guard: segshare.GuardCounter}, "")
+	alice := d.client(t, "alice")
+
+	if err := alice.Upload("/balance.txt", []byte("100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.contentAdv.RememberObject("/balance.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Upload("/balance.txt", []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	// The provider rolls the single file back to the richer version.
+	if err := d.contentAdv.RollbackObject("/balance.txt"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := alice.Download("/balance.txt")
+	if err == nil {
+		t.Fatal("rolled-back file served successfully")
+	}
+}
+
+func TestEndToEndTamperDetected(t *testing.T) {
+	d := deploy(t, segshare.Features{}, "")
+	alice := d.client(t, "alice")
+	if err := alice.Upload("/ledger.txt", []byte("entries")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.contentAdv.FlipBit("/ledger.txt", 77); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Download("/ledger.txt"); err == nil {
+		t.Fatal("tampered file served successfully")
+	}
+}
+
+func TestEndToEndBackupRestoreWithReset(t *testing.T) {
+	features := segshare.Features{RollbackProtection: true, Guard: segshare.GuardCounter}
+	d := deploy(t, features, "")
+	alice := d.client(t, "alice")
+
+	if err := alice.Upload("/keep.txt", []byte("backed up")); err != nil {
+		t.Fatal(err)
+	}
+	// Backup: the provider copies the encrypted stores (§V-G).
+	contentBackup := segshare.NewMemoryStore()
+	groupBackup := segshare.NewMemoryStore()
+	if err := segshare.CopyStore(contentBackup, d.cfg.ContentStore); err != nil {
+		t.Fatal(err)
+	}
+	if err := segshare.CopyStore(groupBackup, d.cfg.GroupStore); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := alice.Upload("/keep.txt", []byte("post-backup change")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the backup: an older state — the guard must reject it.
+	if err := segshare.RestoreStore(d.cfg.ContentStore, contentBackup); err != nil {
+		t.Fatal(err)
+	}
+	if err := segshare.RestoreStore(d.cfg.GroupStore, groupBackup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Download("/keep.txt"); err == nil {
+		t.Fatal("restored (stale) state served without CA reset")
+	}
+
+	// The CA authorizes the restoration with a signed reset message.
+	nonce, err := d.server.ResetChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := d.authority.SignReset(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.server.AcceptReset(sig); err != nil {
+		t.Fatalf("AcceptReset: %v", err)
+	}
+	got, err := alice.Download("/keep.txt")
+	if err != nil || string(got) != "backed up" {
+		t.Fatalf("after reset: %q %v", got, err)
+	}
+
+	// A forged reset signature is rejected.
+	nonce2, err := d.server.ResetChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = nonce2
+	if err := d.server.AcceptReset([]byte("forged")); err == nil {
+		t.Fatal("forged reset accepted")
+	}
+}
+
+func TestEndToEndReplication(t *testing.T) {
+	// Root server A and replica B share one central data repository
+	// (§V-F) and run on different platforms.
+	d := deploy(t, segshare.Features{}, "")
+	alice := d.client(t, "alice")
+	if err := alice.Upload("/shared-repo.txt", []byte("written via A")); err != nil {
+		t.Fatal(err)
+	}
+
+	replicaPlatform, err := segshare.NewPlatform(segshare.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicaCfg := d.cfg // same stores, same CA, same features
+	provider := segshare.NewReplicationProvider(d.server)
+	rootKey, err := segshare.RequestRootKey(replicaPlatform, replicaCfg, provider, d.platform)
+	if err != nil {
+		t.Fatalf("RequestRootKey: %v", err)
+	}
+	replicaCfg.RootKey = rootKey
+
+	replica, err := segshare.NewServer(replicaPlatform, replicaCfg)
+	if err != nil {
+		t.Fatalf("replica NewServer: %v", err)
+	}
+	defer replica.Close()
+	if err := segshare.Provision(d.authority, replicaPlatform, replica, replicaCfg, []string{"localhost"}); err != nil {
+		t.Fatalf("replica Provision: %v", err)
+	}
+	addr, err := replica.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cred, err := d.authority.IssueClientCertificate(segshare.Identity{UserID: "alice"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaB, err := segshare.NewClient(segshare.ClientConfig{
+		Addr:       addr.String(),
+		CACertPEM:  d.authority.CertificatePEM(),
+		Credential: cred,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaB.Close()
+
+	got, err := viaB.Download("/shared-repo.txt")
+	if err != nil || string(got) != "written via A" {
+		t.Fatalf("read via replica: %q %v", got, err)
+	}
+	if err := viaB.Upload("/via-b.txt", []byte("written via B")); err != nil {
+		t.Fatalf("write via replica: %v", err)
+	}
+	got, err = alice.Download("/via-b.txt")
+	if err != nil || string(got) != "written via B" {
+		t.Fatalf("read via root: %q %v", got, err)
+	}
+}
+
+func TestEndToEndServerRestartPersistence(t *testing.T) {
+	d := deploy(t, segshare.Features{RollbackProtection: true, Guard: segshare.GuardProtectedMemory}, "")
+	alice := d.client(t, "alice")
+	if err := alice.Upload("/durable.txt", []byte("survives restarts")); err != nil {
+		t.Fatal(err)
+	}
+	d.server.Close()
+
+	// Relaunch on the same platform with the same stores: sealing
+	// restores SK_r, the persisted server certificate restores the TLS
+	// identity without re-provisioning.
+	server2, err := segshare.NewServer(d.platform, d.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server2.Close()
+	if !server2.HasCertificate() {
+		t.Fatal("persisted certificate not restored")
+	}
+	addr, err := server2.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.addr = addr.String()
+	alice2 := d.client(t, "alice")
+	got, err := alice2.Download("/durable.txt")
+	if err != nil || string(got) != "survives restarts" {
+		t.Fatalf("after restart: %q %v", got, err)
+	}
+}
+
+func TestEndToEndConcurrentUsers(t *testing.T) {
+	d := deploy(t, segshare.Features{}, "")
+	const users = 6
+	errs := make(chan error, users)
+	for i := 0; i < users; i++ {
+		go func(i int) {
+			user := fmt.Sprintf("user%d", i)
+			c := d.client(t, user)
+			dir := fmt.Sprintf("/u%d/", i)
+			if err := c.Mkdir(dir); err != nil {
+				errs <- fmt.Errorf("%s mkdir: %w", user, err)
+				return
+			}
+			for j := 0; j < 5; j++ {
+				path := fmt.Sprintf("%sf%d", dir, j)
+				payload := []byte(fmt.Sprintf("%s-%d", user, j))
+				if err := c.Upload(path, payload); err != nil {
+					errs <- fmt.Errorf("%s upload: %w", user, err)
+					return
+				}
+				got, err := c.Download(path)
+				if err != nil || !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("%s download: %v", user, err)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < users; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEndToEndUnknownCAClientRejected(t *testing.T) {
+	d := deploy(t, segshare.Features{}, "")
+	foreign, err := segshare.NewCA("Foreign CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := foreign.IssueClientCertificate(segshare.Identity{UserID: "mallory"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mallory, err := segshare.NewClient(segshare.ClientConfig{
+		Addr:       d.addr,
+		CACertPEM:  d.authority.CertificatePEM(),
+		Credential: cred,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mallory.Close()
+	if err := mallory.Upload("/x", []byte("x")); err == nil {
+		t.Fatal("foreign-CA client accepted")
+	}
+}
+
+// TestMeasurementBindsConfiguration: the enclave measurement must change
+// whenever any security-relevant configuration changes — otherwise an
+// operator could silently disable an extension without failing the CA's
+// attestation check.
+func TestMeasurementBindsConfiguration(t *testing.T) {
+	authority, err := segshare.NewCA("measured CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := segshare.ServerConfig{
+		CACertPEM:    authority.CertificatePEM(),
+		ContentStore: segshare.NewMemoryStore(),
+		GroupStore:   segshare.NewMemoryStore(),
+	}
+	measurementOf := func(cfg segshare.ServerConfig) segshare.Measurement {
+		t.Helper()
+		m, err := core.ExpectedMeasurement(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	baseM := measurementOf(base)
+
+	variants := map[string]func(*segshare.ServerConfig){
+		"version": func(c *segshare.ServerConfig) { c.Version = 2 },
+		"rollback": func(c *segshare.ServerConfig) {
+			c.Features.RollbackProtection = true
+		},
+		"guard": func(c *segshare.ServerConfig) {
+			c.Features.RollbackProtection = true
+			c.Features.Guard = segshare.GuardCounter
+		},
+		"dedup":      func(c *segshare.ServerConfig) { c.Features.Dedup = true },
+		"hide-paths": func(c *segshare.ServerConfig) { c.Features.HidePaths = true },
+		"fso":        func(c *segshare.ServerConfig) { c.FileSystemOwner = "admin" },
+	}
+	for name, mutate := range variants {
+		cfg := base
+		mutate(&cfg)
+		if measurementOf(cfg) == baseM {
+			t.Errorf("variant %q did not change the measurement", name)
+		}
+	}
+
+	// A different CA changes the measurement too (paper §III-B: the CA
+	// key is hard-coded into the enclave).
+	other, err := segshare.NewCA("other CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.CACertPEM = other.CertificatePEM()
+	if measurementOf(cfg) == baseM {
+		t.Error("different CA did not change the measurement")
+	}
+	// Storage backends are NOT measured (they are untrusted).
+	cfg = base
+	cfg.ContentStore = segshare.NewMemoryStore()
+	if measurementOf(cfg) != baseM {
+		t.Error("untrusted store choice changed the measurement")
+	}
+}
+
+// TestWhoAmIReportsOwnedGroups checks the ownership report end to end.
+func TestWhoAmIReportsOwnedGroups(t *testing.T) {
+	d := deploy(t, segshare.Features{}, "")
+	alice := d.client(t, "alice")
+	bob := d.client(t, "bob")
+
+	if err := alice.AddUser("bob", "team"); err != nil {
+		t.Fatal(err)
+	}
+	whoAlice, err := alice.WhoAmI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsStr(whoAlice.OwnedGroups, "team") {
+		t.Fatalf("alice owned groups = %v", whoAlice.OwnedGroups)
+	}
+	whoBob, err := bob.WhoAmI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsStr(whoBob.OwnedGroups, "team") {
+		t.Fatalf("bob owns team: %v", whoBob.OwnedGroups)
+	}
+	if !containsStr(whoBob.Groups, "team") {
+		t.Fatalf("bob groups = %v", whoBob.Groups)
+	}
+}
+
+func containsStr(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRuntimeCertificateReplacement: the CA can re-run the provisioning
+// exchange at any time (paper §IV-A) and new connections pick up the
+// fresh certificate with no restart.
+func TestRuntimeCertificateReplacement(t *testing.T) {
+	d := deploy(t, segshare.Features{}, "")
+	alice := d.client(t, "alice")
+	if err := alice.Upload("/before.txt", []byte("pre-roll")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-provision mid-flight.
+	if err := segshare.Provision(d.authority, d.platform, d.server, d.cfg, []string{"localhost"}); err != nil {
+		t.Fatalf("re-provision: %v", err)
+	}
+
+	// A NEW connection must work against the rolled certificate.
+	fresh := d.client(t, "alice")
+	got, err := fresh.Download("/before.txt")
+	if err != nil || string(got) != "pre-roll" {
+		t.Fatalf("after roll: %q %v", got, err)
+	}
+	if err := fresh.Upload("/after.txt", []byte("post-roll")); err != nil {
+		t.Fatalf("upload after roll: %v", err)
+	}
+}
