@@ -23,16 +23,24 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|all")
-		full   = flag.Bool("full", false, "use paper-scale parameters (slow)")
-		runs   = flag.Int("runs", 0, "override runs per data point")
-		maxExp = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
-		wan    = flag.Bool("wan", false, "simulate the paper's Azure inter-region link")
+		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|all")
+		full       = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		runs       = flag.Int("runs", 0, "override runs per data point")
+		maxExp     = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
+		wan        = flag.Bool("wan", false, "simulate the paper's Azure inter-region link")
+		metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of the accumulated metrics (e.g. BENCH_metrics.json)")
 	)
 	flag.Parse()
 	if err := run(*exp, *full, *runs, *maxExp, *wan); err != nil {
 		fmt.Fprintln(os.Stderr, "segshare-bench:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := bench.WriteMetricsJSON(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "segshare-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmetrics snapshot written to %s\n", *metricsOut)
 	}
 }
 

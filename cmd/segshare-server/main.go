@@ -13,12 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 
 	"segshare"
+	"segshare/internal/obs"
 )
 
 func main() {
@@ -39,8 +43,15 @@ func run() error {
 		hide     = flag.Bool("hide-paths", false, "hide filenames and directory structure (§V-C)")
 		rollback = flag.Bool("rollback", false, "enable individual-file rollback protection (§V-D)")
 		guard    = flag.String("guard", "none", "whole-file-system guard: none|protmem|counter (§V-E)")
+		admin    = flag.String("admin", "127.0.0.1:8444", "untrusted admin listener serving /metrics, /debug/vars, /debug/traces, and /debug/pprof (empty disables)")
+		logLevel = flag.String("log", "info", "request log level on stderr: debug|info|warn|error|off")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
 
 	certPEM, err := os.ReadFile(filepath.Join(*pkiDir, "ca-cert.pem"))
 	if err != nil {
@@ -85,6 +96,7 @@ func run() error {
 		GroupStore:      groupStore,
 		Features:        features,
 		FileSystemOwner: *fso,
+		Logger:          logger,
 	}
 	if features.Dedup {
 		dedupStore, err := segshare.NewDiskStore(filepath.Join(*dataDir, "dedup"))
@@ -121,9 +133,55 @@ func run() error {
 	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s)\n",
 		listenAddr, *dedup, *hide, *rollback, *guard)
 
+	if *admin != "" {
+		adminAddr, err := serveAdmin(*admin, server)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("admin listener on http://%s (/metrics, /debug/vars, /debug/traces, /debug/pprof)\n", adminAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
 	return nil
+}
+
+// serveAdmin starts the untrusted observability endpoint. It runs
+// outside the enclave boundary and on plain HTTP by design: everything
+// it can serve has already passed the leak budget (package obs) — only
+// aggregate counters, bucketed durations, op-class labels, and process
+// profiles of the untrusted runtime. Keep it on loopback or a
+// management network; it needs no client certificates.
+func serveAdmin(addr string, server *segshare.Server) (net.Addr, error) {
+	listener, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listener: %w", err)
+	}
+	srv := &http.Server{Handler: obs.Handler(server.Obs(), server.Traces())}
+	go srv.Serve(listener)
+	return listener.Addr(), nil
+}
+
+// newLogger builds the request logger for the level name, or a
+// discarding logger for "off". Request logs carry only op class, status,
+// and duration — the same leak budget as the metrics.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "off", "none", "":
+		return slog.New(slog.DiscardHandler), nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }

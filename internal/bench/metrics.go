@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"segshare/internal/obs"
+)
+
+// WriteMetricsJSON dumps a JSON snapshot of the process-wide metric
+// registry to path. Every Env built by this package registers its
+// instruments in obs.Default(), so after a run the snapshot holds the
+// accumulated counters and histograms of all experiments — the same
+// signals the admin listener serves at /debug/vars, written next to the
+// BENCH_*.json result files for offline comparison.
+func WriteMetricsJSON(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("bench: metrics dir: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: metrics out: %w", err)
+	}
+	defer f.Close()
+	if err := obs.Default().WriteJSON(f, nil); err != nil {
+		return fmt.Errorf("bench: write metrics: %w", err)
+	}
+	return f.Close()
+}

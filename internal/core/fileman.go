@@ -65,6 +65,8 @@ type fileManager struct {
 	hidePaths  bool
 	rollbackOn bool
 	validate   bool
+
+	obs *serverObs
 }
 
 type fmConfig struct {
@@ -78,6 +80,7 @@ type fmConfig struct {
 	dedupEnabled bool
 	contentGuard rollback.RootGuard
 	groupGuard   rollback.RootGuard
+	obs          *serverObs
 }
 
 func newFileManager(cfg fmConfig) (*fileManager, error) {
@@ -95,6 +98,9 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 	if cfg.groupGuard == nil {
 		cfg.groupGuard = rollback.NopGuard{}
 	}
+	if cfg.obs == nil {
+		cfg.obs = newServerObs(nil, nil)
+	}
 	fm := &fileManager{
 		rootKey:    cfg.rootKey,
 		hideKey:    hideKey,
@@ -102,6 +108,7 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 		hidePaths:  cfg.hidePaths,
 		rollbackOn: cfg.rollbackOn,
 		validate:   cfg.rollbackOn,
+		obs:        cfg.obs,
 	}
 	fm.content = &namespace{
 		kind:     contentRootKey,
@@ -125,7 +132,7 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 		isInner: func(name string) bool { return name == groupRootName },
 	}
 	if cfg.dedupEnabled {
-		ds, err := dedup.New(cfg.dedupStore, cfg.rootKey)
+		ds, err := dedup.New(cfg.dedupStore, cfg.rootKey, dedup.WithObs(cfg.obs.reg))
 		if err != nil {
 			return nil, err
 		}

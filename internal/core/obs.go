@@ -1,0 +1,76 @@
+package core
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"segshare/internal/obs"
+)
+
+// serverObs bundles the server's observability state: the metric
+// registry, the per-request trace recorder, and the structured logger.
+// Every signal leaving this struct crosses the enclave boundary, so all
+// of it is op-class-and-aggregate only — request identity (user, group,
+// path) stays inside (see the leak budget in package obs).
+type serverObs struct {
+	reg    *obs.Registry
+	logger *slog.Logger
+	traces *obs.TraceRecorder
+	reqSeq atomic.Uint64
+
+	inflight *obs.Gauge
+
+	// Rollback hash-tree instruments (paper §V-D/E hot paths).
+	treeUpdateDepth   *obs.Histogram
+	treeValidateDepth *obs.Histogram
+	rollbackFailures  *obs.Counter
+}
+
+func newServerObs(reg *obs.Registry, logger *slog.Logger) *serverObs {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &serverObs{
+		reg:               reg,
+		logger:            logger,
+		traces:            obs.NewTraceRecorder(obs.DefaultTraceCapacity),
+		inflight:          reg.Gauge("segshare_requests_inflight", "Requests currently being handled.", nil),
+		treeUpdateDepth:   reg.Histogram("segshare_rollback_tree_update_depth", "Ancestor levels written per rollback-tree update.", nil),
+		treeValidateDepth: reg.Histogram("segshare_rollback_tree_validate_depth", "Ancestor levels checked per rollback-tree validation.", nil),
+		rollbackFailures:  reg.Counter("segshare_rollback_failures_total", "Requests rejected by rollback/integrity verification.", nil),
+	}
+}
+
+// observeRequest records one finished request: counter by op class and
+// status class, latency histogram by op class, and byte traffic.
+func (o *serverObs) observeRequest(op string, status int, dur time.Duration, bytesIn, bytesOut int64) {
+	o.reg.Counter("segshare_requests_total", "Handled requests by operation class and status class.",
+		obs.Labels{"op": op, "code": statusClass(status)}).Inc()
+	o.reg.Histogram("segshare_request_ns", "End-to-end request handling latency (ns).",
+		obs.Labels{"op": op}).ObserveDuration(dur)
+	if bytesIn > 0 {
+		o.reg.Counter("segshare_request_body_bytes_total", "Request body bytes received.", nil).Add(uint64(bytesIn))
+	}
+	if bytesOut > 0 {
+		o.reg.Counter("segshare_response_body_bytes_total", "Response body bytes sent.", nil).Add(uint64(bytesOut))
+	}
+}
+
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	case status >= 200:
+		return "2xx"
+	default:
+		return "1xx"
+	}
+}

@@ -8,8 +8,7 @@ import (
 	"encoding/pem"
 	"errors"
 	"fmt"
-	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -17,6 +16,7 @@ import (
 
 	"segshare/internal/enclave"
 	"segshare/internal/enctls"
+	"segshare/internal/obs"
 	"segshare/internal/rollback"
 	"segshare/internal/store"
 )
@@ -75,6 +75,15 @@ type Config struct {
 	RootKey []byte
 	// Bridge tunes the switchless call bridge.
 	Bridge enclave.BridgeConfig
+	// Logger receives structured request logs (request id, operation
+	// class, status, duration — never paths, users, or groups). Nil means
+	// discard, which keeps tests and benchmarks quiet.
+	Logger *slog.Logger
+	// Obs is the metric registry the server and all its components
+	// (bridge, stores, dedup, rollback tree) report into. Nil means
+	// obs.Default(). Exported telemetry is bounded by the leak budget
+	// documented in package obs.
+	Obs *obs.Registry
 }
 
 // Server is one SeGShare enclave with its untrusted plumbing: the call
@@ -91,6 +100,7 @@ type Server struct {
 	certifier *Certifier
 	fm        *fileManager
 	ac        *accessControl
+	obs       *serverObs
 
 	// mu serializes state-changing requests against readers.
 	mu sync.RWMutex
@@ -150,6 +160,19 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		return nil, errors.New("segshare: whole-file-system guard requires rollback protection")
 	}
 
+	sObs := newServerObs(cfg.Obs, cfg.Logger)
+	// All backend traffic is measured through store.Instrumented; the
+	// labels name the store role only. The bridge reports into the same
+	// registry.
+	cfg.ContentStore = store.NewInstrumented(cfg.ContentStore, "content", sObs.reg)
+	cfg.GroupStore = store.NewInstrumented(cfg.GroupStore, "group", sObs.reg)
+	if cfg.DedupStore != nil {
+		cfg.DedupStore = store.NewInstrumented(cfg.DedupStore, "dedup", sObs.reg)
+	}
+	if cfg.Bridge.Obs == nil {
+		cfg.Bridge.Obs = sObs.reg
+	}
+
 	block, _ := pem.Decode(cfg.CACertPEM)
 	if block == nil {
 		return nil, errors.New("segshare: invalid CA certificate PEM")
@@ -202,6 +225,7 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		dedupEnabled: cfg.Features.Dedup,
 		contentGuard: contentGuard,
 		groupGuard:   groupGuard,
+		obs:          sObs,
 	})
 	if err != nil {
 		return nil, err
@@ -215,6 +239,7 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		fm:        fm,
 		ac:        &accessControl{fm: fm, fso: userID(cfg.FileSystemOwner)},
 		certifier: newCertifier(encl, cfg.GroupStore, caPub),
+		obs:       sObs,
 	}
 
 	s.bridge = enclave.NewBridge(cfg.Bridge)
@@ -280,6 +305,13 @@ func (s *Server) RootKey() []byte {
 // BridgeMetrics returns switchless-call traffic counters.
 func (s *Server) BridgeMetrics() enclave.BridgeMetrics { return s.bridge.Metrics() }
 
+// Obs returns the server's metric registry, e.g. to mount obs.Handler on
+// an untrusted admin listener.
+func (s *Server) Obs() *obs.Registry { return s.obs.reg }
+
+// Traces returns the server's request trace recorder.
+func (s *Server) Traces() *obs.TraceRecorder { return s.obs.traces }
+
 // HasCertificate reports whether a server certificate is installed.
 func (s *Server) HasCertificate() bool {
 	_, err := s.certifier.Certificate()
@@ -302,8 +334,9 @@ func (s *Server) Serve(listener net.Listener) error {
 			Handler:           s.handler(),
 			ReadHeaderTimeout: 30 * time.Second,
 			// Failed handshakes (e.g. rejected client certificates) are
-			// expected under the threat model; don't spam the host log.
-			ErrorLog: log.New(io.Discard, "", 0),
+			// expected under the threat model; route them to the
+			// structured logger at debug level (discarded by default).
+			ErrorLog: slog.NewLogLogger(s.obs.logger.Handler(), slog.LevelDebug),
 		}
 		go func() {
 			_ = s.httpServer.Serve(s.endpoint)

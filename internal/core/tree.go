@@ -17,6 +17,13 @@ import (
 // namespaced by store kind.
 func treeID(ns *namespace, name string) string { return ns.kind + ":" + name }
 
+// rollbackFailed counts a rejected validation and passes the error
+// through.
+func (fm *fileManager) rollbackFailed(err error) error {
+	fm.obs.rollbackFailures.Inc()
+	return err
+}
+
 // bucketOp describes one child-hash change in a parent's buckets.
 // A zero oldMain means the child is new; a zero newMain means it is being
 // removed.
@@ -131,7 +138,10 @@ func (fm *fileManager) applyBucketOps(hdr *rollback.Header, ops []bucketOp) {
 // child's main hash in each ancestor's bucket and re-deriving the
 // ancestor's main hash.
 func (fm *fileManager) propagateReplace(ns *namespace, child string, oldMain, newMain rollback.Digest) error {
+	depth := 0
+	defer func() { fm.obs.treeUpdateDepth.Observe(uint64(depth)) }()
 	for name := ns.parentOf(child); name != ""; name = ns.parentOf(name) {
+		depth++
 		hdr, body, err := fm.getBlob(ns, name)
 		if err != nil {
 			return err
@@ -188,7 +198,7 @@ func (fm *fileManager) validateNode(ns *namespace, name string, hdr *rollback.He
 		return nil
 	}
 	if hdr == nil {
-		return fmt.Errorf("%w: %s: missing rollback header", ErrIntegrity, name)
+		return fm.rollbackFailed(fmt.Errorf("%w: %s: missing rollback header", ErrIntegrity, name))
 	}
 	var want rollback.Digest
 	if hdr.Inner {
@@ -197,11 +207,13 @@ func (fm *fileManager) validateNode(ns *namespace, name string, hdr *rollback.He
 		want = fm.hasher.LeafMain(treeID(ns, name), rollback.ContentDigest(body))
 	}
 	if want != hdr.Main {
-		return fmt.Errorf("%w: %s: stale main hash", ErrRollback, name)
+		return fm.rollbackFailed(fmt.Errorf("%w: %s: stale main hash", ErrRollback, name))
 	}
+	depth := 0
+	defer func() { fm.obs.treeValidateDepth.Observe(uint64(depth)) }()
 	if name == ns.rootName {
 		if err := ns.guard.Check(hdr.Main, hdr.Token); err != nil {
-			return fmt.Errorf("%w: %s: %v", ErrRollback, name, err)
+			return fm.rollbackFailed(fmt.Errorf("%w: %s: %v", ErrRollback, name, err))
 		}
 		return nil
 	}
@@ -209,6 +221,7 @@ func (fm *fileManager) validateNode(ns *namespace, name string, hdr *rollback.He
 	child := name
 	childMain := hdr.Main
 	for anc := ns.parentOf(name); anc != ""; anc = ns.parentOf(anc) {
+		depth++
 		ancHdr, ancBody, err := fm.getBlob(ns, anc)
 		if err != nil {
 			return err
@@ -219,7 +232,7 @@ func (fm *fileManager) validateNode(ns *namespace, name string, hdr *rollback.He
 		}
 		recomputed := fm.hasher.InnerMain(treeID(ns, anc), rollback.ContentDigest(ancBody), &ancHdr.Buckets)
 		if recomputed != ancHdr.Main {
-			return fmt.Errorf("%w: %s: stale main hash", ErrRollback, anc)
+			return fm.rollbackFailed(fmt.Errorf("%w: %s: stale main hash", ErrRollback, anc))
 		}
 		// Recompute the single bucket holding child from the stored main
 		// hashes of the files sharing it.
@@ -242,11 +255,11 @@ func (fm *fileManager) validateNode(ns *namespace, name string, hdr *rollback.He
 			mains = append(mains, sibHdr.Main)
 		}
 		if err := ancHdr.Buckets.VerifyBucket(fm.hasher, childID, mains); err != nil {
-			return fmt.Errorf("%w: %s: %v", ErrRollback, anc, err)
+			return fm.rollbackFailed(fmt.Errorf("%w: %s: %v", ErrRollback, anc, err))
 		}
 		if anc == ns.rootName {
 			if err := ns.guard.Check(ancHdr.Main, ancHdr.Token); err != nil {
-				return fmt.Errorf("%w: %s: %v", ErrRollback, anc, err)
+				return fm.rollbackFailed(fmt.Errorf("%w: %s: %v", ErrRollback, anc, err))
 			}
 		}
 		child, childMain = anc, ancHdr.Main

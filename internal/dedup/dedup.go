@@ -32,6 +32,7 @@ import (
 	"sort"
 	"sync"
 
+	"segshare/internal/obs"
 	"segshare/internal/pae"
 	"segshare/internal/pfs"
 	"segshare/internal/store"
@@ -59,11 +60,35 @@ type Store struct {
 	refsKey pae.Key // key for the reference index
 
 	mu sync.Mutex
+
+	hits         *obs.Counter // Put of already-stored content
+	misses       *obs.Counter // Put of new content
+	bytesDeduped *obs.Counter // plaintext bytes saved by hits
+	corruptTotal *obs.Counter // Get detecting corrupt objects
+	removedTotal *obs.Counter // objects physically deleted by Release
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithObs selects the metric registry the store reports into. The
+// default is obs.Default(). Only aggregate hit/miss counts and byte
+// totals are exported — never content addresses, which are key-derived.
+func WithObs(reg *obs.Registry) Option {
+	return func(s *Store) { s.initMetrics(reg) }
+}
+
+func (s *Store) initMetrics(reg *obs.Registry) {
+	s.hits = reg.Counter("segshare_dedup_put_total", "Dedup store puts by outcome.", obs.Labels{"result": "hit"})
+	s.misses = reg.Counter("segshare_dedup_put_total", "Dedup store puts by outcome.", obs.Labels{"result": "miss"})
+	s.bytesDeduped = reg.Counter("segshare_dedup_saved_bytes_total", "Plaintext bytes not stored again thanks to deduplication.", nil)
+	s.corruptTotal = reg.Counter("segshare_dedup_corrupt_total", "Dedup reads failing decryption or the address binding check.", nil)
+	s.removedTotal = reg.Counter("segshare_dedup_removed_total", "Dedup objects physically deleted after their last reference.", nil)
 }
 
 // New creates a deduplication store over backend. All keys are derived
 // from rootKey (the store's slice of SK_r).
-func New(backend store.Backend, rootKey []byte) (*Store, error) {
+func New(backend store.Backend, rootKey []byte, opts ...Option) (*Store, error) {
 	nameKey, err := pae.DeriveBytes(rootKey, "dedup-name", nil, 32)
 	if err != nil {
 		return nil, err
@@ -76,7 +101,23 @@ func New(backend store.Backend, rootKey []byte) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{backend: backend, nameKey: nameKey, wrapKey: wrapKey, refsKey: refsKey}, nil
+	s := &Store{backend: backend, nameKey: nameKey, wrapKey: wrapKey, refsKey: refsKey}
+	s.initMetrics(obs.Default())
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// observePut counts one put outcome; hits also count the plaintext bytes
+// the store did not have to persist again.
+func (s *Store) observePut(duplicate bool, size int) {
+	if duplicate {
+		s.hits.Inc()
+		s.bytesDeduped.Add(uint64(size))
+	} else {
+		s.misses.Inc()
+	}
 }
 
 // contentName computes hName, the hex content address of plaintext.
@@ -192,6 +233,7 @@ func (s *Store) PutFrom(r io.Reader) (hName string, duplicate bool, err error) {
 	if err := s.addRefLocked(hName, 1); err != nil {
 		return "", false, err
 	}
+	s.observePut(exists, len(content))
 	return hName, exists, nil
 }
 
@@ -214,6 +256,7 @@ func (s *Store) put(hName string, content []byte) (string, bool, error) {
 	if err := s.addRefLocked(hName, 1); err != nil {
 		return "", false, err
 	}
+	s.observePut(exists, len(content))
 	return hName, exists, nil
 }
 
@@ -229,9 +272,11 @@ func (s *Store) Get(hName string) ([]byte, error) {
 	}
 	content, err := s.decodeObject(raw)
 	if err != nil {
+		s.corruptTotal.Inc()
 		return nil, err
 	}
 	if s.contentName(content) != hName {
+		s.corruptTotal.Inc()
 		return nil, fmt.Errorf("%w: content does not match address", ErrCorrupt)
 	}
 	return content, nil
@@ -259,6 +304,7 @@ func (s *Store) Release(hName string) (removed bool, err error) {
 	if err := s.backend.Delete(hName); err != nil && !errors.Is(err, store.ErrNotExist) {
 		return false, err
 	}
+	s.removedTotal.Inc()
 	return true, s.saveRefsLocked(refs)
 }
 

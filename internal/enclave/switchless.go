@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"segshare/internal/obs"
 )
 
 // CallMode selects how calls cross the enclave boundary.
@@ -46,6 +48,12 @@ type BridgeConfig struct {
 	// (enter or exit) in blocking mode. Defaults to 6µs, in the range
 	// reported for SGX ecall round trips.
 	SwitchLatency time.Duration
+	// Obs is the metric registry the bridge reports into. Defaults to
+	// obs.Default(). Bridge telemetry is aggregate by design: call counts
+	// and bucketed durations per direction, never op names or payloads —
+	// the untrusted host observes every transition anyway (paper §III-B),
+	// so exporting their aggregate timing stays inside the leak budget.
+	Obs *obs.Registry
 }
 
 func (c BridgeConfig) withDefaults() BridgeConfig {
@@ -61,7 +69,29 @@ func (c BridgeConfig) withDefaults() BridgeConfig {
 	if c.SwitchLatency <= 0 {
 		c.SwitchLatency = 6 * time.Microsecond
 	}
+	if c.Obs == nil {
+		c.Obs = obs.Default()
+	}
 	return c
+}
+
+// bridgeInstruments are the per-direction obs instruments of one bridge
+// direction (ecall or ocall).
+type bridgeInstruments struct {
+	calls     *obs.Counter
+	callNS    *obs.Histogram // handler execution time
+	queueNS   *obs.Histogram // wait between enqueue and worker pickup
+	errsTotal *obs.Counter
+}
+
+func newBridgeInstruments(reg *obs.Registry, call string) bridgeInstruments {
+	labels := obs.Labels{"call": call}
+	return bridgeInstruments{
+		calls:     reg.Counter("segshare_bridge_calls_total", "Calls across the enclave boundary by direction.", labels),
+		callNS:    reg.Histogram("segshare_bridge_call_ns", "Handler execution time per boundary call (ns).", labels),
+		queueNS:   reg.Histogram("segshare_bridge_queue_wait_ns", "Switchless task-queue wait before worker pickup (ns).", labels),
+		errsTotal: reg.Counter("segshare_bridge_errors_total", "Boundary calls whose handler returned an error.", labels),
+	}
 }
 
 // BridgeMetrics reports call traffic across the boundary.
@@ -72,9 +102,11 @@ type BridgeMetrics struct {
 }
 
 type bridgeTask struct {
-	handler Handler
-	payload []byte
-	resp    chan bridgeResult
+	handler  Handler
+	payload  []byte
+	resp     chan bridgeResult
+	enqueued time.Time
+	inst     *bridgeInstruments
 }
 
 type bridgeResult struct {
@@ -104,6 +136,10 @@ type Bridge struct {
 	nECalls      atomic.Uint64
 	nOCalls      atomic.Uint64
 	nTransitions atomic.Uint64
+
+	einst       bridgeInstruments
+	oinst       bridgeInstruments
+	transitions *obs.Counter
 }
 
 // NewBridge creates a bridge and, in switchless mode, starts its worker
@@ -111,10 +147,13 @@ type Bridge struct {
 func NewBridge(cfg BridgeConfig) *Bridge {
 	cfg = cfg.withDefaults()
 	b := &Bridge{
-		cfg:    cfg,
-		ecalls: make(map[string]Handler),
-		ocalls: make(map[string]Handler),
-		done:   make(chan struct{}),
+		cfg:         cfg,
+		ecalls:      make(map[string]Handler),
+		ocalls:      make(map[string]Handler),
+		done:        make(chan struct{}),
+		einst:       newBridgeInstruments(cfg.Obs, "ecall"),
+		oinst:       newBridgeInstruments(cfg.Obs, "ocall"),
+		transitions: cfg.Obs.Counter("segshare_bridge_transitions_total", "Synchronous enclave enter/exit transitions (blocking mode).", nil),
 	}
 	if cfg.Mode == ModeSwitchless {
 		b.etasks = make(chan bridgeTask)
@@ -135,7 +174,13 @@ func (b *Bridge) worker(tasks <-chan bridgeTask) {
 		case <-b.done:
 			return
 		case t := <-tasks:
+			t.inst.queueNS.ObserveDuration(time.Since(t.enqueued))
+			start := time.Now()
 			data, err := t.handler(t.payload)
+			t.inst.callNS.ObserveDuration(time.Since(start))
+			if err != nil {
+				t.inst.errsTotal.Inc()
+			}
 			t.resp <- bridgeResult{data: data, err: err}
 		}
 	}
@@ -158,16 +203,18 @@ func (b *Bridge) RegisterOCall(op string, fn Handler) {
 // ECall invokes the trusted handler registered for op.
 func (b *Bridge) ECall(op string, payload []byte) ([]byte, error) {
 	b.nECalls.Add(1)
-	return b.call(b.ecalls, b.etasks, op, payload)
+	b.einst.calls.Inc()
+	return b.call(b.ecalls, b.etasks, &b.einst, op, payload)
 }
 
 // OCall invokes the untrusted handler registered for op.
 func (b *Bridge) OCall(op string, payload []byte) ([]byte, error) {
 	b.nOCalls.Add(1)
-	return b.call(b.ocalls, b.otasks, op, payload)
+	b.oinst.calls.Inc()
+	return b.call(b.ocalls, b.otasks, &b.oinst, op, payload)
 }
 
-func (b *Bridge) call(table map[string]Handler, tasks chan bridgeTask, op string, payload []byte) ([]byte, error) {
+func (b *Bridge) call(table map[string]Handler, tasks chan bridgeTask, inst *bridgeInstruments, op string, payload []byte) ([]byte, error) {
 	if b.closed.Load() {
 		return nil, ErrBridgeClosed
 	}
@@ -180,10 +227,17 @@ func (b *Bridge) call(table map[string]Handler, tasks chan bridgeTask, op string
 	if b.cfg.Mode == ModeBlocking {
 		// One transition to enter, one to leave.
 		b.nTransitions.Add(2)
+		b.transitions.Add(2)
 		time.Sleep(2 * b.cfg.SwitchLatency)
-		return fn(payload)
+		start := time.Now()
+		data, err := fn(payload)
+		inst.callNS.ObserveDuration(time.Since(start))
+		if err != nil {
+			inst.errsTotal.Inc()
+		}
+		return data, err
 	}
-	t := bridgeTask{handler: fn, payload: payload, resp: make(chan bridgeResult, 1)}
+	t := bridgeTask{handler: fn, payload: payload, resp: make(chan bridgeResult, 1), enqueued: time.Now(), inst: inst}
 	select {
 	case <-b.done:
 		return nil, ErrBridgeClosed

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders all exportable metrics in the Prometheus text
+// exposition format (version 0.0.4). Histograms are rendered as
+// cumulative *_bucket series with nanosecond le boundaries, plus *_sum
+// and *_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var lastName string
+	for _, m := range snap {
+		if m.Name != lastName {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, sanitizeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			kind := m.Kind
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, kind); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		switch m.Kind {
+		case "histogram":
+			if err := writePromHistogram(w, m); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, promLabels(m.Labels, "", 0), m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m MetricSnapshot) error {
+	h := m.Histogram
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", b.UpperBound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabelsInf(m.Labels), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, promLabels(m.Labels, "", 0), h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels, "", 0), h.Count)
+	return err
+}
+
+func promLabels(labels []Label, le string, bound uint64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%d\"", le, bound)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promLabelsInf(labels []Label) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%s=%q,", l.Key, l.Value)
+	}
+	b.WriteString(`le="+Inf"}`)
+	return b.String()
+}
+
+func sanitizeHelp(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// VarsSnapshot is the JSON body served at /debug/vars: the full metric
+// state plus recorder health.
+type VarsSnapshot struct {
+	Timestamp     time.Time        `json:"timestamp"`
+	Metrics       []MetricSnapshot `json:"metrics"`
+	Violations    uint64           `json:"leakBudgetViolations"`
+	TracesActive  int64            `json:"tracesActive,omitempty"`
+	TracesDropped uint64           `json:"tracesDropped,omitempty"`
+}
+
+// Vars builds the /debug/vars snapshot. rec may be nil.
+func (r *Registry) Vars(rec *TraceRecorder) VarsSnapshot {
+	s := VarsSnapshot{
+		Timestamp:  time.Now(),
+		Metrics:    r.Snapshot(),
+		Violations: r.LeakBudgetViolations(),
+	}
+	if rec != nil {
+		s.TracesActive = rec.Active()
+		s.TracesDropped = rec.Dropped()
+	}
+	return s
+}
+
+// WriteJSON writes the /debug/vars snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer, rec *TraceRecorder) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Vars(rec))
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumHistogramBuckets is the number of log₂ buckets. Bucket 0 counts the
+// value 0; bucket i (1 ≤ i ≤ 64) counts values v with
+// 2^(i-1) ≤ v < 2^i, i.e. values whose bit length is i. Bucket 64 ends at
+// the maximum uint64, so every value has exactly one bucket.
+const NumHistogramBuckets = 65
+
+// Histogram is a fixed-memory, lock-free histogram over uint64 values
+// (typically durations in nanoseconds) with log₂ bucket boundaries. All
+// methods are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [NumHistogramBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// BucketIndex returns the bucket an observation of v lands in.
+func BucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketUpperBound returns the inclusive upper bound of bucket i: the
+// largest value the bucket counts.
+func BucketUpperBound(i int) uint64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= 64:
+		return math.MaxUint64
+	default:
+		return 1<<uint(i) - 1
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[BucketIndex(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds. Negative durations
+// (clock steps) are clamped to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values. It wraps around on
+// overflow, like Prometheus counters.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// HistogramBucket is one non-empty bucket in a snapshot.
+type HistogramBucket struct {
+	// UpperBound is the largest value counted by this bucket (inclusive).
+	UpperBound uint64 `json:"le"`
+	// Count is the number of observations in this bucket alone.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Because the
+// buckets are read individually while writers proceed, a snapshot is not
+// an atomic cut, but every recorded observation eventually appears.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram state, keeping only non-empty buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: BucketUpperBound(i), Count: n})
+	}
+	return s
+}

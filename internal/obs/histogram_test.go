@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func bucketCount(h *Histogram, i int) uint64 { return h.buckets[i].Load() }
+
+func TestHistogramZero(t *testing.T) {
+	h := newHistogram()
+	h.Observe(0)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("sum = %d, want 0", got)
+	}
+	if got := bucketCount(h, 0); got != 1 {
+		t.Fatalf("bucket 0 = %d, want 1", got)
+	}
+	snap := h.Snapshot()
+	if len(snap.Buckets) != 1 || snap.Buckets[0].UpperBound != 0 || snap.Buckets[0].Count != 1 {
+		t.Fatalf("snapshot buckets = %+v, want one bucket le=0 count=1", snap.Buckets)
+	}
+}
+
+func TestHistogramMaxUint64(t *testing.T) {
+	h := newHistogram()
+	h.Observe(math.MaxUint64)
+	if got := bucketCount(h, 64); got != 1 {
+		t.Fatalf("bucket 64 = %d, want 1", got)
+	}
+	if got := h.Sum(); got != math.MaxUint64 {
+		t.Fatalf("sum = %d, want MaxUint64", got)
+	}
+	// A second max observation wraps the sum (Prometheus-counter
+	// semantics) without touching counts.
+	h.Observe(math.MaxUint64)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	snap := h.Snapshot()
+	if len(snap.Buckets) != 1 || snap.Buckets[0].UpperBound != math.MaxUint64 || snap.Buckets[0].Count != 2 {
+		t.Fatalf("snapshot buckets = %+v", snap.Buckets)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1<<32 - 1, 32},
+		{1 << 32, 33},
+		{1<<63 - 1, 63},
+		{1 << 63, 64},
+		{math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.bucket {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Every bucket's upper bound must itself land in that bucket, and
+	// bound+1 in the next (except the last).
+	for i := 1; i < NumHistogramBuckets; i++ {
+		ub := BucketUpperBound(i)
+		if got := BucketIndex(ub); got != i {
+			t.Errorf("BucketIndex(BucketUpperBound(%d)=%d) = %d", i, ub, got)
+		}
+		if i < 64 {
+			if got := BucketIndex(ub + 1); got != i+1 {
+				t.Errorf("BucketIndex(%d) = %d, want %d", ub+1, got, i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramNegativeDurationClamped(t *testing.T) {
+	h := newHistogram()
+	h.ObserveDuration(-5 * time.Second)
+	if got := bucketCount(h, 0); got != 1 {
+		t.Fatalf("bucket 0 = %d, want 1 (negative duration should clamp to 0)", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("sum = %d, want 0", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(uint64(i % 1024))
+				if i%64 == 0 {
+					_ = h.Snapshot() // concurrent reads under -race
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	var total uint64
+	for _, b := range h.Snapshot().Buckets {
+		total += b.Count
+	}
+	if total != goroutines*perG {
+		t.Fatalf("bucket total = %d, want %d", total, goroutines*perG)
+	}
+}

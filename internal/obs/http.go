@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the observability endpoints on an *untrusted* admin
+// listener, separate from the enclave-terminated client port:
+//
+//	/metrics        Prometheus text format
+//	/debug/vars     JSON snapshot of all metrics
+//	/debug/traces   recent request traces (?n= limits the count)
+//	/debug/pprof/*  the standard net/http/pprof handlers
+//
+// Everything served here is aggregate, leak-budget-checked telemetry of
+// the untrusted host process; pprof profiles the *host* Go runtime, which
+// in a real SGX deployment corresponds to profiling the untrusted runtime
+// and the simulated enclave code that, here, shares its address space.
+// rec may be nil to disable the traces endpoint.
+func Handler(reg *Registry, rec *TraceRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w, rec)
+	})
+	if rec != nil {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			n := 50
+			if q := r.URL.Query().Get("n"); q != "" {
+				if v, err := strconv.Atoi(q); err == nil && v > 0 {
+					n = v
+				}
+			}
+			writeTraceJSON(w, rec.Recent(n))
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeTraceJSON(w http.ResponseWriter, traces []TraceSnapshot) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(traces)
+}

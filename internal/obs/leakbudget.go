@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The leak budget (package doc) is enforced here. Two complementary
+// checks:
+//
+//  1. Identity-bearing *vocabulary* is banned from metric names and label
+//     keys: a metric that needs a token like "user" or "path" in its name
+//     is, by construction, about an identity and has no aggregate
+//     formulation. The check splits on '_' so "segshare_store_get_ns" is
+//     fine while "segshare_user_requests" is not.
+//  2. Identity-shaped *content* is banned from label values: slashes
+//     (paths), long hex runs (content addresses, MACs, key-derived
+//     names), '@' (emails), and anything outside a short lowercase
+//     alphabet. Legitimate label values are compile-time constants like
+//     "ecall", "content", or "2xx" and trivially pass.
+//
+// Label keys additionally must themselves be valid metric tokens, which
+// rules out smuggling identity through the key side.
+
+// deniedTokens are identity-bearing words that must not appear as a
+// '_'-separated token of a metric name or label key.
+var deniedTokens = map[string]bool{
+	"user": true, "users": true, "uid": true, "userid": true,
+	"group": true, "groups": true, "gid": true, "member": true, "members": true,
+	"path": true, "paths": true, "dir": true, "directory": true,
+	"file": true, "files": true, "filename": true, "filenames": true,
+	"name": true, "names": true, "hname": true,
+	"key": true, "keys": true, "secret": true, "secrets": true,
+	"mac": true, "digest": true, "hash": true,
+	"email": true, "identity": true, "cert": true, "certificate": true,
+}
+
+const maxLabelValueLen = 32
+
+// VerifyMetric checks one metric name and label set against the leak
+// budget, returning a descriptive error on the first violation.
+func VerifyMetric(name string, labels Labels) error {
+	if err := verifyName(name, "metric name"); err != nil {
+		return err
+	}
+	for k, v := range labels {
+		if err := verifyName(k, fmt.Sprintf("label key in %q", name)); err != nil {
+			return err
+		}
+		if err := verifyLabelValue(v); err != nil {
+			return fmt.Errorf("obs: metric %q label %q: %w", name, k, err)
+		}
+	}
+	return nil
+}
+
+func verifyName(name, what string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty %s", what)
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return fmt.Errorf("obs: %s %q: character %q outside [a-z0-9_]", what, name, r)
+		}
+	}
+	for _, tok := range strings.Split(name, "_") {
+		if deniedTokens[tok] {
+			return fmt.Errorf("obs: %s %q: identity-bearing token %q", what, name, tok)
+		}
+	}
+	return nil
+}
+
+func verifyLabelValue(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty label value")
+	}
+	if len(v) > maxLabelValueLen {
+		return fmt.Errorf("value longer than %d characters (high-cardinality shape)", maxLabelValueLen)
+	}
+	hexRun := 0
+	for _, r := range v {
+		switch {
+		case r == '/' || r == '\\':
+			return fmt.Errorf("value contains a path separator")
+		case r == '@':
+			return fmt.Errorf("value contains '@' (email shape)")
+		case (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' && r != '.' && r != '-':
+			return fmt.Errorf("character %q outside [a-z0-9_.-]", r)
+		}
+		if (r >= '0' && r <= '9') || (r >= 'a' && r <= 'f') {
+			hexRun++
+			if hexRun >= 16 {
+				return fmt.Errorf("value contains a %d+ character hex run (digest shape)", hexRun)
+			}
+		} else {
+			hexRun = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyMetricAcceptsBudgetedMetrics(t *testing.T) {
+	ok := []struct {
+		name   string
+		labels Labels
+	}{
+		{"segshare_requests_total", Labels{"op": "fs_get", "code": "2xx"}},
+		{"segshare_bridge_calls_total", Labels{"call": "ecall"}},
+		{"segshare_store_op_ns", Labels{"store": "content", "op": "get"}},
+		{"segshare_dedup_put_total", Labels{"result": "hit"}},
+		{"segshare_rollback_tree_update_depth", nil},
+	}
+	for _, c := range ok {
+		if err := VerifyMetric(c.name, c.labels); err != nil {
+			t.Errorf("VerifyMetric(%q, %v) = %v, want nil", c.name, c.labels, err)
+		}
+	}
+}
+
+func TestVerifyMetricRejectsIdentityBearingMetrics(t *testing.T) {
+	bad := []struct {
+		name   string
+		labels Labels
+		why    string
+	}{
+		{"segshare_user_requests_total", nil, "token user in name"},
+		{"segshare_requests_total", Labels{"user": "alice"}, "label key user"},
+		{"segshare_requests_total", Labels{"group_name": "eng"}, "label key token"},
+		{"segshare_requests_total", Labels{"op": "/fs/secret.txt"}, "path in value"},
+		{"segshare_requests_total", Labels{"op": "9f86d081884c7d659a2feaa0c55ad015"}, "digest in value"},
+		{"segshare_requests_total", Labels{"op": "alice@example.com"}, "email in value"},
+		{"segshare_requests_total", Labels{"op": strings.Repeat("x", 40)}, "high cardinality shape"},
+		{"segshare_file_key_ns", nil, "key token in name"},
+		{"Segshare_Requests", nil, "uppercase name"},
+		{"", nil, "empty name"},
+	}
+	for _, c := range bad {
+		if err := VerifyMetric(c.name, c.labels); err == nil {
+			t.Errorf("VerifyMetric(%q, %v) = nil, want error (%s)", c.name, c.labels, c.why)
+		}
+	}
+}
+
+// TestLeakBudgetQuarantine checks the fail-closed path: a violating
+// registration still hands back a working instrument, but the metric is
+// excluded from every export and counted as a violation.
+func TestLeakBudgetQuarantine(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("segshare_user_uploads_total", "bad", nil)
+	c.Inc() // caller code keeps working
+	if got := c.Value(); got != 1 {
+		t.Fatalf("quarantined counter value = %d, want 1", got)
+	}
+	if got := reg.LeakBudgetViolations(); got != 1 {
+		t.Fatalf("violations = %d, want 1", got)
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "segshare_user_uploads_total" {
+			t.Fatalf("quarantined metric appeared in snapshot")
+		}
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "user_uploads") {
+		t.Fatalf("quarantined metric appeared in Prometheus output:\n%s", b.String())
+	}
+}
+
+// TestLeakBudgetWalkDetectsViolations is the meta-test for the denylist
+// walk itself: VerifyAll on a poisoned registry must report the
+// violation, proving the walk the integration test relies on actually
+// catches bad metrics.
+func TestLeakBudgetWalkDetectsViolations(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("segshare_requests_total", "good", Labels{"op": "fs_get"})
+	if errs := reg.VerifyAll(); len(errs) != 0 {
+		t.Fatalf("clean registry VerifyAll = %v, want none", errs)
+	}
+	reg.Counter("segshare_requests_total", "bad", Labels{"path": "slash"})
+	errs := reg.VerifyAll()
+	if len(errs) != 1 {
+		t.Fatalf("VerifyAll on poisoned registry = %v, want exactly 1 error", errs)
+	}
+	if !strings.Contains(errs[0].Error(), "path") {
+		t.Fatalf("violation error %q does not name the offending label", errs[0])
+	}
+}

@@ -1,0 +1,303 @@
+// Package obs is SeGShare's dependency-free observability subsystem:
+// atomic counters, gauges, log₂-bucketed latency histograms, and a
+// per-request trace recorder, exported over HTTP in Prometheus text
+// format, as a JSON snapshot, and alongside net/http/pprof.
+//
+// # Leak budget
+//
+// Everything this package exports crosses the enclave boundary and is
+// visible to the untrusted host, so every signal must fit the "leak
+// budget" of the paper's threat model (§III-B): the host already observes
+// which store operations the enclave issues, the sizes of the ciphertexts
+// it moves, and the timing of every ecall/ocall. Aggregate counts per
+// operation class and log₂-bucketed durations reveal nothing beyond that.
+// What must never be exported is anything identity-bearing: user IDs,
+// group names, logical paths, content addresses, or key-derived values.
+//
+// The registry enforces this structurally. Metric names and label keys
+// are checked against a denylist of identity-bearing tokens, and label
+// values are checked for identity-shaped content (slashes, digest-like
+// hex runs, high-cardinality shapes). A metric that violates the budget
+// is quarantined: callers receive a working instrument so the calling
+// code is unaffected, but the metric is never exported and the
+// segshare_obs_leak_budget_violations_total counter is incremented.
+// TestLeakBudget-style tests walk every registered metric and assert the
+// violation counter is zero.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies an instrument type.
+type Kind int
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// Labels is a set of constant labels attached to an instrument. Label
+// values must come from small closed sets fixed at compile time (operation
+// classes, store roles, status classes) — never from request data.
+type Labels map[string]string
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric is one registered instrument with its identity.
+type metric struct {
+	name   string
+	help   string
+	labels []Label // sorted by key
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+
+	quarantined bool
+	reason      string
+}
+
+// Label is one key/value pair of a metric's constant label set.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Registry holds a set of named instruments. Registering the same name
+// and label set twice returns the same instrument, so independent
+// components may share one registry freely. Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	byKey   map[string]*metric
+	ordered []*metric
+
+	violations Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide default registry, used when a
+// component is not handed an explicit one.
+func Default() *Registry { return defaultRegistry }
+
+// LeakBudgetViolations returns the number of quarantined registrations.
+// Anything above zero means code attempted to export an identity-bearing
+// metric; the leak-budget test fails on it.
+func (r *Registry) LeakBudgetViolations() uint64 { return r.violations.Value() }
+
+func sortLabels(labels Labels) []Label {
+	out := make([]Label, 0, len(labels))
+	for k, v := range labels {
+		out = append(out, Label{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func metricKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\x00')
+		b.WriteString(l.Key)
+		b.WriteByte('\x01')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// register returns the metric for (name, labels), creating it if absent.
+func (r *Registry) register(name, help string, labels Labels, kind Kind) *metric {
+	sorted := sortLabels(labels)
+	key := metricKey(name, sorted)
+
+	r.mu.RLock()
+	m, ok := r.byKey[key]
+	r.mu.RUnlock()
+	if ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, m.kind))
+		}
+		return m
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, m.kind))
+		}
+		return m
+	}
+	m = &metric{name: name, help: help, labels: sorted, kind: kind}
+	if err := VerifyMetric(name, labels); err != nil {
+		m.quarantined = true
+		m.reason = err.Error()
+		r.violations.Inc()
+	}
+	switch kind {
+	case KindCounter:
+		m.counter = &Counter{}
+	case KindGauge:
+		m.gauge = &Gauge{}
+	case KindHistogram:
+		m.hist = newHistogram()
+	}
+	r.byKey[key] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.register(name, help, labels, KindCounter).counter
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.register(name, help, labels, KindGauge).gauge
+}
+
+// Histogram registers (or finds) a log₂-bucketed histogram.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	return r.register(name, help, labels, KindHistogram).hist
+}
+
+// MetricSnapshot is one metric's point-in-time state for export.
+type MetricSnapshot struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Kind   string  `json:"kind"`
+	Labels []Label `json:"labels,omitempty"`
+
+	// Value is set for counters and gauges.
+	Value int64 `json:"value"`
+	// Histogram is set for histograms.
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot captures all exportable (non-quarantined) metrics, sorted by
+// name then label set.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.RLock()
+	metrics := make([]*metric, len(r.ordered))
+	copy(metrics, r.ordered)
+	r.mu.RUnlock()
+
+	out := make([]MetricSnapshot, 0, len(metrics))
+	for _, m := range metrics {
+		if m.quarantined {
+			continue
+		}
+		s := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind.String(), Labels: m.labels}
+		switch m.kind {
+		case KindCounter:
+			s.Value = int64(m.counter.Value())
+		case KindGauge:
+			s.Value = m.gauge.Value()
+		case KindHistogram:
+			h := m.hist.Snapshot()
+			s.Histogram = &h
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return metricKey("", out[i].Labels) < metricKey("", out[j].Labels)
+	})
+	return out
+}
+
+// VerifyAll re-checks every registered metric against the leak budget and
+// returns one error per violation (quarantined or not). The leak-budget
+// test calls it so that even a future bug in quarantine bookkeeping is
+// caught by walking the full registry.
+func (r *Registry) VerifyAll() []error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var errs []error
+	for _, m := range r.ordered {
+		labels := make(Labels, len(m.labels))
+		for _, l := range m.labels {
+			labels[l.Key] = l.Value
+		}
+		if err := VerifyMetric(m.name, labels); err != nil {
+			errs = append(errs, err)
+		} else if m.quarantined {
+			errs = append(errs, fmt.Errorf("obs: metric %q quarantined at registration: %s", m.name, m.reason))
+		}
+	}
+	return errs
+}
+
+// Timer measures one duration into a histogram.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing against h.
+func StartTimer(h *Histogram) Timer { return Timer{h: h, start: time.Now()} }
+
+// Stop records the elapsed time and returns it.
+func (t Timer) Stop() time.Duration {
+	d := time.Since(t.start)
+	t.h.ObserveDuration(d)
+	return d
+}

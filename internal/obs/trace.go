@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceRecorder keeps the last N request traces in a ring buffer. A trace
+// is one request labeled by operation class only (leak budget: the class
+// set is closed and compile-time constant; logical paths, user IDs, and
+// group names never enter a trace). Within a trace, spans record where
+// the time went — dispatch, store I/O, tree updates.
+//
+// Annotations are deliberately numeric-only: the API offers no way to
+// attach a string to a trace, so identity-bearing request data cannot be
+// smuggled into the export. Annotation keys pass the same token denylist
+// as metric names.
+type TraceRecorder struct {
+	mu      sync.Mutex
+	ring    []*Trace
+	next    int
+	seq     uint64
+	dropped uint64
+
+	active Gauge
+}
+
+// DefaultTraceCapacity is the ring size used when none is given.
+const DefaultTraceCapacity = 256
+
+// NewTraceRecorder returns a recorder keeping the last capacity traces.
+func NewTraceRecorder(capacity int) *TraceRecorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceRecorder{ring: make([]*Trace, 0, capacity)}
+}
+
+// Trace is one in-flight or finished request.
+type Trace struct {
+	mu     sync.Mutex
+	id     uint64
+	op     string
+	start  time.Time
+	end    time.Time
+	status int
+	spans  []span
+	annots []annotation
+
+	rec *TraceRecorder
+}
+
+type span struct {
+	name  string
+	start time.Time
+	end   time.Time
+}
+
+type annotation struct {
+	key   string
+	value int64
+}
+
+// Start opens a new trace for the given operation class and inserts it
+// into the ring, evicting the oldest trace when full.
+func (r *TraceRecorder) Start(op string) *Trace {
+	t := &Trace{op: op, start: time.Now(), status: 0, rec: r}
+	r.mu.Lock()
+	r.seq++
+	t.id = r.seq
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, t)
+	} else {
+		r.ring[r.next] = t
+		r.next = (r.next + 1) % cap(r.ring)
+		r.dropped++
+	}
+	r.mu.Unlock()
+	r.active.Add(1)
+	return t
+}
+
+// Dropped returns how many traces have been evicted from the ring.
+func (r *TraceRecorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Active returns the number of started-but-unfinished traces.
+func (r *TraceRecorder) Active() int64 { return r.active.Value() }
+
+// SetStatus records the response status code.
+func (t *Trace) SetStatus(code int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.status = code
+	t.mu.Unlock()
+}
+
+// Annotate attaches a numeric fact (byte counts, depths, item counts) to
+// the trace. Keys violating the leak-budget token rules are dropped.
+func (t *Trace) Annotate(key string, value int64) {
+	if t == nil {
+		return
+	}
+	if verifyName(key, "annotation key") != nil {
+		return
+	}
+	t.mu.Lock()
+	t.annots = append(t.annots, annotation{key: key, value: value})
+	t.mu.Unlock()
+}
+
+// Span times a sub-operation: call the returned func to close it.
+func (t *Trace) Span(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	if verifyName(name, "span name") != nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, span{name: name, start: start, end: end})
+		t.mu.Unlock()
+	}
+}
+
+// End closes the trace.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	done := !t.end.IsZero()
+	if !done {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+	if !done && t.rec != nil {
+		t.rec.active.Add(-1)
+	}
+}
+
+// SpanSnapshot is one finished span for export.
+type SpanSnapshot struct {
+	Name    string `json:"name"`
+	OffsetN int64  `json:"offsetNs"`
+	DurN    int64  `json:"durationNs"`
+}
+
+// TraceSnapshot is one trace for export.
+type TraceSnapshot struct {
+	ID          uint64           `json:"id"`
+	Op          string           `json:"op"`
+	Start       time.Time        `json:"start"`
+	DurationN   int64            `json:"durationNs"`
+	Finished    bool             `json:"finished"`
+	Status      int              `json:"status,omitempty"`
+	Spans       []SpanSnapshot   `json:"spans,omitempty"`
+	Annotations map[string]int64 `json:"annotations,omitempty"`
+}
+
+func (t *Trace) snapshot() TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceSnapshot{ID: t.id, Op: t.op, Start: t.start, Status: t.status}
+	if !t.end.IsZero() {
+		s.Finished = true
+		s.DurationN = t.end.Sub(t.start).Nanoseconds()
+	} else {
+		s.DurationN = time.Since(t.start).Nanoseconds()
+	}
+	for _, sp := range t.spans {
+		s.Spans = append(s.Spans, SpanSnapshot{
+			Name:    sp.name,
+			OffsetN: sp.start.Sub(t.start).Nanoseconds(),
+			DurN:    sp.end.Sub(sp.start).Nanoseconds(),
+		})
+	}
+	if len(t.annots) > 0 {
+		s.Annotations = make(map[string]int64, len(t.annots))
+		for _, a := range t.annots {
+			s.Annotations[a.key] = a.value
+		}
+	}
+	return s
+}
+
+// Recent returns up to n most recent traces, newest first.
+func (r *TraceRecorder) Recent(n int) []TraceSnapshot {
+	r.mu.Lock()
+	traces := make([]*Trace, len(r.ring))
+	copy(traces, r.ring)
+	r.mu.Unlock()
+
+	sort.Slice(traces, func(i, j int) bool { return traces[i].id > traces[j].id })
+	if n > 0 && len(traces) > n {
+		traces = traces[:n]
+	}
+	out := make([]TraceSnapshot, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.snapshot())
+	}
+	return out
+}

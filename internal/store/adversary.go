@@ -19,7 +19,13 @@ type Adversary struct {
 	dropWrites    bool
 }
 
-var _ Backend = (*Adversary)(nil)
+var (
+	_ Backend   = (*Adversary)(nil)
+	_ Unwrapper = (*Adversary)(nil)
+)
+
+// Unwrap returns the wrapped backend.
+func (a *Adversary) Unwrap() Backend { return a.inner }
 
 // NewAdversary wraps inner.
 func NewAdversary(inner Backend) *Adversary {
@@ -106,11 +112,13 @@ func (a *Adversary) RollbackObject(name string) error {
 }
 
 // SnapshotStore records the full current store state for a later
-// whole-store rollback. It requires the inner backend to be a *Memory
-// store (tests) and panics otherwise, because a partial snapshot would
-// silently weaken adversary tests.
+// whole-store rollback. It requires a *Memory store at the bottom of the
+// wrapper chain (tests) and panics otherwise, because a partial snapshot
+// would silently weaken adversary tests. Intermediate wrappers (e.g.
+// Instrumented) are walked through, so an instrumented store can still be
+// attacked.
 func (a *Adversary) SnapshotStore() {
-	mem, ok := a.inner.(*Memory)
+	mem, ok := Innermost(a.inner).(*Memory)
 	if !ok {
 		panic("store: SnapshotStore requires a Memory backend")
 	}
@@ -122,7 +130,7 @@ func (a *Adversary) SnapshotStore() {
 // RollbackStore restores the state recorded by SnapshotStore — the
 // whole-file-system rollback attack of paper §V-E.
 func (a *Adversary) RollbackStore() {
-	mem, ok := a.inner.(*Memory)
+	mem, ok := Innermost(a.inner).(*Memory)
 	if !ok {
 		panic("store: RollbackStore requires a Memory backend")
 	}

@@ -15,7 +15,13 @@ type Faulty struct {
 	failWith  error
 }
 
-var _ Backend = (*Faulty)(nil)
+var (
+	_ Backend   = (*Faulty)(nil)
+	_ Unwrapper = (*Faulty)(nil)
+)
+
+// Unwrap returns the wrapped backend.
+func (f *Faulty) Unwrap() Backend { return f.inner }
 
 // NewFaulty wraps inner. Until FailAfter is called it is transparent.
 func NewFaulty(inner Backend) *Faulty {

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"time"
+
+	"segshare/internal/obs"
+)
+
+// Instrumented wraps a Backend and records per-operation latency, byte
+// traffic, and error counts into an obs.Registry. The role label names
+// which of SeGShare's three stores the backend serves ("content",
+// "group", "dedup"); the set of roles is a compile-time constant, so
+// the label stays inside the leak budget — and the operations themselves
+// are executed *by* the untrusted host, which therefore learns nothing
+// from their aggregate timing that it could not measure itself.
+//
+// Instrumented composes with the adversarial wrappers in either order:
+// Instrumented(Faulty(Memory)) measures the latency the trusted side
+// experiences including injected faults, while Faulty(Instrumented(...))
+// measures only the successful backend calls.
+type Instrumented struct {
+	inner Backend
+
+	opNS      map[string]*obs.Histogram
+	opErrs    map[string]*obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
+	objsTotal *obs.Gauge
+}
+
+var (
+	_ Backend   = (*Instrumented)(nil)
+	_ Unwrapper = (*Instrumented)(nil)
+)
+
+// instrumentedOps is the closed set of Backend operations.
+var instrumentedOps = []string{"put", "get", "delete", "rename", "exists", "list", "bytes"}
+
+// NewInstrumented wraps inner, reporting into reg (obs.Default() when
+// nil) under the given role.
+func NewInstrumented(inner Backend, role string, reg *obs.Registry) *Instrumented {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	roleLabel := obs.Labels{"store": role}
+	i := &Instrumented{
+		inner:     inner,
+		opNS:      make(map[string]*obs.Histogram, len(instrumentedOps)),
+		opErrs:    make(map[string]*obs.Counter, len(instrumentedOps)),
+		bytesIn:   reg.Counter("segshare_store_write_bytes_total", "Ciphertext bytes written to the untrusted backend.", roleLabel),
+		bytesOut:  reg.Counter("segshare_store_read_bytes_total", "Ciphertext bytes read from the untrusted backend.", roleLabel),
+		objsTotal: reg.Gauge("segshare_store_object_delta", "Net object count change observed through this wrapper.", roleLabel),
+	}
+	for _, op := range instrumentedOps {
+		labels := obs.Labels{"store": role, "op": op}
+		i.opNS[op] = reg.Histogram("segshare_store_op_ns", "Untrusted backend operation latency (ns).", labels)
+		i.opErrs[op] = reg.Counter("segshare_store_errors_total", "Untrusted backend operations returning an error.", labels)
+	}
+	return i
+}
+
+// Unwrap returns the wrapped backend.
+func (i *Instrumented) Unwrap() Backend { return i.inner }
+
+func (i *Instrumented) observe(op string, start time.Time, err error) {
+	i.opNS[op].ObserveDuration(time.Since(start))
+	if err != nil {
+		i.opErrs[op].Inc()
+	}
+}
+
+// Put implements Backend.
+func (i *Instrumented) Put(name string, data []byte) error {
+	start := time.Now()
+	err := i.inner.Put(name, data)
+	i.observe("put", start, err)
+	if err == nil {
+		i.bytesIn.Add(uint64(len(data)))
+		i.objsTotal.Add(1)
+	}
+	return err
+}
+
+// Get implements Backend.
+func (i *Instrumented) Get(name string) ([]byte, error) {
+	start := time.Now()
+	data, err := i.inner.Get(name)
+	i.observe("get", start, err)
+	if err == nil {
+		i.bytesOut.Add(uint64(len(data)))
+	}
+	return data, err
+}
+
+// Delete implements Backend.
+func (i *Instrumented) Delete(name string) error {
+	start := time.Now()
+	err := i.inner.Delete(name)
+	i.observe("delete", start, err)
+	if err == nil {
+		i.objsTotal.Add(-1)
+	}
+	return err
+}
+
+// Rename implements Backend.
+func (i *Instrumented) Rename(oldName, newName string) error {
+	start := time.Now()
+	err := i.inner.Rename(oldName, newName)
+	i.observe("rename", start, err)
+	return err
+}
+
+// Exists implements Backend.
+func (i *Instrumented) Exists(name string) (bool, error) {
+	start := time.Now()
+	ok, err := i.inner.Exists(name)
+	i.observe("exists", start, err)
+	return ok, err
+}
+
+// List implements Backend.
+func (i *Instrumented) List() ([]string, error) {
+	start := time.Now()
+	names, err := i.inner.List()
+	i.observe("list", start, err)
+	return names, err
+}
+
+// TotalBytes implements Backend.
+func (i *Instrumented) TotalBytes() (int64, error) {
+	start := time.Now()
+	n, err := i.inner.TotalBytes()
+	i.observe("bytes", start, err)
+	return n, err
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"segshare/internal/obs"
+)
+
+func findSnap(t *testing.T, reg *obs.Registry, name string, labels obs.Labels) obs.MetricSnapshot {
+	t.Helper()
+outer:
+	for _, m := range reg.Snapshot() {
+		if m.Name != name {
+			continue
+		}
+		for _, l := range m.Labels {
+			if want, ok := labels[l.Key]; ok && want != l.Value {
+				continue outer
+			}
+		}
+		return m
+	}
+	t.Fatalf("metric %s%v not found", name, labels)
+	return obs.MetricSnapshot{}
+}
+
+func TestInstrumentedRecordsOps(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewInstrumented(NewMemory(), "content", reg)
+
+	if err := b.Put("a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("absent"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Get(absent) = %v", err)
+	}
+	if err := b.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	get := findSnap(t, reg, "segshare_store_op_ns", obs.Labels{"store": "content", "op": "get"})
+	if get.Histogram == nil || get.Histogram.Count != 2 {
+		t.Fatalf("get histogram = %+v, want count 2", get.Histogram)
+	}
+	errs := findSnap(t, reg, "segshare_store_errors_total", obs.Labels{"store": "content", "op": "get"})
+	if errs.Value != 1 {
+		t.Fatalf("get errors = %d, want 1", errs.Value)
+	}
+	in := findSnap(t, reg, "segshare_store_write_bytes_total", obs.Labels{"store": "content"})
+	if in.Value != 5 {
+		t.Fatalf("write bytes = %d, want 5", in.Value)
+	}
+	out := findSnap(t, reg, "segshare_store_read_bytes_total", obs.Labels{"store": "content"})
+	if out.Value != 5 {
+		t.Fatalf("read bytes = %d, want 5", out.Value)
+	}
+	delta := findSnap(t, reg, "segshare_store_object_delta", obs.Labels{"store": "content"})
+	if delta.Value != 0 {
+		t.Fatalf("object delta = %d, want 0 after put+delete", delta.Value)
+	}
+}
+
+func TestInstrumentedPassesLeakBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewInstrumented(NewMemory(), "group", reg)
+	_ = b.Put("x", nil)
+	if n := reg.LeakBudgetViolations(); n != 0 {
+		t.Fatalf("instrumented store registered %d leak-budget violations", n)
+	}
+	if errs := reg.VerifyAll(); len(errs) != 0 {
+		t.Fatalf("VerifyAll = %v", errs)
+	}
+}
+
+// TestWrapperComposition checks that the adversarial wrappers and the
+// instrumentation wrapper compose in any order: Unwrap chains resolve to
+// the innermost backend, and the Adversary's whole-store attacks work
+// through an Instrumented wrapper.
+func TestWrapperComposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	mem := NewMemory()
+	adv := NewAdversary(NewInstrumented(mem, "content", reg))
+	inst := NewInstrumented(NewFaulty(adv), "content", reg)
+
+	if got := Innermost(inst); got != mem {
+		t.Fatalf("Innermost = %T, want the Memory store", got)
+	}
+
+	if err := inst.Put("obj", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	adv.SnapshotStore() // must unwrap through Instrumented to Memory
+	if err := inst.Put("obj", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	adv.RollbackStore()
+	data, err := inst.Get("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v1" {
+		t.Fatalf("after rollback got %q, want v1", data)
+	}
+}

@@ -51,6 +51,26 @@ type Backend interface {
 	TotalBytes() (int64, error)
 }
 
+// Unwrapper is implemented by every Backend wrapper (Instrumented,
+// Faulty, Adversary), exposing the wrapped backend so that wrappers
+// compose in any order and capability probes (like the Adversary's
+// whole-store snapshot, which needs the underlying Memory store) can walk
+// the chain.
+type Unwrapper interface {
+	Unwrap() Backend
+}
+
+// Innermost walks the Unwrap chain to the underlying non-wrapper Backend.
+func Innermost(b Backend) Backend {
+	for {
+		u, ok := b.(Unwrapper)
+		if !ok {
+			return b
+		}
+		b = u.Unwrap()
+	}
+}
+
 // Memory is an in-memory Backend.
 type Memory struct {
 	mu      sync.RWMutex
