@@ -1,0 +1,121 @@
+// Command segshare-audit verifies a SeGShare tamper-evident audit log
+// offline: hash-chain integrity, record authenticity, checkpoint MACs,
+// and monotonic-counter continuity. With the operator's root key (SK_r,
+// obtained through the §V-F replication protocol) it can also decrypt
+// and dump every record.
+//
+// Usage:
+//
+//	segshare-audit verify -data ./data/audit -root <hex SK_r> [-expect-counter N]
+//	segshare-audit dump   -data ./data/audit -root <hex SK_r>
+//
+// The -expect-counter value (the enclave's live audit counter, served at
+// /debug/audit/head) distinguishes the current log from a stale but
+// internally consistent copy: without it, a whole-log rollback to an
+// older prefix is undetectable offline.
+//
+// Exit status: 0 on success, 1 on usage or I/O errors, 2 when the log
+// fails verification.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"segshare"
+	"segshare/internal/audit"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "segshare-audit:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	if len(args) < 1 {
+		return 1, errors.New("usage: segshare-audit verify|dump [flags]")
+	}
+	cmd := args[0]
+	switch cmd {
+	case "verify", "dump":
+	default:
+		return 1, fmt.Errorf("unknown command %q (want verify or dump)", cmd)
+	}
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		dataDir    = fs.String("data", "", "audit store directory (e.g. ./data/audit)")
+		rootHex    = fs.String("root", "", "hex-encoded root key SK_r; audit keys are derived from it")
+		rootFile   = fs.String("root-file", "", "file holding the hex-encoded root key (alternative to -root)")
+		expCounter = fs.Uint64("expect-counter", 0, "enclave monotonic counter the final checkpoint must carry (from /debug/audit/head)")
+		expRecords = fs.Uint64("expect-records", 0, "exact number of records the log must contain")
+		expHead    = fs.String("expect-head", "", "hex chain head the log must end on (from /debug/audit/head)")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return 1, nil // flag package already printed the error
+	}
+	if *dataDir == "" {
+		return 1, errors.New("-data is required")
+	}
+
+	rootKey, err := loadRootKey(*rootHex, *rootFile)
+	if err != nil {
+		return 1, err
+	}
+	keys, err := audit.DeriveKeys(rootKey)
+	if err != nil {
+		return 1, err
+	}
+	backend, err := segshare.NewDiskStore(*dataDir)
+	if err != nil {
+		return 1, err
+	}
+
+	opts := audit.VerifyOptions{
+		ExpectCounter: *expCounter,
+		ExpectRecords: *expRecords,
+		ExpectHead:    *expHead,
+	}
+	if cmd == "dump" {
+		opts.Dump = os.Stdout
+	}
+	res, err := audit.Verify(backend, keys, opts)
+	if err != nil {
+		return 2, fmt.Errorf("verification FAILED: %w", err)
+	}
+	out, _ := json.MarshalIndent(res, "", "  ")
+	fmt.Fprintf(os.Stderr, "verification OK\n%s\n", out)
+	return 0, nil
+}
+
+// loadRootKey decodes SK_r from the flag value or a file.
+func loadRootKey(hexVal, file string) ([]byte, error) {
+	switch {
+	case hexVal != "" && file != "":
+		return nil, errors.New("-root and -root-file are mutually exclusive")
+	case hexVal == "" && file == "":
+		return nil, errors.New("one of -root or -root-file is required")
+	case file != "":
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		hexVal = strings.TrimSpace(string(raw))
+	}
+	key, err := hex.DecodeString(hexVal)
+	if err != nil {
+		return nil, fmt.Errorf("root key is not valid hex: %v", err)
+	}
+	if len(key) == 0 {
+		return nil, errors.New("root key is empty")
+	}
+	return key, nil
+}

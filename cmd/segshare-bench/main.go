@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|all")
+		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|all")
 		full       = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		runs       = flag.Int("runs", 0, "override runs per data point")
 		maxExp     = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
@@ -90,6 +90,12 @@ func run(exp string, full bool, runs, maxExp int, wan bool) error {
 	if all || exp == "switchless" {
 		ran = true
 		if err := runSwitchless(runs); err != nil {
+			return err
+		}
+	}
+	if all || exp == "audit" {
+		ran = true
+		if err := runAudit(runs); err != nil {
 			return err
 		}
 	}
@@ -257,6 +263,24 @@ func runSwitchless(runs int) error {
 		"mode", "upload(mean)", "download(mean)", "transitions")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%s\t%s\t%d\n", r.Mode, ms(r.Upload.Mean), ms(r.Download.Mean), r.Transitions)
+	}
+	return w.Flush()
+}
+
+func runAudit(runs int) error {
+	cfg := bench.DefaultAudit()
+	if runs > 0 {
+		cfg.Runs = runs
+	}
+	rows, err := bench.RunAuditOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("E9 — audit-log overhead (%s payload)", sizeLabel(cfg.FileSize)),
+		"audit", "upload(mean)", "download(mean)", "grant(mean)", "records", "drops", "bytes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%d\t%d\n",
+			r.Mode, ms(r.Upload.Mean), ms(r.Download.Mean), ms(r.Grant.Mean), r.Records, r.Drops, r.Bytes)
 	}
 	return w.Flush()
 }

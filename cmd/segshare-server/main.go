@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"segshare"
+	"segshare/internal/audit"
 	"segshare/internal/obs"
 )
 
@@ -43,8 +44,10 @@ func run() error {
 		hide     = flag.Bool("hide-paths", false, "hide filenames and directory structure (§V-C)")
 		rollback = flag.Bool("rollback", false, "enable individual-file rollback protection (§V-D)")
 		guard    = flag.String("guard", "none", "whole-file-system guard: none|protmem|counter (§V-E)")
-		admin    = flag.String("admin", "127.0.0.1:8444", "untrusted admin listener serving /metrics, /debug/vars, /debug/traces, and /debug/pprof (empty disables)")
+		admin    = flag.String("admin", "127.0.0.1:8444", "untrusted admin listener serving /metrics, /debug/vars, /debug/traces, /healthz, /readyz, and /debug/pprof (empty disables)")
 		logLevel = flag.String("log", "info", "request log level on stderr: debug|info|warn|error|off")
+		auditOn  = flag.Bool("audit", false, "enable the tamper-evident audit log (segments under <data>/audit)")
+		auditOfl = flag.String("audit-overflow", "drop", "audit queue overflow policy: drop (count and continue) | block (complete trail, couples request latency to audit I/O)")
 	)
 	flag.Parse()
 
@@ -105,6 +108,21 @@ func run() error {
 		}
 		cfg.DedupStore = dedupStore
 	}
+	if *auditOn {
+		auditStore, err := segshare.NewDiskStore(filepath.Join(*dataDir, "audit"))
+		if err != nil {
+			return err
+		}
+		cfg.AuditStore = auditStore
+		switch *auditOfl {
+		case "drop", "":
+			cfg.Audit.Overflow = audit.OverflowDrop
+		case "block":
+			cfg.Audit.Overflow = audit.OverflowBlock
+		default:
+			return fmt.Errorf("unknown audit overflow policy %q", *auditOfl)
+		}
+	}
 
 	platform, err := segshare.NewPlatform(segshare.PlatformConfig{})
 	if err != nil {
@@ -126,24 +144,36 @@ func run() error {
 		fmt.Println("reusing persisted server certificate")
 	}
 
+	// The admin listener comes up before the client listener so /readyz
+	// answers (not ready) during startup; readiness flips on once the
+	// client listener is accepting and off again when shutdown begins.
+	health := obs.NewHealth()
+	if err := health.AddCheck("store", server.CheckStore); err != nil {
+		return err
+	}
+	if err := health.AddCheck("enclave", server.CheckEnclave); err != nil {
+		return err
+	}
+	if *admin != "" {
+		adminAddr, err := serveAdmin(*admin, server, health)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("admin listener on http://%s (/metrics, /debug/vars, /debug/traces, /debug/pprof, /healthz, /readyz)\n", adminAddr)
+	}
+
 	listenAddr, err := server.ListenAndServe(*addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s)\n",
-		listenAddr, *dedup, *hide, *rollback, *guard)
-
-	if *admin != "" {
-		adminAddr, err := serveAdmin(*admin, server)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("admin listener on http://%s (/metrics, /debug/vars, /debug/traces, /debug/pprof)\n", adminAddr)
-	}
+	health.SetReady(true)
+	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v)\n",
+		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	health.SetReady(false)
 	fmt.Println("shutting down")
 	return nil
 }
@@ -151,15 +181,20 @@ func run() error {
 // serveAdmin starts the untrusted observability endpoint. It runs
 // outside the enclave boundary and on plain HTTP by design: everything
 // it can serve has already passed the leak budget (package obs) — only
-// aggregate counters, bucketed durations, op-class labels, and process
-// profiles of the untrusted runtime. Keep it on loopback or a
-// management network; it needs no client certificates.
-func serveAdmin(addr string, server *segshare.Server) (net.Addr, error) {
+// aggregate counters, bucketed durations, op-class labels, health check
+// names, the sealed audit chain head, and process profiles of the
+// untrusted runtime. Keep it on loopback or a management network; it
+// needs no client certificates.
+func serveAdmin(addr string, server *segshare.Server, health *obs.Health) (net.Addr, error) {
 	listener, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("admin listener: %w", err)
 	}
-	srv := &http.Server{Handler: obs.Handler(server.Obs(), server.Traces())}
+	opts := []obs.HandlerOption{obs.WithHealth(health)}
+	if server.AuditLog() != nil {
+		opts = append(opts, obs.WithEndpoint("/debug/audit/head", server.AuditHeadHandler()))
+	}
+	srv := &http.Server{Handler: obs.Handler(server.Obs(), server.Traces(), opts...)}
 	go srv.Serve(listener)
 	return listener.Addr(), nil
 }

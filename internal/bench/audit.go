@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment E9 — audit-log overhead: the same request mix with the
+// tamper-evident audit log off, on with the drop policy (wait-free emit),
+// and on with the block policy (complete trail). Every request emits at
+// least two audit records (authn + authz), so this bounds the per-request
+// cost of sealing, chaining, and persisting the trail.
+
+// AuditConfig parameterises E9.
+type AuditConfig struct {
+	// FileSize of the uploaded/downloaded payload in bytes.
+	FileSize int
+	// Runs per data point.
+	Runs int
+}
+
+// DefaultAudit is the default workload.
+func DefaultAudit() AuditConfig {
+	return AuditConfig{FileSize: 64 << 10, Runs: 30}
+}
+
+// AuditRow is one audit mode's result.
+type AuditRow struct {
+	Mode     string // off | drop | block
+	Upload   Stat
+	Download Stat
+	Grant    Stat // permission grant (ACL mutation, audited)
+	Records  uint64
+	Drops    uint64
+	Bytes    int64 // persisted audit bytes
+}
+
+// RunAuditOverhead executes E9.
+func RunAuditOverhead(cfg AuditConfig) ([]AuditRow, error) {
+	modes := []struct {
+		name     string
+		env      EnvConfig
+		auditing bool
+	}{
+		{name: "off", env: EnvConfig{}},
+		{name: "drop", env: EnvConfig{Audit: true}, auditing: true},
+		{name: "block", env: EnvConfig{Audit: true, AuditOverflow: 1}, auditing: true},
+	}
+	var rows []AuditRow
+	for _, m := range modes {
+		row, err := runAuditMode(m.name, m.env, m.auditing, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("audit mode %s: %w", m.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runAuditMode(name string, envCfg EnvConfig, auditing bool, cfg AuditConfig) (AuditRow, error) {
+	env, err := NewEnv(envCfg)
+	if err != nil {
+		return AuditRow{}, err
+	}
+	defer env.Close()
+	client, err := env.NewClient("bench-user")
+	if err != nil {
+		return AuditRow{}, err
+	}
+	direct := env.Direct("bench-user")
+	if err := direct.AddUser("reader", "bench-group"); err != nil {
+		return AuditRow{}, err
+	}
+	payload := randomPayload(cfg.FileSize)
+
+	up, err := measure(cfg.Runs, func() error { return client.Upload("/audited.bin", payload) })
+	if err != nil {
+		return AuditRow{}, err
+	}
+	down, err := measure(cfg.Runs, func() error { return client.DownloadTo("/audited.bin", io.Discard) })
+	if err != nil {
+		return AuditRow{}, err
+	}
+	grant, err := measure(cfg.Runs, func() error {
+		return client.SetPermission("/audited.bin", "bench-group", "r")
+	})
+	if err != nil {
+		return AuditRow{}, err
+	}
+
+	row := AuditRow{Mode: name, Upload: up, Download: down, Grant: grant}
+	if auditing {
+		log := env.Server.AuditLog()
+		if err := log.Flush(); err != nil {
+			return AuditRow{}, err
+		}
+		head := log.Head()
+		row.Records = head.Records
+		row.Drops = log.Drops()
+		names, err := env.cfg.AuditStore.List()
+		if err != nil {
+			return AuditRow{}, err
+		}
+		for _, n := range names {
+			data, err := env.cfg.AuditStore.Get(n)
+			if err != nil {
+				return AuditRow{}, err
+			}
+			row.Bytes += int64(len(data))
+		}
+	}
+	return row, nil
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"segshare"
+	"segshare/internal/audit"
 	"segshare/internal/baseline/plaindav"
 	"segshare/internal/core"
 	"segshare/internal/netsim"
@@ -68,6 +69,11 @@ type EnvConfig struct {
 	Bridge   segshare.BridgeConfig
 	// Network optionally simulates WAN conditions on the server listener.
 	Network netsim.Profile
+	// Audit enables the tamper-evident audit log on a memory backend.
+	Audit bool
+	// AuditOverflow selects the writer's full-queue policy when Audit is
+	// on.
+	AuditOverflow audit.Overflow
 }
 
 // Env is a full in-process SeGShare deployment listening on loopback.
@@ -102,6 +108,10 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	if features.Dedup {
 		serverCfg.DedupStore = segshare.NewMemoryStore()
+	}
+	if cfg.Audit {
+		serverCfg.AuditStore = segshare.NewMemoryStore()
+		serverCfg.Audit = audit.Options{Overflow: cfg.AuditOverflow}
 	}
 	server, err := segshare.NewServer(platform, serverCfg)
 	if err != nil {

@@ -161,7 +161,7 @@ func TestCounterGuardSurvivesRestart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rootKey, err := loadOrCreateRootKey(encl, group)
+		rootKey, _, err := loadOrCreateRootKey(encl, group)
 		if err != nil {
 			t.Fatal(err)
 		}

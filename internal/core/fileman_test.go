@@ -305,7 +305,7 @@ func TestFileManagerPersistsAcrossRestart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rootKey, err := loadOrCreateRootKey(encl, group)
+		rootKey, _, err := loadOrCreateRootKey(encl, group)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"segshare/internal/acl"
+	"segshare/internal/audit"
 	"segshare/internal/ca"
 	"segshare/internal/fspath"
 	"segshare/internal/obs"
@@ -98,9 +99,20 @@ func (s *Server) handler() http.Handler {
 		id, err := identityFromRequest(r)
 		endAuthn()
 		if err != nil {
+			s.obs.auditEmit(audit.Event{
+				Event:     audit.EventAuthnFailure,
+				Op:        opClass(r),
+				RequestID: tr.ID(),
+			})
 			writeErr(w, http.StatusUnauthorized, err)
 			return
 		}
+		s.obs.auditEmit(audit.Event{
+			Event:     audit.EventAuthnSuccess,
+			Op:        opClass(r),
+			RequestID: tr.ID(),
+			User:      id.UserID,
+		})
 		u := acl.UserID(id.UserID)
 		defer tr.Span("dispatch")()
 		switch {
@@ -222,8 +234,10 @@ func (b *countingBody) Read(p []byte) (int, error) {
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		op := opClass(r)
-		id := s.obs.reqSeq.Add(1)
 		tr := s.obs.traces.Start(op)
+		// The trace id doubles as the request id in log lines and audit
+		// records, so all three can be joined after the fact.
+		id := tr.ID()
 		s.obs.inflight.Add(1)
 
 		body := &countingBody{ReadCloser: r.Body}
@@ -274,6 +288,31 @@ func fsPath(r *http.Request) (fspath.Path, error) {
 	return p, nil
 }
 
+// auditAuthz records the outcome of one file authorization check. Only
+// definitive decisions are logged: a nil err is an allow, ErrPermissionDenied
+// a deny; other errors (not found, bad request, integrity) are not
+// authorization outcomes.
+func (s *Server) auditAuthz(r *http.Request, u acl.UserID, path string, err error) {
+	if s.obs.audit == nil {
+		return
+	}
+	ev := audit.Event{
+		Op:        opClass(r),
+		RequestID: traceFrom(r).ID(),
+		User:      string(u),
+		Path:      path,
+	}
+	switch {
+	case err == nil:
+		ev.Event, ev.Decision = audit.EventFileAuthzAllow, audit.DecisionAllow
+	case errors.Is(err, ErrPermissionDenied):
+		ev.Event, ev.Decision = audit.EventFileAuthzDeny, audit.DecisionDeny
+	default:
+		return
+	}
+	s.obs.auditEmit(ev)
+}
+
 func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 	path, err := fsPath(r)
 	if err != nil {
@@ -292,6 +331,7 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		defer s.mu.RUnlock()
 		if path.IsDir() {
 			entries, err := s.ac.GetDir(u, path)
+			s.auditAuthz(r, u, path.String(), err)
 			if err != nil {
 				writeMappedErr(w, err)
 				return
@@ -308,6 +348,7 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			return
 		}
 		content, err := s.ac.GetFile(u, path)
+		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
 			return
@@ -325,6 +366,7 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		s.mu.Lock()
 		created, err := s.ac.PutFile(u, path, content)
 		s.mu.Unlock()
+		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
 			return
@@ -339,6 +381,7 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		s.mu.Lock()
 		err := s.ac.PutDir(u, path)
 		s.mu.Unlock()
+		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
 			return
@@ -349,6 +392,7 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		s.mu.Lock()
 		err := s.ac.Remove(u, path)
 		s.mu.Unlock()
+		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
 			return
@@ -369,6 +413,7 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		s.mu.Lock()
 		err = s.ac.Move(u, path, dst)
 		s.mu.Unlock()
+		s.auditAuthz(r, u, path.String()+" -> "+dst.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
 			return
@@ -444,6 +489,10 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		return
 	}
 
+	// ev collects the audit shape of the mutation; cases that parse
+	// successfully fill it in, and auditAPIChange records the decision
+	// once the outcome is known.
+	var ev audit.Event
 	var err error
 	switch route {
 	case "permission":
@@ -459,6 +508,8 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		if path, err = parseAPIPath(req.Path); err != nil {
 			break
 		}
+		ev = audit.Event{Event: audit.EventACLChange, Path: path.String(),
+			Group: req.Group, Detail: "permission=" + string(req.Permission)}
 		s.mu.Lock()
 		err = s.ac.SetPermission(u, path, acl.GroupName(req.Group), p)
 		s.mu.Unlock()
@@ -472,6 +523,8 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		if path, err = parseAPIPath(req.Path); err != nil {
 			break
 		}
+		ev = audit.Event{Event: audit.EventACLChange, Path: path.String(),
+			Detail: fmt.Sprintf("inherit=%t", req.Inherit)}
 		s.mu.Lock()
 		err = s.ac.SetInherit(u, path, req.Inherit)
 		s.mu.Unlock()
@@ -485,6 +538,8 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		if path, err = parseAPIPath(req.Path); err != nil {
 			break
 		}
+		ev = audit.Event{Event: audit.EventACLChange, Path: path.String(),
+			Group: req.Group, Detail: fmt.Sprintf("owner=%t", req.Owner)}
 		s.mu.Lock()
 		err = s.ac.SetFileOwner(u, path, acl.GroupName(req.Group), req.Owner)
 		s.mu.Unlock()
@@ -494,6 +549,7 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		if err = decodeJSON(r, &req); err != nil {
 			break
 		}
+		ev = audit.Event{Event: audit.EventGroupChange, Target: req.User, Group: req.Group}
 		s.mu.Lock()
 		err = s.ac.AddUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
 		s.mu.Unlock()
@@ -503,6 +559,7 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		if err = decodeJSON(r, &req); err != nil {
 			break
 		}
+		ev = audit.Event{Event: audit.EventGroupChange, Target: req.User, Group: req.Group}
 		s.mu.Lock()
 		err = s.ac.RemoveUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
 		s.mu.Unlock()
@@ -512,6 +569,8 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		if err = decodeJSON(r, &req); err != nil {
 			break
 		}
+		ev = audit.Event{Event: audit.EventGroupChange, Group: req.Group,
+			Detail: fmt.Sprintf("ownerGroup=%s owner=%t", req.OwnerGroup, req.Owner)}
 		s.mu.Lock()
 		err = s.ac.SetGroupOwner(u, acl.GroupName(req.Group), acl.GroupName(req.OwnerGroup), req.Owner)
 		s.mu.Unlock()
@@ -521,6 +580,7 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		if err = decodeJSON(r, &req); err != nil {
 			break
 		}
+		ev = audit.Event{Event: audit.EventGroupChange, Group: req.Group, Detail: "delete"}
 		s.mu.Lock()
 		err = s.ac.DeleteGroup(u, acl.GroupName(req.Group))
 		s.mu.Unlock()
@@ -528,11 +588,34 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 	default:
 		err = fmt.Errorf("%w: unknown API %q", ErrBadRequest, route)
 	}
+	s.auditAPIChange(r, u, ev, err)
 	if err != nil {
 		writeMappedErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// auditAPIChange records one management-API mutation outcome. Requests
+// that failed before reaching access control (parse errors) carry an
+// empty event and are skipped, as are outcomes that are not
+// authorization decisions.
+func (s *Server) auditAPIChange(r *http.Request, u acl.UserID, ev audit.Event, err error) {
+	if s.obs.audit == nil || ev.Event == "" {
+		return
+	}
+	switch {
+	case err == nil:
+		ev.Decision = audit.DecisionAllow
+	case errors.Is(err, ErrPermissionDenied):
+		ev.Decision = audit.DecisionDeny
+	default:
+		return
+	}
+	ev.Op = opClass(r)
+	ev.RequestID = traceFrom(r).ID()
+	ev.User = string(u)
+	s.obs.auditEmit(ev)
 }
 
 func parseAPIPath(raw string) (fspath.Path, error) {

@@ -2,22 +2,28 @@ package core
 
 import (
 	"log/slog"
-	"sync/atomic"
 	"time"
 
+	"segshare/internal/audit"
 	"segshare/internal/obs"
 )
 
 // serverObs bundles the server's observability state: the metric
-// registry, the per-request trace recorder, and the structured logger.
-// Every signal leaving this struct crosses the enclave boundary, so all
-// of it is op-class-and-aggregate only — request identity (user, group,
-// path) stays inside (see the leak budget in package obs).
+// registry, the per-request trace recorder, the structured logger, and
+// the tamper-evident audit sink. Every signal leaving this struct except
+// the audit log crosses the enclave boundary, so all of it is
+// op-class-and-aggregate only — request identity (user, group, path)
+// stays inside (see the leak budget in package obs). Audit records DO
+// carry identity, which is why they are sealed before they reach storage
+// (package audit).
 type serverObs struct {
 	reg    *obs.Registry
 	logger *slog.Logger
 	traces *obs.TraceRecorder
-	reqSeq atomic.Uint64
+
+	// audit is nil unless Config.AuditStore is set; set once during
+	// NewServer, before any request runs.
+	audit *audit.Log
 
 	inflight *obs.Gauge
 
@@ -25,6 +31,13 @@ type serverObs struct {
 	treeUpdateDepth   *obs.Histogram
 	treeValidateDepth *obs.Histogram
 	rollbackFailures  *obs.Counter
+}
+
+// auditEmit forwards one security event to the audit log, if enabled.
+func (o *serverObs) auditEmit(ev audit.Event) {
+	if o.audit != nil {
+		o.audit.Emit(ev)
+	}
 }
 
 func newServerObs(reg *obs.Registry, logger *slog.Logger) *serverObs {

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"segshare/internal/audit"
 	"segshare/internal/enclave"
 	"segshare/internal/enctls"
 	"segshare/internal/obs"
@@ -84,6 +85,14 @@ type Config struct {
 	// obs.Default(). Exported telemetry is bounded by the leak budget
 	// documented in package obs.
 	Obs *obs.Registry
+	// AuditStore, when non-nil, enables the tamper-evident audit log:
+	// security events (authn, authz decisions, ACL/group mutations,
+	// rollback failures, key operations) are sealed under keys derived
+	// from SK_r and appended to hash-chained segments in this backend.
+	AuditStore store.Backend
+	// Audit tunes the audit writer (overflow policy, buffer sizes,
+	// checkpoint cadence). Ignored when AuditStore is nil.
+	Audit audit.Options
 }
 
 // Server is one SeGShare enclave with its untrusted plumbing: the call
@@ -198,11 +207,32 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 	}
 
 	rootKey := cfg.RootKey
+	keyOrigin := "root_replicated" // injected via §V-F replication
 	if rootKey == nil {
-		rootKey, err = loadOrCreateRootKey(encl, cfg.GroupStore)
+		rootKey, keyOrigin, err = loadOrCreateRootKey(encl, cfg.GroupStore)
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	if cfg.AuditStore != nil {
+		auditKeys, err := audit.DeriveKeys(rootKey)
+		if err != nil {
+			return nil, err
+		}
+		auditOpt := cfg.Audit
+		if auditOpt.Obs == nil {
+			auditOpt.Obs = sObs.reg
+		}
+		auditBackend := store.NewInstrumented(cfg.AuditStore, "audit", sObs.reg)
+		log, err := audit.Open(auditBackend, auditKeys, encl.Counter("audit-log"), auditOpt)
+		if err != nil {
+			return nil, fmt.Errorf("segshare: open audit log: %w", err)
+		}
+		sObs.audit = log
+		// The first record of every run documents how the enclave came by
+		// SK_r: generated fresh, unsealed from storage, or replicated.
+		log.Emit(audit.Event{Event: audit.EventKeyOp, Detail: keyOrigin})
 	}
 
 	var contentGuard, groupGuard rollback.RootGuard
@@ -253,31 +283,32 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 }
 
 // loadOrCreateRootKey unseals SK_r from untrusted storage or generates
-// and seals a fresh one on first start (paper §IV-B).
-func loadOrCreateRootKey(encl *enclave.Enclave, meta store.Backend) ([]byte, error) {
+// and seals a fresh one on first start (paper §IV-B). The second return
+// value names how the key was obtained, for the audit trail.
+func loadOrCreateRootKey(encl *enclave.Enclave, meta store.Backend) ([]byte, string, error) {
 	sealed, err := meta.Get(metaRootKey)
 	switch {
 	case err == nil:
 		rootKey, err := encl.Unseal(sealed, []byte(metaRootKey))
 		if err != nil {
-			return nil, fmt.Errorf("segshare: unseal root key: %w", err)
+			return nil, "", fmt.Errorf("segshare: unseal root key: %w", err)
 		}
-		return rootKey, nil
+		return rootKey, "root_unseal", nil
 	case errors.Is(err, store.ErrNotExist):
 		rootKey := make([]byte, 32)
 		if err := fillRandom(rootKey); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		sealed, err := encl.Seal(rootKey, []byte(metaRootKey))
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if err := meta.Put(metaRootKey, sealed); err != nil {
-			return nil, fmt.Errorf("segshare: persist root key: %w", err)
+			return nil, "", fmt.Errorf("segshare: persist root key: %w", err)
 		}
-		return rootKey, nil
+		return rootKey, "root_generate", nil
 	default:
-		return nil, fmt.Errorf("segshare: load root key: %w", err)
+		return nil, "", fmt.Errorf("segshare: load root key: %w", err)
 	}
 }
 
@@ -295,11 +326,50 @@ func (s *Server) Enclave() *enclave.Enclave { return s.enclave }
 
 // RootKey returns SK_r for the replication provider (paper §V-F). In a
 // real TEE deployment this accessor does not cross the enclave boundary:
-// only trusted code (the replication component) may call it.
+// only trusted code (the replication component) may call it. Each export
+// is a key operation in the audit trail.
 func (s *Server) RootKey() []byte {
+	s.obs.auditEmit(audit.Event{Event: audit.EventKeyOp, Detail: "root_export"})
 	out := make([]byte, len(s.fm.rootKey))
 	copy(out, s.fm.rootKey)
 	return out
+}
+
+// AuditLog returns the tamper-evident audit log, or nil when
+// Config.AuditStore was not set.
+func (s *Server) AuditLog() *audit.Log { return s.obs.audit }
+
+// AuditHeadHandler serves GET /debug/audit/head on the admin listener:
+// the sealed chain head, record/checkpoint counts, and the checkpoint
+// counter. Leak budget: the head is a digest over ciphertext the host
+// already stores; no principals, paths, or record contents appear.
+func (s *Server) AuditHeadHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.obs.audit == nil {
+			writeErr(w, http.StatusNotFound, errors.New("audit log disabled"))
+			return
+		}
+		if err := s.obs.audit.Flush(); err != nil {
+			writeErr(w, http.StatusInternalServerError, errors.New("audit flush failed"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.obs.audit.Head())
+	})
+}
+
+// CheckStore probes the content store, for readiness checks.
+func (s *Server) CheckStore() error {
+	_, err := s.cfg.ContentStore.Exists(metaRootKey)
+	return err
+}
+
+// CheckEnclave reports whether the enclave is launched, for readiness
+// checks.
+func (s *Server) CheckEnclave() error {
+	if s.enclave == nil {
+		return errors.New("enclave not launched")
+	}
+	return nil
 }
 
 // BridgeMetrics returns switchless-call traffic counters.
@@ -366,7 +436,8 @@ func (s *Server) Addr() net.Addr {
 	return s.terminator.Addr()
 }
 
-// Close shuts the server down: terminator, HTTP server, endpoint, bridge.
+// Close shuts the server down: terminator, HTTP server, endpoint, bridge,
+// and the audit log (which drains its queue and seals a final checkpoint).
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -378,6 +449,11 @@ func (s *Server) Close() error {
 		}
 		s.endpoint.Close()
 		s.bridge.Close()
+		if s.obs.audit != nil {
+			if aerr := s.obs.audit.Close(); aerr != nil && err == nil {
+				err = aerr
+			}
+		}
 	})
 	return err
 }

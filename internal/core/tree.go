@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"segshare/internal/audit"
 	"segshare/internal/rollback"
 )
 
@@ -17,10 +18,12 @@ import (
 // namespaced by store kind.
 func treeID(ns *namespace, name string) string { return ns.kind + ":" + name }
 
-// rollbackFailed counts a rejected validation and passes the error
-// through.
+// rollbackFailed counts a rejected validation, records it in the audit
+// trail (a rollback failure is direct evidence of host tampering under
+// the threat model), and passes the error through.
 func (fm *fileManager) rollbackFailed(err error) error {
 	fm.obs.rollbackFailures.Inc()
+	fm.obs.auditEmit(audit.Event{Event: audit.EventRollbackFailure, Detail: err.Error()})
 	return err
 }
 

@@ -75,6 +75,7 @@ func (s *Server) servePropfind(w http.ResponseWriter, r *http.Request, u acl.Use
 	ms := davMultistatus{XMLNS: "DAV:"}
 	if path.IsDir() {
 		entries, err := s.ac.GetDir(u, path)
+		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
 			return
@@ -99,6 +100,7 @@ func (s *Server) servePropfind(w http.ResponseWriter, r *http.Request, u acl.Use
 		}
 	} else {
 		content, err := s.ac.GetFile(u, path)
+		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
 			return

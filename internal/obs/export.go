@@ -4,37 +4,47 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // WritePrometheus renders all exportable metrics in the Prometheus text
 // exposition format (version 0.0.4). Histograms are rendered as
-// cumulative *_bucket series with nanosecond le boundaries, plus *_sum
-// and *_count.
+// cumulative *_bucket series plus *_sum and *_count.
+//
+// Internally all duration histograms observe nanoseconds (the *_ns name
+// suffix marks the unit). The Prometheus convention is base-unit seconds,
+// so *_ns histograms are transformed at export time: the series is renamed
+// *_seconds and le boundaries and the sum are divided by 1e9. Non-duration
+// histograms (depths, counts) export their integer values unchanged.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 	var lastName string
 	for _, m := range snap {
+		name := m.Name
+		seconds := m.Kind == "histogram" && strings.HasSuffix(name, "_ns")
+		if seconds {
+			name = strings.TrimSuffix(name, "_ns") + "_seconds"
+		}
 		if m.Name != lastName {
 			if m.Help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, sanitizeHelp(m.Help)); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, sanitizeHelp(m.Help)); err != nil {
 					return err
 				}
 			}
-			kind := m.Kind
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, kind); err != nil {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, m.Kind); err != nil {
 				return err
 			}
 			lastName = m.Name
 		}
 		switch m.Kind {
 		case "histogram":
-			if err := writePromHistogram(w, m); err != nil {
+			if err := writePromHistogram(w, name, m, seconds); err != nil {
 				return err
 			}
 		default:
-			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, promLabels(m.Labels, "", 0), m.Value); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(m.Labels, ""), m.Value); err != nil {
 				return err
 			}
 		}
@@ -42,26 +52,43 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writePromHistogram(w io.Writer, m MetricSnapshot) error {
+func writePromHistogram(w io.Writer, name string, m MetricSnapshot, seconds bool) error {
 	h := m.Histogram
 	var cum uint64
 	for _, b := range h.Buckets {
 		cum += b.Count
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", b.UpperBound), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(m.Labels, promBound(b.UpperBound, seconds)), cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabelsInf(m.Labels), h.Count); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabelsInf(m.Labels), h.Count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, promLabels(m.Labels, "", 0), h.Sum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(m.Labels, ""), promValue(h.Sum, seconds)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels, "", 0), h.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(m.Labels, ""), h.Count)
 	return err
 }
 
-func promLabels(labels []Label, le string, bound uint64) string {
+// promBound renders one le boundary: integer for native-unit histograms,
+// float seconds for nanosecond histograms.
+func promBound(bound uint64, seconds bool) string {
+	if !seconds {
+		return strconv.FormatUint(bound, 10)
+	}
+	return strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64)
+}
+
+// promValue renders a histogram sum in the export unit.
+func promValue(v uint64, seconds bool) string {
+	if !seconds {
+		return strconv.FormatUint(v, 10)
+	}
+	return strconv.FormatFloat(float64(v)/1e9, 'g', -1, 64)
+}
+
+func promLabels(labels []Label, le string) string {
 	if len(labels) == 0 && le == "" {
 		return ""
 	}
@@ -77,7 +104,7 @@ func promLabels(labels []Label, le string, bound uint64) string {
 		if len(labels) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=\"%d\"", le, bound)
+		fmt.Fprintf(&b, "le=%q", le)
 	}
 	b.WriteByte('}')
 	return b.String()

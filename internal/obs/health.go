@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Health tracks process liveness and readiness for the admin listener.
+//
+// Liveness is implicit — if /healthz answers, the process is alive.
+// Readiness combines an operator-controlled flag (flipped by the server
+// during startup and drain) with named probe functions (store reachable,
+// enclave launched). The /readyz body names only the failing checks, never
+// their error text: probe errors may quote object names or paths, and the
+// admin listener is untrusted (leak budget).
+type Health struct {
+	ready atomic.Bool
+
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns a Health that reports not-ready until SetReady(true).
+func NewHealth() *Health { return &Health{} }
+
+// SetReady flips the operator readiness flag.
+func (h *Health) SetReady(ready bool) {
+	if h == nil {
+		return
+	}
+	h.ready.Store(ready)
+}
+
+// AddCheck registers a named readiness probe. The name must pass the
+// leak-budget name rules; the probe is called on every /readyz request.
+func (h *Health) AddCheck(name string, probe func() error) error {
+	if err := verifyName(name, "health check name"); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.checks == nil {
+		h.checks = make(map[string]func() error)
+	}
+	h.checks[name] = probe
+	return nil
+}
+
+// failing returns the sorted names of checks currently returning an error.
+func (h *Health) failing() []string {
+	h.mu.Lock()
+	probes := make(map[string]func() error, len(h.checks))
+	for n, p := range h.checks {
+		probes[n] = p
+	}
+	h.mu.Unlock()
+	var out []string
+	for name, probe := range probes {
+		if err := probe(); err != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// handleLive serves /healthz.
+func (h *Health) handleLive(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady serves /readyz: 200 when the ready flag is set and every
+// probe passes, 503 otherwise with the names of what failed.
+func (h *Health) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !h.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	if failing := h.failing(); len(failing) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		for _, name := range failing {
+			fmt.Fprintf(w, "check failed: %s\n", name)
+		}
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -7,20 +7,52 @@ import (
 	"strconv"
 )
 
+// HandlerOption extends the admin mux built by Handler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	health *Health
+	extra  map[string]http.Handler
+}
+
+// WithHealth mounts /healthz (liveness) and /readyz (readiness) backed by
+// h. A nil h is ignored.
+func WithHealth(h *Health) HandlerOption {
+	return func(c *handlerConfig) { c.health = h }
+}
+
+// WithEndpoint mounts an extra handler on the admin mux. The caller is
+// responsible for keeping its output within the leak budget.
+func WithEndpoint(pattern string, h http.Handler) HandlerOption {
+	return func(c *handlerConfig) {
+		if c.extra == nil {
+			c.extra = make(map[string]http.Handler)
+		}
+		c.extra[pattern] = h
+	}
+}
+
 // Handler serves the observability endpoints on an *untrusted* admin
 // listener, separate from the enclave-terminated client port:
 //
 //	/metrics        Prometheus text format
 //	/debug/vars     JSON snapshot of all metrics
-//	/debug/traces   recent request traces (?n= limits the count)
+//	/debug/traces   recent request traces (?n= limits the count, clamped
+//	                to the recorder's ring capacity)
 //	/debug/pprof/*  the standard net/http/pprof handlers
+//	/healthz        liveness (with WithHealth)
+//	/readyz         readiness (with WithHealth)
 //
 // Everything served here is aggregate, leak-budget-checked telemetry of
 // the untrusted host process; pprof profiles the *host* Go runtime, which
 // in a real SGX deployment corresponds to profiling the untrusted runtime
 // and the simulated enclave code that, here, shares its address space.
 // rec may be nil to disable the traces endpoint.
-func Handler(reg *Registry, rec *TraceRecorder) http.Handler {
+func Handler(reg *Registry, rec *TraceRecorder, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -32,14 +64,31 @@ func Handler(reg *Registry, rec *TraceRecorder) http.Handler {
 	})
 	if rec != nil {
 		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			// Clamp to the ring capacity: the recorder can never return
+			// more traces than it holds, and an unbounded n would let an
+			// admin-port client request arbitrarily large allocations.
+			maxN := rec.Capacity()
 			n := 50
+			if n > maxN {
+				n = maxN
+			}
 			if q := r.URL.Query().Get("n"); q != "" {
 				if v, err := strconv.Atoi(q); err == nil && v > 0 {
 					n = v
+					if n > maxN {
+						n = maxN
+					}
 				}
 			}
 			writeTraceJSON(w, rec.Recent(n))
 		})
+	}
+	if cfg.health != nil {
+		mux.HandleFunc("/healthz", cfg.health.handleLive)
+		mux.HandleFunc("/readyz", cfg.health.handleReady)
+	}
+	for pattern, h := range cfg.extra {
+		mux.Handle(pattern, h)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -75,13 +75,40 @@ func TestPrometheusFormat(t *testing.T) {
 		"# TYPE segshare_requests_total counter",
 		`segshare_requests_total{op="fs_get"} 3`,
 		"segshare_active -2",
-		"# TYPE segshare_req_ns histogram",
-		`segshare_req_ns_bucket{op="fs_get",le="0"} 1`,
-		`segshare_req_ns_bucket{op="fs_get",le="3"} 2`,
-		`segshare_req_ns_bucket{op="fs_get",le="7"} 3`,
-		`segshare_req_ns_bucket{op="fs_get",le="+Inf"} 3`,
-		`segshare_req_ns_sum{op="fs_get"} 8`,
-		`segshare_req_ns_count{op="fs_get"} 3`,
+		// Nanosecond histograms export as base-unit seconds with float
+		// le boundaries, per Prometheus convention.
+		"# TYPE segshare_req_seconds histogram",
+		`segshare_req_seconds_bucket{op="fs_get",le="0"} 1`,
+		`segshare_req_seconds_bucket{op="fs_get",le="3e-09"} 2`,
+		`segshare_req_seconds_bucket{op="fs_get",le="7e-09"} 3`,
+		`segshare_req_seconds_bucket{op="fs_get",le="+Inf"} 3`,
+		`segshare_req_seconds_sum{op="fs_get"} 8e-09`,
+		`segshare_req_seconds_count{op="fs_get"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "segshare_req_ns") {
+		t.Errorf("prometheus output still contains raw nanosecond series:\n%s", out)
+	}
+}
+
+// TestPrometheusNonDurationHistogram checks that histograms without the
+// _ns suffix keep their integer unit.
+func TestPrometheusNonDurationHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("segshare_tree_depth", "Depth.", nil)
+	h.Observe(3)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`segshare_tree_depth_bucket{le="3"} 1`,
+		"segshare_tree_depth_sum 3",
+		"segshare_tree_depth_count 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q:\n%s", want, out)

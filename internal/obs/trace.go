@@ -91,6 +91,25 @@ func (r *TraceRecorder) Dropped() uint64 {
 // Active returns the number of started-but-unfinished traces.
 func (r *TraceRecorder) Active() int64 { return r.active.Value() }
 
+// Capacity returns the ring size: the maximum number of traces Recent can
+// ever return.
+func (r *TraceRecorder) Capacity() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cap(r.ring)
+}
+
+// ID returns the trace's ring-unique id, usable as a request id in logs
+// and audit records to correlate them with the exported trace.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
 // SetStatus records the response status code.
 func (t *Trace) SetStatus(code int) {
 	if t == nil {
