@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|all")
+		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|all")
 		full       = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		runs       = flag.Int("runs", 0, "override runs per data point")
 		maxExp     = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
@@ -96,6 +96,12 @@ func run(exp string, full bool, runs, maxExp int, wan bool) error {
 	if all || exp == "audit" {
 		ran = true
 		if err := runAudit(runs); err != nil {
+			return err
+		}
+	}
+	if all || exp == "e10" {
+		ran = true
+		if err := runE10(full, runs); err != nil {
 			return err
 		}
 	}
@@ -281,6 +287,27 @@ func runAudit(runs int) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%d\t%d\n",
 			r.Mode, ms(r.Upload.Mean), ms(r.Download.Mean), ms(r.Grant.Mean), r.Records, r.Drops, r.Bytes)
+	}
+	return w.Flush()
+}
+
+func runE10(full bool, runs int) error {
+	cfg := bench.DefaultE10()
+	if full {
+		cfg.Ops = 2000
+	}
+	if runs > 0 {
+		cfg.Ops = runs
+	}
+	rows, err := bench.RunE10(cfg)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("E10 — concurrent throughput, %d ops/client (sharded locks + relation cache vs global lock)", cfg.Ops),
+		"variant", "workload", "clients", "throughput", "cache hit rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f op/s\t%.1f%%\n",
+			r.Variant, r.Workload, r.Clients, r.Throughput, 100*r.HitRate)
 	}
 	return w.Flush()
 }

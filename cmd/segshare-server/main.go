@@ -48,8 +48,17 @@ func run() error {
 		logLevel = flag.String("log", "info", "request log level on stderr: debug|info|warn|error|off")
 		auditOn  = flag.Bool("audit", false, "enable the tamper-evident audit log (segments under <data>/audit)")
 		auditOfl = flag.String("audit-overflow", "drop", "audit queue overflow policy: drop (count and continue) | block (complete trail, couples request latency to audit I/O)")
+		shards   = flag.Int("lock-shards", 0, "per-path lock shards in the request path (0 = default 64, 1 ~= one global lock)")
+		cacheKiB = flag.Int64("cache-kib", 0, "in-enclave relation cache budget in KiB (0 = default 8 MiB, negative disables)")
+		profMtx  = flag.Int("profile-mutex", 0, "mutex contention sampling for /debug/pprof/mutex: 1 = every event, n = 1/n, 0 = off")
+		profBlk  = flag.Int("profile-block", 0, "block profiling for /debug/pprof/block: record events blocking >= this many ns, 0 = off")
 	)
 	flag.Parse()
+
+	// Contention samplers must be on before any lock is taken to catch
+	// startup paths too; they are opt-in because they tax every contended
+	// lock operation.
+	obs.EnableContentionProfiling(*profMtx, *profBlk)
 
 	logger, err := newLogger(*logLevel)
 	if err != nil {
@@ -100,6 +109,8 @@ func run() error {
 		Features:        features,
 		FileSystemOwner: *fso,
 		Logger:          logger,
+		LockShards:      *shards,
+		CacheBytes:      *cacheKiB * 1024,
 	}
 	if features.Dedup {
 		dedupStore, err := segshare.NewDiskStore(filepath.Join(*dataDir, "dedup"))

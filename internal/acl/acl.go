@@ -214,6 +214,11 @@ func (m *MemberList) Contains(g GroupID) bool {
 	return found
 }
 
+// Clone returns a deep copy.
+func (m *MemberList) Clone() *MemberList {
+	return &MemberList{Groups: append([]GroupID(nil), m.Groups...)}
+}
+
 // GroupRecord is one group in the group list file: its compact ID, its
 // name, and the groups that own it (the group's slice of rGO).
 type GroupRecord struct {
@@ -260,6 +265,15 @@ type GroupList struct {
 // GroupID never denotes a real group.
 func NewGroupList() *GroupList {
 	return &GroupList{NextID: 1}
+}
+
+// Clone returns a deep copy.
+func (l *GroupList) Clone() *GroupList {
+	cp := &GroupList{NextID: l.NextID, Groups: make([]GroupRecord, len(l.Groups))}
+	for i, g := range l.Groups {
+		cp.Groups[i] = GroupRecord{ID: g.ID, Name: g.Name, Owners: append([]GroupID(nil), g.Owners...)}
+	}
+	return cp
 }
 
 func (l *GroupList) searchID(id GroupID) (int, bool) {

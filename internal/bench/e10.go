@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"segshare/internal/cache"
+	"segshare/internal/core"
+)
+
+// E10 — concurrent request throughput (DESIGN.md §10). The paper's
+// evaluation is single-client; this experiment measures what the sharded
+// path locks and the in-enclave relation caches buy under concurrency:
+// aggregate operations per second at 1/4/16/64 clients, for a
+// global-lock/no-cache baseline versus the sharded+cached request path,
+// on disjoint paths (no logical contention), one shared hot file
+// (maximum contention), and a mixed GET/PUT/ACL-update workload.
+
+// E10Config parameterizes the concurrency experiment.
+type E10Config struct {
+	// Clients holds the concurrency levels to sweep.
+	Clients []int
+	// Ops is the number of operations each client performs per cell.
+	Ops int
+	// FileSize is the content size of every file in the corpus.
+	FileSize int
+}
+
+// DefaultE10 returns the scaled-down default parameters.
+func DefaultE10() E10Config {
+	return E10Config{Clients: []int{1, 4, 16, 64}, Ops: 300, FileSize: 4 << 10}
+}
+
+// E10Row is one measured cell.
+type E10Row struct {
+	Variant    string  // "global-lock" or "sharded+cache"
+	Workload   string  // "get-disjoint", "get-shared", "mixed"
+	Clients    int     // concurrent sessions
+	Throughput float64 // aggregate ops/second
+	HitRate    float64 // relation-cache hit rate during the cell (0 with cache off)
+}
+
+// e10Variants are the two server tunings under comparison. The baseline
+// reproduces the pre-optimization request path: one lock shard behaves
+// like the old global RWMutex, and a negative cache budget disables the
+// relation caches so every authorization walk re-fetches, re-derives,
+// and re-decrypts its relation files.
+var e10Variants = []struct {
+	name       string
+	lockShards int
+	cacheBytes int64
+}{
+	{"global-lock", 1, -1},
+	{"sharded+cache", 0, 0},
+}
+
+var e10Workloads = []string{"get-disjoint", "get-shared", "mixed"}
+
+// RunE10 sweeps every (variant, workload, clients) cell.
+func RunE10(cfg E10Config) ([]E10Row, error) {
+	if len(cfg.Clients) == 0 || cfg.Ops <= 0 {
+		return nil, fmt.Errorf("bench: e10 config incomplete: %+v", cfg)
+	}
+	maxClients := 0
+	for _, n := range cfg.Clients {
+		if n > maxClients {
+			maxClients = n
+		}
+	}
+	var rows []E10Row
+	for _, v := range e10Variants {
+		for _, workload := range e10Workloads {
+			env, err := NewEnv(EnvConfig{LockShards: v.lockShards, CacheBytes: v.cacheBytes})
+			if err != nil {
+				return nil, err
+			}
+			sessions, err := e10Setup(env, workload, maxClients, cfg.FileSize)
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			for _, n := range cfg.Clients {
+				row, err := e10Cell(env, sessions, v.name, workload, n, cfg.Ops, cfg.FileSize)
+				if err != nil {
+					env.Close()
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+			env.Close()
+		}
+	}
+	return rows, nil
+}
+
+// e10Setup builds the corpus and per-client sessions. Client i owns
+// /c<i>/ (created by itself, so it holds full rights there); the shared
+// hot file is owned by "owner" and readable by the "readers" group
+// every client belongs to.
+func e10Setup(env *Env, workload string, clients, fileSize int) ([]*core.DirectSession, error) {
+	payload := make([]byte, fileSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	owner := env.Direct("owner")
+	if err := owner.Mkdir("/shared/"); err != nil {
+		return nil, err
+	}
+	if err := owner.Upload("/shared/f", payload); err != nil {
+		return nil, err
+	}
+	sessions := make([]*core.DirectSession, clients)
+	for i := range sessions {
+		user := fmt.Sprintf("u%d", i)
+		if err := owner.AddUser(user, "readers"); err != nil {
+			return nil, err
+		}
+		sessions[i] = env.Direct(user)
+		if workload != "get-shared" {
+			if err := sessions[i].Mkdir(fmt.Sprintf("/c%d/", i)); err != nil {
+				return nil, err
+			}
+			if err := sessions[i].Upload(fmt.Sprintf("/c%d/f", i), payload); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := owner.SetPermission("/shared/f", "readers", "r"); err != nil {
+		return nil, err
+	}
+	return sessions, nil
+}
+
+// e10Cell measures one concurrency level: wall-clock over clients×ops
+// operations started together, plus the relation-cache hit rate over
+// exactly that interval.
+func e10Cell(env *Env, sessions []*core.DirectSession, variant, workload string, clients, ops, fileSize int) (E10Row, error) {
+	payload := make([]byte, fileSize)
+	before := env.Server.CacheStats()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := sessions[i]
+			own := fmt.Sprintf("/c%d/f", i)
+			<-start
+			for j := 0; j < ops; j++ {
+				var err error
+				switch workload {
+				case "get-disjoint":
+					_, err = d.Download(own)
+				case "get-shared":
+					_, err = d.Download("/shared/f")
+				default: // mixed: 80% GET, 15% PUT, 5% ACL toggle, own subtree
+					switch {
+					case j%20 < 16:
+						_, err = d.Download(own)
+					case j%20 < 19:
+						err = d.Upload(own, payload)
+					default:
+						spec := core.PermissionSpec("r")
+						if j%40 >= 20 {
+							spec = "none"
+						}
+						err = d.SetPermission(own, "readers", spec)
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("e10 %s/%s client %d op %d: %w", variant, workload, i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	begin := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	close(errs)
+	if err := <-errs; err != nil {
+		return E10Row{}, err
+	}
+
+	return E10Row{
+		Variant:    variant,
+		Workload:   workload,
+		Clients:    clients,
+		Throughput: float64(clients*ops) / elapsed.Seconds(),
+		HitRate:    hitRateDelta(before, env.Server.CacheStats()),
+	}, nil
+}
+
+// hitRateDelta computes hits/(hits+misses) across the relation caches
+// (derived keys excluded — they never miss twice and would flatter the
+// number) between two CacheStats snapshots.
+func hitRateDelta(before, after map[string]cache.Stats) float64 {
+	var hits, total uint64
+	for _, kind := range []string{"acls", "dirs", "memberships", "grouplist"} {
+		h := after[kind].Hits - before[kind].Hits
+		m := after[kind].Misses - before[kind].Misses
+		hits += h
+		total += h + m
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -74,6 +74,12 @@ type EnvConfig struct {
 	// AuditOverflow selects the writer's full-queue policy when Audit is
 	// on.
 	AuditOverflow audit.Overflow
+	// LockShards and CacheBytes pass through to the server's concurrency
+	// tuning (see ServerConfig); zero keeps the defaults, and E10 sets
+	// LockShards=1 / CacheBytes=-1 to reproduce the global-lock,
+	// cache-free baseline.
+	LockShards int
+	CacheBytes int64
 }
 
 // Env is a full in-process SeGShare deployment listening on loopback.
@@ -105,6 +111,8 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		GroupStore:   segshare.NewMemoryStore(),
 		Features:     features,
 		Bridge:       cfg.Bridge,
+		LockShards:   cfg.LockShards,
+		CacheBytes:   cfg.CacheBytes,
 	}
 	if features.Dedup {
 		serverCfg.DedupStore = segshare.NewMemoryStore()

@@ -59,8 +59,11 @@ func (s *Server) AcceptReset(signature []byte) error {
 	if !ca.VerifyReset(s.caPub, nonce, signature) {
 		return errors.New("segshare: invalid reset signature")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	unlock := s.locks.wholeTree()
+	defer unlock()
+	// The operator restored arbitrary store state; everything cached from
+	// the previous state is suspect.
+	s.fm.caches.flushAll()
 	if err := s.fm.rebindRoot(s.fm.content); err != nil {
 		return err
 	}

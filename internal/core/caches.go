@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+
+	"segshare/internal/acl"
+	"segshare/internal/cache"
+	"segshare/internal/pae"
+)
+
+// The in-enclave relation caches (IBBE-SGX makes the same observation:
+// caching trusted group state inside the enclave is what makes SGX
+// access control practical at scale). Every authorization check walks
+// the same few small relation files — the group list, the caller's
+// member list, the target's ACL and possibly its parent's — and each
+// walk previously cost one untrusted-store fetch, one HKDF derivation,
+// one AES-GCM open, and (with rollback protection) a validation pass
+// per file. The caches keep the *decoded, validated* objects in enclave
+// memory instead; see package cache for the generation-tag safety model.
+//
+// Invalidation is centralized in fileManager.putBlob/deleteBlob — the
+// single chokepoints every mutation (ACL updates, membership changes,
+// moves, removals, rollback-tree propagation) funnels through — so no
+// write path can miss an invalidation. Values are invalidate-only,
+// never updated in place: the next read goes back to the untrusted
+// store and re-validates, which keeps rollback detection for freshly
+// written files exactly as strong as without the cache.
+
+// defaultCacheBytes bounds the relation caches to a deliberately small
+// slice of the EPC budget (the paper's enclave keeps ~dozens of MiB of
+// heap); relation files are tiny, so 8 MiB holds tens of thousands.
+const defaultCacheBytes = 8 << 20
+
+// fileKeyCost is the accounting cost of one cached derived key: the key
+// itself plus map/ring overhead.
+const fileKeyCost = 64
+
+// relCaches bundles one cache per relation kind plus the derived
+// per-file keys. Individual caches may be nil (always-miss); the struct
+// itself is never nil on a fileManager.
+type relCaches struct {
+	acls     *cache.Cache[*acl.ACL]
+	dirs     *cache.Cache[*dirBody]
+	members  *cache.Cache[*acl.MemberList]
+	groups   *cache.Cache[*acl.GroupList]
+	fileKeys *cache.Cache[pae.Key]
+}
+
+// newRelCaches splits a total byte budget across the relation kinds.
+// A non-positive budget disables caching entirely.
+func newRelCaches(totalBytes int64, o *serverObs) *relCaches {
+	if totalBytes <= 0 {
+		return &relCaches{}
+	}
+	frac := func(pct int64) int64 { return totalBytes * pct / 100 }
+	return &relCaches{
+		acls:     cache.New[*acl.ACL](frac(35), o.cacheHooks("acls")),
+		dirs:     cache.New[*dirBody](frac(30), o.cacheHooks("dirs")),
+		members:  cache.New[*acl.MemberList](frac(20), o.cacheHooks("memberships")),
+		groups:   cache.New[*acl.GroupList](frac(5), o.cacheHooks("grouplist")),
+		fileKeys: cache.New[pae.Key](frac(10), o.cacheHooks("derived")),
+	}
+}
+
+// flushAll empties every cache, e.g. after a backup restoration rebinds
+// the root state to whatever the operator restored.
+func (rc *relCaches) flushAll() {
+	rc.acls.Flush()
+	rc.dirs.Flush()
+	rc.members.Flush()
+	rc.groups.Flush()
+	// Derived keys are a pure function of SK_r and the name; they stay.
+}
+
+// invalidateRel drops the cached decodings of a logical name after its
+// blob in the untrusted store changed. Called with the store write
+// completed (invalidate-last; see package cache).
+func (fm *fileManager) invalidateRel(ns *namespace, name string) {
+	if ns == fm.group {
+		switch {
+		case name == groupListName:
+			fm.caches.groups.Invalidate(groupListName)
+		case strings.HasPrefix(name, memberNamePfx):
+			fm.caches.members.Invalidate(name)
+		}
+		return
+	}
+	switch {
+	case strings.HasSuffix(name, ".acl"):
+		fm.caches.acls.Invalidate(name)
+	case ns.isInner(name):
+		fm.caches.dirs.Invalidate(name)
+	}
+}
+
+// CacheStats reports each relation cache's counters, keyed by the same
+// kind names used for the cache metrics. Benchmarks read it to compute
+// hit rates.
+func (s *Server) CacheStats() map[string]cache.Stats {
+	rc := s.fm.caches
+	return map[string]cache.Stats{
+		"acls":        rc.acls.Stats(),
+		"dirs":        rc.dirs.Stats(),
+		"memberships": rc.members.Stats(),
+		"grouplist":   rc.groups.Stats(),
+		"derived":     rc.fileKeys.Stats(),
+	}
+}

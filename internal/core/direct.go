@@ -34,8 +34,11 @@ func (d *DirectSession) Mkdir(path string) error {
 	if err != nil {
 		return err
 	}
-	d.s.mu.Lock()
-	defer d.s.mu.Unlock()
+	if err := d.s.provisionUser(d.u); err != nil {
+		return err
+	}
+	unlock := d.s.locks.fsWrite(false, p)
+	defer unlock()
 	return d.s.ac.PutDir(d.u, p)
 }
 
@@ -45,8 +48,11 @@ func (d *DirectSession) Upload(path string, content []byte) error {
 	if err != nil {
 		return err
 	}
-	d.s.mu.Lock()
-	defer d.s.mu.Unlock()
+	if err := d.s.provisionUser(d.u); err != nil {
+		return err
+	}
+	unlock := d.s.locks.fsWrite(false, p)
+	defer unlock()
 	_, err = d.s.ac.PutFile(d.u, p, content)
 	return err
 }
@@ -57,8 +63,8 @@ func (d *DirectSession) Download(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.s.mu.RLock()
-	defer d.s.mu.RUnlock()
+	unlock := d.s.locks.fsRead(p)
+	defer unlock()
 	return d.s.ac.GetFile(d.u, p)
 }
 
@@ -68,8 +74,8 @@ func (d *DirectSession) List(path string) ([]ListedEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.s.mu.RLock()
-	defer d.s.mu.RUnlock()
+	unlock := d.s.locks.fsRead(p)
+	defer unlock()
 	return d.s.ac.GetDir(d.u, p)
 }
 
@@ -79,8 +85,8 @@ func (d *DirectSession) Remove(path string) error {
 	if err != nil {
 		return err
 	}
-	d.s.mu.Lock()
-	defer d.s.mu.Unlock()
+	unlock := d.s.locks.fsWrite(false, p)
+	defer unlock()
 	return d.s.ac.Remove(d.u, p)
 }
 
@@ -94,8 +100,8 @@ func (d *DirectSession) Move(src, dst string) error {
 	if err != nil {
 		return err
 	}
-	d.s.mu.Lock()
-	defer d.s.mu.Unlock()
+	unlock := d.s.locks.moveLocks(sp, dp)
+	defer unlock()
 	return d.s.ac.Move(d.u, sp, dp)
 }
 
@@ -109,8 +115,8 @@ func (d *DirectSession) SetPermission(path, group string, permission PermissionS
 	if err != nil {
 		return err
 	}
-	d.s.mu.Lock()
-	defer d.s.mu.Unlock()
+	unlock := d.s.locks.fsWrite(true, p)
+	defer unlock()
 	return d.s.ac.SetPermission(d.u, p, acl.GroupName(group), perm)
 }
 
@@ -120,22 +126,28 @@ func (d *DirectSession) SetInherit(path string, inherit bool) error {
 	if err != nil {
 		return err
 	}
-	d.s.mu.Lock()
-	defer d.s.mu.Unlock()
+	unlock := d.s.locks.fsWrite(false, p)
+	defer unlock()
 	return d.s.ac.SetInherit(d.u, p, inherit)
 }
 
 // AddUser adds a user to a group (creating it on first use).
 func (d *DirectSession) AddUser(user, group string) error {
-	d.s.mu.Lock()
-	defer d.s.mu.Unlock()
+	if err := d.s.provisionUser(d.u, acl.UserID(user)); err != nil {
+		return err
+	}
+	unlock := d.s.locks.groupWrite()
+	defer unlock()
 	return d.s.ac.AddUser(d.u, acl.UserID(user), acl.GroupName(group))
 }
 
 // RemoveUser removes a user from a group.
 func (d *DirectSession) RemoveUser(user, group string) error {
-	d.s.mu.Lock()
-	defer d.s.mu.Unlock()
+	if err := d.s.provisionUser(d.u); err != nil {
+		return err
+	}
+	unlock := d.s.locks.groupWrite()
+	defer unlock()
 	return d.s.ac.RemoveUser(d.u, acl.UserID(user), acl.GroupName(group))
 }
 

@@ -66,6 +66,11 @@ type fileManager struct {
 	rollbackOn bool
 	validate   bool
 
+	// caches holds decoded, validated relation objects and derived file
+	// keys in enclave memory (see caches.go); never nil, individual
+	// caches may be (always-miss).
+	caches *relCaches
+
 	obs *serverObs
 }
 
@@ -80,7 +85,10 @@ type fmConfig struct {
 	dedupEnabled bool
 	contentGuard rollback.RootGuard
 	groupGuard   rollback.RootGuard
-	obs          *serverObs
+	// cacheBytes bounds the in-enclave relation caches; <= 0 disables
+	// them (the resolved value — Config defaulting happens in NewServer).
+	cacheBytes int64
+	obs        *serverObs
 }
 
 func newFileManager(cfg fmConfig) (*fileManager, error) {
@@ -108,6 +116,7 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 		hidePaths:  cfg.hidePaths,
 		rollbackOn: cfg.rollbackOn,
 		validate:   cfg.rollbackOn,
+		caches:     newRelCaches(cfg.cacheBytes, cfg.obs),
 		obs:        cfg.obs,
 	}
 	fm.content = &namespace{
@@ -187,8 +196,20 @@ func (fm *fileManager) storageName(ns *namespace, name string) string {
 	return hex.EncodeToString(mac[:])
 }
 
+// fileKey derives (or recalls) the per-file key. Keys are a pure
+// function of SK_r and the name, so cached entries never go stale; the
+// cache just bounds how often the HKDF expansion runs on hot names.
 func (fm *fileManager) fileKey(ns *namespace, name string) (pae.Key, error) {
-	return pae.DeriveKey(fm.rootKey, "file-key/"+ns.kind, []byte(name))
+	ck := ns.kind + ":" + name
+	if k, ok := fm.caches.fileKeys.Get(ck); ok {
+		return k, nil
+	}
+	gen := fm.caches.fileKeys.Gen()
+	k, err := pae.DeriveKey(fm.rootKey, "file-key/"+ns.kind, []byte(name))
+	if err == nil {
+		fm.caches.fileKeys.Put(ck, k, fileKeyCost, gen)
+	}
+	return k, err
 }
 
 func (fm *fileManager) fileID(ns *namespace, name string) []byte {
@@ -218,6 +239,7 @@ func (fm *fileManager) putBlob(ns *namespace, name string, hdr *rollback.Header,
 	if err := ns.backend.Put(fm.storageName(ns, name), blob); err != nil {
 		return fmt.Errorf("segshare: store %q: %w", name, err)
 	}
+	fm.invalidateRel(ns, name)
 	return nil
 }
 
@@ -303,6 +325,7 @@ func (fm *fileManager) deleteBlob(ns *namespace, name string) error {
 	if err != nil {
 		return fmt.Errorf("segshare: delete %q: %w", name, err)
 	}
+	fm.invalidateRel(ns, name)
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -327,10 +328,10 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		serveOptions(w)
 
 	case http.MethodGet, http.MethodHead:
-		s.mu.RLock()
-		defer s.mu.RUnlock()
 		if path.IsDir() {
+			unlock := s.locks.fsRead(path)
 			entries, err := s.ac.GetDir(u, path)
+			unlock()
 			s.auditAuthz(r, u, path.String(), err)
 			if err != nil {
 				writeMappedErr(w, err)
@@ -347,15 +348,20 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			writeJSON(w, http.StatusOK, listing)
 			return
 		}
+		unlock := s.locks.fsRead(path)
 		content, err := s.ac.GetFile(u, path)
+		unlock()
 		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(content)))
 		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(content)
+		if r.Method != http.MethodHead {
+			_, _ = w.Write(content)
+		}
 
 	case http.MethodPut:
 		content, err := io.ReadAll(r.Body)
@@ -363,9 +369,13 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		s.mu.Lock()
-		created, err := s.ac.PutFile(u, path, content)
-		s.mu.Unlock()
+		var created bool
+		err = s.provisionUser(u)
+		if err == nil {
+			unlock := s.locks.fsWrite(false, path)
+			created, err = s.ac.PutFile(u, path, content)
+			unlock()
+		}
 		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
@@ -378,9 +388,12 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		}
 
 	case "MKCOL":
-		s.mu.Lock()
-		err := s.ac.PutDir(u, path)
-		s.mu.Unlock()
+		err := s.provisionUser(u)
+		if err == nil {
+			unlock := s.locks.fsWrite(false, path)
+			err = s.ac.PutDir(u, path)
+			unlock()
+		}
 		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
@@ -389,9 +402,9 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		w.WriteHeader(http.StatusCreated)
 
 	case http.MethodDelete:
-		s.mu.Lock()
+		unlock := s.locks.fsWrite(false, path)
 		err := s.ac.Remove(u, path)
-		s.mu.Unlock()
+		unlock()
 		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
@@ -410,9 +423,9 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		s.mu.Lock()
+		unlock := s.locks.moveLocks(path, dst)
 		err = s.ac.Move(u, path, dst)
-		s.mu.Unlock()
+		unlock()
 		s.auditAuthz(r, u, path.String()+" -> "+dst.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
@@ -464,13 +477,13 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 			writeErr(w, http.StatusNotFound, fmt.Errorf("%w: unknown API %q", ErrBadRequest, route))
 			return
 		}
-		s.mu.RLock()
+		unlock := s.locks.groupRead()
 		groups, err := s.ac.Memberships(u)
 		var owned []acl.GroupName
 		if err == nil {
 			owned, err = s.ac.OwnedGroups(u)
 		}
-		s.mu.RUnlock()
+		unlock()
 		if err != nil {
 			writeMappedErr(w, err)
 			return
@@ -510,9 +523,11 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		}
 		ev = audit.Event{Event: audit.EventACLChange, Path: path.String(),
 			Group: req.Group, Detail: "permission=" + string(req.Permission)}
-		s.mu.Lock()
+		// groupWrite: granting to a default group ("user:x") may create
+		// its group-list record on demand.
+		unlock := s.locks.fsWrite(true, path)
 		err = s.ac.SetPermission(u, path, acl.GroupName(req.Group), p)
-		s.mu.Unlock()
+		unlock()
 
 	case "inherit":
 		var req inheritReq
@@ -525,9 +540,9 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		}
 		ev = audit.Event{Event: audit.EventACLChange, Path: path.String(),
 			Detail: fmt.Sprintf("inherit=%t", req.Inherit)}
-		s.mu.Lock()
+		unlock := s.locks.fsWrite(false, path)
 		err = s.ac.SetInherit(u, path, req.Inherit)
-		s.mu.Unlock()
+		unlock()
 
 	case "owner":
 		var req ownerReq
@@ -540,9 +555,9 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		}
 		ev = audit.Event{Event: audit.EventACLChange, Path: path.String(),
 			Group: req.Group, Detail: fmt.Sprintf("owner=%t", req.Owner)}
-		s.mu.Lock()
+		unlock := s.locks.fsWrite(true, path)
 		err = s.ac.SetFileOwner(u, path, acl.GroupName(req.Group), req.Owner)
-		s.mu.Unlock()
+		unlock()
 
 	case "groups/add":
 		var req membershipReq
@@ -550,9 +565,15 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 			break
 		}
 		ev = audit.Event{Event: audit.EventGroupChange, Target: req.User, Group: req.Group}
-		s.mu.Lock()
-		err = s.ac.AddUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
-		s.mu.Unlock()
+		// Provision both principals first: adding a never-seen user must
+		// not bootstrap identity relations (or the FSO root ACL) inside
+		// the group-only critical section.
+		err = s.provisionUser(u, acl.UserID(req.User))
+		if err == nil {
+			unlock := s.locks.groupWrite()
+			err = s.ac.AddUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
+			unlock()
+		}
 
 	case "groups/remove":
 		var req membershipReq
@@ -560,9 +581,12 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 			break
 		}
 		ev = audit.Event{Event: audit.EventGroupChange, Target: req.User, Group: req.Group}
-		s.mu.Lock()
-		err = s.ac.RemoveUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
-		s.mu.Unlock()
+		err = s.provisionUser(u)
+		if err == nil {
+			unlock := s.locks.groupWrite()
+			err = s.ac.RemoveUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
+			unlock()
+		}
 
 	case "groups/owner":
 		var req groupOwnerReq
@@ -571,9 +595,12 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		}
 		ev = audit.Event{Event: audit.EventGroupChange, Group: req.Group,
 			Detail: fmt.Sprintf("ownerGroup=%s owner=%t", req.OwnerGroup, req.Owner)}
-		s.mu.Lock()
-		err = s.ac.SetGroupOwner(u, acl.GroupName(req.Group), acl.GroupName(req.OwnerGroup), req.Owner)
-		s.mu.Unlock()
+		err = s.provisionUser(u)
+		if err == nil {
+			unlock := s.locks.groupWrite()
+			err = s.ac.SetGroupOwner(u, acl.GroupName(req.Group), acl.GroupName(req.OwnerGroup), req.Owner)
+			unlock()
+		}
 
 	case "groups/delete":
 		var req groupDeleteReq
@@ -581,9 +608,12 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 			break
 		}
 		ev = audit.Event{Event: audit.EventGroupChange, Group: req.Group, Detail: "delete"}
-		s.mu.Lock()
-		err = s.ac.DeleteGroup(u, acl.GroupName(req.Group))
-		s.mu.Unlock()
+		err = s.provisionUser(u)
+		if err == nil {
+			unlock := s.locks.groupWrite()
+			err = s.ac.DeleteGroup(u, acl.GroupName(req.Group))
+			unlock()
+		}
 
 	default:
 		err = fmt.Errorf("%w: unknown API %q", ErrBadRequest, route)

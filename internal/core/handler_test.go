@@ -6,6 +6,7 @@ import (
 	"crypto/x509"
 	"encoding/json"
 	"encoding/pem"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -260,5 +261,35 @@ func TestParseFormatPermission(t *testing.T) {
 	}
 	if _, err := ParsePermission("x"); err == nil {
 		t.Fatal("bogus permission accepted")
+	}
+}
+
+// GET and HEAD must announce the plaintext length up front — clients
+// size progress bars from it, and HEAD must carry it without a body.
+func TestContentLengthFromPlaintext(t *testing.T) {
+	f := newHandlerFixture(t)
+	content := []byte("exactly twenty-three by")
+	if rec := f.do(t, "alice", http.MethodPut, "/fs/a.txt", content, nil); rec.Code != 201 {
+		t.Fatalf("PUT = %d: %s", rec.Code, rec.Body)
+	}
+	rec := f.do(t, "alice", http.MethodGet, "/fs/a.txt", nil, nil)
+	if rec.Code != 200 {
+		t.Fatalf("GET = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Content-Length"); got != fmt.Sprint(len(content)) {
+		t.Fatalf("GET Content-Length = %q, want %d", got, len(content))
+	}
+	if rec.Body.Len() != len(content) {
+		t.Fatalf("GET body %d bytes, want %d", rec.Body.Len(), len(content))
+	}
+	rec = f.do(t, "alice", http.MethodHead, "/fs/a.txt", nil, nil)
+	if rec.Code != 200 {
+		t.Fatalf("HEAD = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Content-Length"); got != fmt.Sprint(len(content)) {
+		t.Fatalf("HEAD Content-Length = %q, want %d", got, len(content))
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("HEAD returned %d body bytes", rec.Body.Len())
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"segshare/internal/audit"
+	"segshare/internal/cache"
 	"segshare/internal/obs"
 )
 
@@ -31,6 +32,11 @@ type serverObs struct {
 	treeUpdateDepth   *obs.Histogram
 	treeValidateDepth *obs.Histogram
 	rollbackFailures  *obs.Counter
+
+	// Lock-manager wait histograms, pre-registered per scope so the hot
+	// acquisition path never takes the registry lock. Scopes are the
+	// closed compile-time set in locks.go; durations only, no identity.
+	lockWaits map[string]*obs.Histogram
 }
 
 // auditEmit forwards one security event to the audit log, if enabled.
@@ -47,6 +53,11 @@ func newServerObs(reg *obs.Registry, logger *slog.Logger) *serverObs {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
+	lockWaits := make(map[string]*obs.Histogram, len(lockScopes))
+	for _, scope := range lockScopes {
+		lockWaits[scope] = reg.Histogram("segshare_lock_wait_ns",
+			"Request lock acquisition wait by lock scope (ns).", obs.Labels{"scope": scope})
+	}
 	return &serverObs{
 		reg:               reg,
 		logger:            logger,
@@ -55,6 +66,35 @@ func newServerObs(reg *obs.Registry, logger *slog.Logger) *serverObs {
 		treeUpdateDepth:   reg.Histogram("segshare_rollback_tree_update_depth", "Ancestor levels written per rollback-tree update.", nil),
 		treeValidateDepth: reg.Histogram("segshare_rollback_tree_validate_depth", "Ancestor levels checked per rollback-tree validation.", nil),
 		rollbackFailures:  reg.Counter("segshare_rollback_failures_total", "Requests rejected by rollback/integrity verification.", nil),
+		lockWaits:         lockWaits,
+	}
+}
+
+// lockWait records how long one lock acquisition blocked, by scope.
+func (o *serverObs) lockWait(scope string, d time.Duration) {
+	if h, ok := o.lockWaits[scope]; ok {
+		h.ObserveDuration(d)
+	}
+}
+
+// cacheHooks wires one in-enclave cache's events into the registry. The
+// cache label is a compile-time constant naming the relation kind, never
+// a key: hit/miss/eviction counts and occupancy are aggregate-only.
+func (o *serverObs) cacheHooks(kind string) cache.Hooks {
+	labels := obs.Labels{"cache": kind}
+	hits := o.reg.Counter("segshare_cache_hits_total", "In-enclave cache hits by relation kind.", labels)
+	misses := o.reg.Counter("segshare_cache_misses_total", "In-enclave cache misses by relation kind.", labels)
+	evictions := o.reg.Counter("segshare_cache_evictions_total", "In-enclave cache CLOCK evictions by relation kind.", labels)
+	entries := o.reg.Gauge("segshare_cache_entries", "In-enclave cache occupancy (entries) by relation kind.", labels)
+	bytes := o.reg.Gauge("segshare_cache_bytes", "In-enclave cache occupancy (cost units) by relation kind.", labels)
+	return cache.Hooks{
+		Hit:   hits.Inc,
+		Miss:  misses.Inc,
+		Evict: evictions.Inc,
+		Size: func(n int, cost int64) {
+			entries.Set(int64(n))
+			bytes.Set(cost)
+		},
 	}
 }
 

@@ -175,12 +175,20 @@ func (fm *fileManager) readContent(path fspath.Path) ([]byte, error) {
 	return fm.dedup.Get(hName)
 }
 
-// readDir returns a directory's children, validating the rollback tree.
+// readDir returns a directory's children, validating the rollback tree
+// on a cache miss. The cached dirBody is never handed out; callers get a
+// copied entry slice.
 func (fm *fileManager) readDir(path fspath.Path) ([]DirEntry, error) {
 	if !path.IsDir() {
 		return nil, fmt.Errorf("%w: %q is not a directory path", ErrBadRequest, path)
 	}
 	name := path.String()
+	if db, ok := fm.caches.dirs.Get(name); ok {
+		out := make([]DirEntry, len(db.entries))
+		copy(out, db.entries)
+		return out, nil
+	}
+	gen := fm.caches.dirs.Gen()
 	hdr, body, err := fm.getBlob(fm.content, name)
 	if err != nil {
 		return nil, err
@@ -192,14 +200,21 @@ func (fm *fileManager) readDir(path fspath.Path) ([]DirEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	fm.caches.dirs.Put(name, db, int64(len(body)), gen)
 	out := make([]DirEntry, len(db.entries))
 	copy(out, db.entries)
 	return out, nil
 }
 
-// readACL loads and validates the ACL file of a path.
+// readACL loads and validates the ACL file of a path, consulting the
+// in-enclave cache first. The returned ACL is always the caller's to
+// mutate: hits are cloned out, and the cached copy on a miss is a clone.
 func (fm *fileManager) readACL(path fspath.Path) (*acl.ACL, error) {
 	name := aclName(path.String())
+	if a, ok := fm.caches.acls.Get(name); ok {
+		return a.Clone(), nil
+	}
+	gen := fm.caches.acls.Gen()
 	hdr, body, err := fm.getBlob(fm.content, name)
 	if err != nil {
 		return nil, err
@@ -211,6 +226,7 @@ func (fm *fileManager) readACL(path fspath.Path) (*acl.ACL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, name, err)
 	}
+	fm.caches.acls.Put(name, a.Clone(), int64(len(body)), gen)
 	return a, nil
 }
 
@@ -382,10 +398,15 @@ func (fm *fileManager) movePath(src, dst fspath.Path) error {
 	return fm.removePath(src, false)
 }
 
-// readMemberList loads and validates a user's member list file. It
-// returns ErrNotFound for users without one.
+// readMemberList loads and validates a user's member list file,
+// consulting the in-enclave cache first. It returns ErrNotFound for
+// users without one. The returned list is the caller's to mutate.
 func (fm *fileManager) readMemberList(u acl.UserID) (*acl.MemberList, error) {
 	name := memberListName(u)
+	if m, ok := fm.caches.members.Get(name); ok {
+		return m.Clone(), nil
+	}
+	gen := fm.caches.members.Gen()
 	hdr, body, err := fm.getBlob(fm.group, name)
 	if err != nil {
 		return nil, err
@@ -397,6 +418,7 @@ func (fm *fileManager) readMemberList(u acl.UserID) (*acl.MemberList, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, name, err)
 	}
+	fm.caches.members.Put(name, m.Clone(), int64(len(body)), gen)
 	return m, nil
 }
 
@@ -407,11 +429,18 @@ func (fm *fileManager) writeMemberList(u acl.UserID, m *acl.MemberList) error {
 }
 
 // readGroupList loads and validates the group list file, returning an
-// empty list before any group exists.
+// empty list before any group exists. Consults the in-enclave cache
+// first; the returned list is the caller's to mutate.
 func (fm *fileManager) readGroupList() (*acl.GroupList, error) {
+	if l, ok := fm.caches.groups.Get(groupListName); ok {
+		return l.Clone(), nil
+	}
+	gen := fm.caches.groups.Gen()
 	hdr, body, err := fm.getBlob(fm.group, groupListName)
 	if errors.Is(err, ErrNotFound) {
-		return acl.NewGroupList(), nil
+		l := acl.NewGroupList()
+		fm.caches.groups.Put(groupListName, l.Clone(), 16, gen)
+		return l, nil
 	}
 	if err != nil {
 		return nil, err
@@ -423,6 +452,7 @@ func (fm *fileManager) readGroupList() (*acl.GroupList, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, groupListName, err)
 	}
+	fm.caches.groups.Put(groupListName, l.Clone(), int64(len(body)), gen)
 	return l, nil
 }
 

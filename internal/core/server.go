@@ -74,6 +74,15 @@ type Config struct {
 	// ignored and nothing is persisted: replicas re-run replication after
 	// a restart.
 	RootKey []byte
+	// LockShards sets the number of per-path lock shards in the request
+	// path (see locks.go). Zero means the default (64); 1 approximates
+	// the former single global RWMutex, which benchmarks use as the
+	// before-configuration.
+	LockShards int
+	// CacheBytes bounds the in-enclave relation caches (decoded ACLs,
+	// member lists, group list, directory bodies, derived file keys).
+	// Zero means the default (8 MiB); negative disables caching.
+	CacheBytes int64
 	// Bridge tunes the switchless call bridge.
 	Bridge enclave.BridgeConfig
 	// Logger receives structured request logs (request id, operation
@@ -111,8 +120,9 @@ type Server struct {
 	ac        *accessControl
 	obs       *serverObs
 
-	// mu serializes state-changing requests against readers.
-	mu sync.RWMutex
+	// locks schedules request concurrency: sharded per-path locks, a
+	// group-store lock, and a whole-tree barrier (see locks.go).
+	locks *lockManager
 	// reset tracks the outstanding backup-restoration challenge (§V-G).
 	reset resetState
 
@@ -245,6 +255,13 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		groupGuard = rollback.NewCounterGuard(encl, "group-root")
 	}
 
+	cacheBytes := cfg.CacheBytes
+	switch {
+	case cacheBytes == 0:
+		cacheBytes = defaultCacheBytes
+	case cacheBytes < 0:
+		cacheBytes = 0 // disabled
+	}
 	fm, err := newFileManager(fmConfig{
 		rootKey:      rootKey,
 		contentStore: cfg.ContentStore,
@@ -255,6 +272,7 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		dedupEnabled: cfg.Features.Dedup,
 		contentGuard: contentGuard,
 		groupGuard:   groupGuard,
+		cacheBytes:   cacheBytes,
 		obs:          sObs,
 	})
 	if err != nil {
@@ -270,6 +288,7 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		ac:        &accessControl{fm: fm, fso: userID(cfg.FileSystemOwner)},
 		certifier: newCertifier(encl, cfg.GroupStore, caPub),
 		obs:       sObs,
+		locks:     newLockManager(cfg.LockShards, cfg.Features.RollbackProtection, sObs),
 	}
 
 	s.bridge = enclave.NewBridge(cfg.Bridge)

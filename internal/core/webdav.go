@@ -69,8 +69,8 @@ func (s *Server) servePropfind(w http.ResponseWriter, r *http.Request, u acl.Use
 		return
 	}
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.locks.fsRead(path)
+	defer unlock()
 
 	ms := davMultistatus{XMLNS: "DAV:"}
 	if path.IsDir() {

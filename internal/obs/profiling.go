@@ -1,0 +1,28 @@
+package obs
+
+import "runtime"
+
+// EnableContentionProfiling turns on the Go runtime's mutex and block
+// samplers so /debug/pprof/mutex and /debug/pprof/block on the admin
+// listener show where the request path contends — without it both
+// profiles are empty no matter how hot a lock is.
+//
+// mutexFraction is the sampling rate for mutex contention (1 samples
+// every contention event, n samples 1/n; 0 leaves the current setting).
+// blockRateNs samples blocking events lasting at least that many
+// nanoseconds (1 records everything; 0 leaves the current setting).
+// Both samplers stay off by default because they add overhead on every
+// contended lock operation — this is a diagnosis switch, not a
+// production default.
+//
+// Leak budget: the profiles expose host-runtime stack traces and wait
+// durations, the same class of signal as the existing pprof endpoints;
+// no request identity (users, groups, paths) appears in either profile.
+func EnableContentionProfiling(mutexFraction int, blockRateNs int) {
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRateNs > 0 {
+		runtime.SetBlockProfileRate(blockRateNs)
+	}
+}
