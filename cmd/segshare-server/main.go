@@ -52,6 +52,7 @@ func run() error {
 		cacheKiB = flag.Int64("cache-kib", 0, "in-enclave relation cache budget in KiB (0 = default 8 MiB, negative disables)")
 		profMtx  = flag.Int("profile-mutex", 0, "mutex contention sampling for /debug/pprof/mutex: 1 = every event, n = 1/n, 0 = off")
 		profBlk  = flag.Int("profile-block", 0, "block profiling for /debug/pprof/block: record events blocking >= this many ns, 0 = off")
+		journal  = flag.Bool("journal", true, "crash-consistent mutations via the sealed intent journal (disable only for benchmarking)")
 	)
 	flag.Parse()
 
@@ -111,6 +112,7 @@ func run() error {
 		Logger:          logger,
 		LockShards:      *shards,
 		CacheBytes:      *cacheKiB * 1024,
+		DisableJournal:  !*journal,
 	}
 	if features.Dedup {
 		dedupStore, err := segshare.NewDiskStore(filepath.Join(*dataDir, "dedup"))
@@ -178,8 +180,8 @@ func run() error {
 		return err
 	}
 	health.SetReady(true)
-	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v)\n",
-		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn)
+	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v)\n",
+		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

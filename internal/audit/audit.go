@@ -58,6 +58,9 @@ const (
 	// EventKeyOp: a root-key lifecycle operation (generate, unseal,
 	// replicate, export).
 	EventKeyOp EventType = "key_op"
+	// EventRecovery: the journal recovery pass re-applied or discarded
+	// incomplete intents at startup or after a backup restoration.
+	EventRecovery EventType = "recovery"
 )
 
 // Decisions recorded on authorization events.

@@ -80,6 +80,9 @@ type EnvConfig struct {
 	// cache-free baseline.
 	LockShards int
 	CacheBytes int64
+	// DisableJournal turns off the crash-consistency intent journal; E11
+	// uses it to measure the journal's write-path overhead.
+	DisableJournal bool
 }
 
 // Env is a full in-process SeGShare deployment listening on loopback.
@@ -111,8 +114,9 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		GroupStore:   segshare.NewMemoryStore(),
 		Features:     features,
 		Bridge:       cfg.Bridge,
-		LockShards:   cfg.LockShards,
-		CacheBytes:   cfg.CacheBytes,
+		LockShards:     cfg.LockShards,
+		CacheBytes:     cfg.CacheBytes,
+		DisableJournal: cfg.DisableJournal,
 	}
 	if features.Dedup {
 		serverCfg.DedupStore = segshare.NewMemoryStore()

@@ -148,6 +148,10 @@ func (ac *accessControl) authGroup(ml *acl.MemberList, rec *acl.GroupRecord) boo
 
 // PutDir implements "user u wants to create a directory at path".
 func (ac *accessControl) PutDir(u acl.UserID, path fspath.Path) error {
+	return ac.fm.mutate("mkcol", func() error { return ac.putDir(u, path) })
+}
+
+func (ac *accessControl) putDir(u acl.UserID, path fspath.Path) error {
 	if !path.IsDir() || path.IsRoot() {
 		return fmt.Errorf("%w: not a creatable directory path", ErrBadRequest)
 	}
@@ -186,6 +190,15 @@ func (ac *accessControl) PutDir(u acl.UserID, path fspath.Path) error {
 
 // PutFile implements "user u wants to create or update a file at path".
 func (ac *accessControl) PutFile(u acl.UserID, path fspath.Path, content []byte) (created bool, err error) {
+	err = ac.fm.mutate("put", func() error {
+		var ferr error
+		created, ferr = ac.putFile(u, path, content)
+		return ferr
+	})
+	return created, err
+}
+
+func (ac *accessControl) putFile(u acl.UserID, path fspath.Path, content []byte) (created bool, err error) {
 	if path.IsDir() {
 		return false, fmt.Errorf("%w: %s is a directory path", ErrBadRequest, path)
 	}
@@ -344,6 +357,10 @@ func (ac *accessControl) requireOwner(u acl.UserID, path fspath.Path) (*acl.ACL,
 // SetPermission implements set_p: the owner sets permission p for group g
 // on the file at path. PermNone removes the entry.
 func (ac *accessControl) SetPermission(u acl.UserID, path fspath.Path, group acl.GroupName, p acl.Permission) error {
+	return ac.fm.mutate("set_p", func() error { return ac.setPermission(u, path, group, p) })
+}
+
+func (ac *accessControl) setPermission(u acl.UserID, path fspath.Path, group acl.GroupName, p acl.Permission) error {
 	a, err := ac.requireOwner(u, path)
 	if err != nil {
 		return err
@@ -362,6 +379,10 @@ func (ac *accessControl) SetPermission(u acl.UserID, path fspath.Path, group acl
 
 // SetInherit implements the rI update of paper §V-B.
 func (ac *accessControl) SetInherit(u acl.UserID, path fspath.Path, inherit bool) error {
+	return ac.fm.mutate("set_inherit", func() error { return ac.setInherit(u, path, inherit) })
+}
+
+func (ac *accessControl) setInherit(u acl.UserID, path fspath.Path, inherit bool) error {
 	a, err := ac.requireOwner(u, path)
 	if err != nil {
 		return err
@@ -373,6 +394,10 @@ func (ac *accessControl) SetInherit(u acl.UserID, path fspath.Path, inherit bool
 // SetFileOwner adds or removes a group from the file's owners (rFO),
 // allowing multiple file owners (objective F7).
 func (ac *accessControl) SetFileOwner(u acl.UserID, path fspath.Path, group acl.GroupName, owner bool) error {
+	return ac.fm.mutate("set_owner", func() error { return ac.setFileOwner(u, path, group, owner) })
+}
+
+func (ac *accessControl) setFileOwner(u acl.UserID, path fspath.Path, group acl.GroupName, owner bool) error {
 	a, err := ac.requireOwner(u, path)
 	if err != nil {
 		return err
@@ -395,6 +420,10 @@ func (ac *accessControl) SetFileOwner(u acl.UserID, path fspath.Path, group acl.
 // AddUser implements add_u: create the group on first use (creator joins
 // and owns it), then add u2 — which only rewrites u2's member list file.
 func (ac *accessControl) AddUser(u1, u2 acl.UserID, group acl.GroupName) error {
+	return ac.fm.mutate("add_u", func() error { return ac.addUser(u1, u2, group) })
+}
+
+func (ac *accessControl) addUser(u1, u2 acl.UserID, group acl.GroupName) error {
 	if strings.HasPrefix(string(group), "user:") {
 		return fmt.Errorf("%w: default groups cannot be managed", ErrBadRequest)
 	}
@@ -461,6 +490,10 @@ func (ac *accessControl) memberListOrEmptyForUpdate(u acl.UserID) (*acl.MemberLi
 // RemoveUser implements rmv_u: an immediate membership revocation that
 // only rewrites u2's member list file (objectives P3, S4).
 func (ac *accessControl) RemoveUser(u1, u2 acl.UserID, group acl.GroupName) error {
+	return ac.fm.mutate("rmv_u", func() error { return ac.removeUser(u1, u2, group) })
+}
+
+func (ac *accessControl) removeUser(u1, u2 acl.UserID, group acl.GroupName) error {
 	ml1, err := ac.ensureUser(u1)
 	if err != nil {
 		return err
@@ -492,6 +525,10 @@ func (ac *accessControl) RemoveUser(u1, u2 acl.UserID, group acl.GroupName) erro
 // SetGroupOwner adds or removes an owning group of a group (rGO),
 // enabling multiple group owners (objective F7).
 func (ac *accessControl) SetGroupOwner(u acl.UserID, group, ownerGroup acl.GroupName, owner bool) error {
+	return ac.fm.mutate("set_gowner", func() error { return ac.setGroupOwner(u, group, ownerGroup, owner) })
+}
+
+func (ac *accessControl) setGroupOwner(u acl.UserID, group, ownerGroup acl.GroupName, owner bool) error {
 	ml, err := ac.ensureUser(u)
 	if err != nil {
 		return err
@@ -526,6 +563,10 @@ func (ac *accessControl) SetGroupOwner(u acl.UserID, group, ownerGroup acl.Group
 // is the one deliberately expensive operation: every member list must be
 // visited.
 func (ac *accessControl) DeleteGroup(u acl.UserID, group acl.GroupName) error {
+	return ac.fm.mutate("del_g", func() error { return ac.deleteGroup(u, group) })
+}
+
+func (ac *accessControl) deleteGroup(u acl.UserID, group acl.GroupName) error {
 	if strings.HasPrefix(string(group), "user:") {
 		return fmt.Errorf("%w: default groups cannot be deleted", ErrBadRequest)
 	}
@@ -609,6 +650,10 @@ func (ac *accessControl) OwnedGroups(u acl.UserID) ([]acl.GroupName, error) {
 
 // Remove implements the remove file/directory request.
 func (ac *accessControl) Remove(u acl.UserID, path fspath.Path) error {
+	return ac.fm.mutate("delete", func() error { return ac.remove(u, path) })
+}
+
+func (ac *accessControl) remove(u acl.UserID, path fspath.Path) error {
 	ml, err := ac.memberListOrEmpty(u)
 	if err != nil {
 		return err
@@ -632,6 +677,10 @@ func (ac *accessControl) Remove(u acl.UserID, path fspath.Path) error {
 // source and on the destination parent (or destination-parent-is-root,
 // mirroring Algo 1's creation rule).
 func (ac *accessControl) Move(u acl.UserID, src, dst fspath.Path) error {
+	return ac.fm.mutate("move", func() error { return ac.move(u, src, dst) })
+}
+
+func (ac *accessControl) move(u acl.UserID, src, dst fspath.Path) error {
 	ml, err := ac.memberListOrEmpty(u)
 	if err != nil {
 		return err

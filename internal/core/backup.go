@@ -64,6 +64,12 @@ func (s *Server) AcceptReset(signature []byte) error {
 	// The operator restored arbitrary store state; everything cached from
 	// the previous state is suspect.
 	s.fm.caches.flushAll()
+	// Finish any operation interrupted by the crash the operator is
+	// recovering from. The restored counter state is behind the live one
+	// by construction, so the strict tail bound cannot hold here.
+	if err := s.fm.recoverJournal(recoverOpts{strict: false, validate: false}); err != nil {
+		return err
+	}
 	if err := s.fm.rebindRoot(s.fm.content); err != nil {
 		return err
 	}

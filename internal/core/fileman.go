@@ -9,6 +9,7 @@ import (
 
 	"segshare/internal/acl"
 	"segshare/internal/dedup"
+	"segshare/internal/journal"
 	"segshare/internal/pae"
 	"segshare/internal/pfs"
 	"segshare/internal/rollback"
@@ -71,6 +72,16 @@ type fileManager struct {
 	// caches may be (always-miss).
 	caches *relCaches
 
+	// journal is the write-ahead intent journal (see txn.go); nil
+	// disables crash-consistent mutations (writes apply directly).
+	journal *journal.Journal
+	// tx is the operation in flight; mutations are serialized by the lock
+	// manager (coupled mode), so at most one exists at a time.
+	tx *opCtx
+	// journalDirty forces a recovery pass before the next mutation: a
+	// committed intent failed mid-apply or could not be marked applied.
+	journalDirty bool
+
 	obs *serverObs
 }
 
@@ -88,7 +99,10 @@ type fmConfig struct {
 	// cacheBytes bounds the in-enclave relation caches; <= 0 disables
 	// them (the resolved value — Config defaulting happens in NewServer).
 	cacheBytes int64
-	obs        *serverObs
+	// journal enables crash-consistent mutations; nil applies writes
+	// directly (see txn.go).
+	journal *journal.Journal
+	obs     *serverObs
 }
 
 func newFileManager(cfg fmConfig) (*fileManager, error) {
@@ -117,6 +131,7 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 		rollbackOn: cfg.rollbackOn,
 		validate:   cfg.rollbackOn,
 		caches:     newRelCaches(cfg.cacheBytes, cfg.obs),
+		journal:    cfg.journal,
 		obs:        cfg.obs,
 	}
 	fm.content = &namespace{
@@ -147,7 +162,13 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 		}
 		fm.dedup = ds
 	}
-	if err := fm.initRoots(); err != nil {
+	// Finish whatever a previous run left behind before reading or
+	// creating anything: committed intents roll forward, a torn commit is
+	// discarded. Replayed paths are revalidated against the rollback tree.
+	if err := fm.recoverJournal(recoverOpts{strict: true, validate: cfg.rollbackOn}); err != nil {
+		return nil, err
+	}
+	if err := fm.mutate("init", fm.initRoots); err != nil {
 		return nil, err
 	}
 	return fm, nil
@@ -216,9 +237,43 @@ func (fm *fileManager) fileID(ns *namespace, name string) []byte {
 	return []byte(ns.kind + ":" + name)
 }
 
-// putBlob encrypts and stores a logical file: optional rollback header
-// followed by the body, protected with the per-file key.
+// putBlob writes a logical file. Inside a journaled operation the write
+// is staged into the intent (txn.go) and only hits the backend at apply
+// time; otherwise it applies directly via putBlobRaw.
 func (fm *fileManager) putBlob(ns *namespace, name string, hdr *rollback.Header, body []byte) error {
+	if fm.staging() {
+		fm.tx.stagePut(ns, name, hdr, body, false)
+		fm.invalidateRel(ns, name)
+		return nil
+	}
+	return fm.putBlobRaw(ns, name, hdr, body)
+}
+
+// putRootBlob writes a namespace root together with its guard commit.
+// The guard commit must coincide with the write becoming durable: staged
+// root writes defer it to apply time (a fresh token per apply keeps
+// recovery replays valid, and an aborted operation cannot advance the
+// guard past the stored root), direct writes commit inline.
+func (fm *fileManager) putRootBlob(ns *namespace, hdr *rollback.Header, body []byte) error {
+	if hdr == nil {
+		return fm.putBlob(ns, ns.rootName, nil, body)
+	}
+	if fm.staging() {
+		fm.tx.stagePut(ns, ns.rootName, hdr, body, true)
+		fm.invalidateRel(ns, ns.rootName)
+		return nil
+	}
+	token, err := ns.guard.Commit(hdr.Main)
+	if err != nil {
+		return err
+	}
+	hdr.Token = token
+	return fm.putBlobRaw(ns, ns.rootName, hdr, body)
+}
+
+// putBlobRaw encrypts and stores a logical file: optional rollback
+// header followed by the body, protected with the per-file key.
+func (fm *fileManager) putBlobRaw(ns *namespace, name string, hdr *rollback.Header, body []byte) error {
 	var plain []byte
 	if hdr != nil {
 		enc := hdr.Encode()
@@ -244,8 +299,25 @@ func (fm *fileManager) putBlob(ns *namespace, name string, hdr *rollback.Header,
 }
 
 // getBlob loads, decrypts, and verifies a logical file, returning its
-// rollback header (nil when the extension is off) and body.
+// rollback header (nil when the extension is off) and body. Reads
+// observe the active operation's staged state first, so intra-operation
+// re-reads (move recursion, parent updates) see their own writes.
 func (fm *fileManager) getBlob(ns *namespace, name string) (*rollback.Header, []byte, error) {
+	if fm.staging() {
+		if sp, deleted := fm.tx.staged(ns, name); deleted {
+			return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		} else if sp != nil {
+			body := append([]byte(nil), sp.body...)
+			if !fm.rollbackOn {
+				return nil, body, nil
+			}
+			hdr, _, err := rollback.DecodeHeader(sp.hdrEnc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: %s: bad rollback header", ErrIntegrity, name)
+			}
+			return hdr, body, nil
+		}
+	}
 	raw, err := ns.backend.Get(fm.storageName(ns, name))
 	if errors.Is(err, store.ErrNotExist) {
 		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, name)
@@ -279,6 +351,17 @@ func (fm *fileManager) getBlob(ns *namespace, name string) (*rollback.Header, []
 // that checking one bucket costs header-sized reads, not full files
 // (paper §V-D's optimization).
 func (fm *fileManager) readHeader(ns *namespace, name string) (*rollback.Header, error) {
+	if fm.staging() {
+		if sp, deleted := fm.tx.staged(ns, name); deleted {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		} else if sp != nil {
+			hdr, _, err := rollback.DecodeHeader(sp.hdrEnc)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s: bad rollback header", ErrIntegrity, name)
+			}
+			return hdr, nil
+		}
+	}
 	raw, err := ns.backend.Get(fm.storageName(ns, name))
 	if errors.Is(err, store.ErrNotExist) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
@@ -310,6 +393,13 @@ func (fm *fileManager) readHeader(ns *namespace, name string) (*rollback.Header,
 }
 
 func (fm *fileManager) exists(ns *namespace, name string) (bool, error) {
+	if fm.staging() {
+		if sp, deleted := fm.tx.staged(ns, name); deleted {
+			return false, nil
+		} else if sp != nil {
+			return true, nil
+		}
+	}
 	ok, err := ns.backend.Exists(fm.storageName(ns, name))
 	if err != nil {
 		return false, fmt.Errorf("segshare: stat %q: %w", name, err)
@@ -317,7 +407,30 @@ func (fm *fileManager) exists(ns *namespace, name string) (bool, error) {
 	return ok, nil
 }
 
+// deleteBlob removes a logical file, or stages the removal inside a
+// journaled operation (preserving ErrNotFound semantics by probing the
+// staged state and the backend).
 func (fm *fileManager) deleteBlob(ns *namespace, name string) error {
+	if fm.staging() {
+		if sp, deleted := fm.tx.staged(ns, name); deleted {
+			return fmt.Errorf("%w: %s", ErrNotFound, name)
+		} else if sp == nil {
+			ok, err := ns.backend.Exists(fm.storageName(ns, name))
+			if err != nil {
+				return fmt.Errorf("segshare: stat %q: %w", name, err)
+			}
+			if !ok {
+				return fmt.Errorf("%w: %s", ErrNotFound, name)
+			}
+		}
+		fm.tx.stageDelete(ns, name)
+		fm.invalidateRel(ns, name)
+		return nil
+	}
+	return fm.deleteBlobRaw(ns, name)
+}
+
+func (fm *fileManager) deleteBlobRaw(ns *namespace, name string) error {
 	err := ns.backend.Delete(fm.storageName(ns, name))
 	if errors.Is(err, store.ErrNotExist) {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
@@ -370,10 +483,5 @@ func (fm *fileManager) initContentRoot() error {
 	hdr := &rollback.Header{Inner: true}
 	hdr.Buckets.AddChild(fm.hasher, aclID, aclMain)
 	hdr.Main = fm.hasher.InnerMain(treeID(fm.content, fm.content.rootName), rollback.ContentDigest(rootBody), &hdr.Buckets)
-	token, err := fm.content.guard.Commit(hdr.Main)
-	if err != nil {
-		return err
-	}
-	hdr.Token = token
-	return fm.putBlob(fm.content, fm.content.rootName, hdr, rootBody)
+	return fm.putRootBlob(fm.content, hdr, rootBody)
 }

@@ -226,7 +226,10 @@ func (s *Server) provisionUser(users ...acl.UserID) error {
 			return err
 		}
 		unlock = s.locks.wholeTree()
-		_, err = s.ac.ensureUser(u)
+		err = s.fm.mutate("provision", func() error {
+			_, perr := s.ac.ensureUser(u)
+			return perr
+		})
 		unlock()
 		if err != nil {
 			return err

@@ -74,19 +74,72 @@ func (fm *fileManager) writeContent(path fspath.Path, content []byte, newACL *ac
 		return false, err
 	}
 
-	body, err := fm.encodeContent(name, content, existed)
+	// Dedup refcount discipline: acquire the new reference first, release
+	// the old one only after the whole operation durably commits, and
+	// drop the fresh reference if the operation fails before the leaf is
+	// durable. The old ordering (release before the leaf write) could
+	// garbage-collect content that live files still referenced when a
+	// later write failed.
+	body, newHName, err := fm.encodeContent(content)
 	if err != nil {
 		return false, err
 	}
+	var oldHName string
+	if existed && fm.dedup != nil {
+		oldHName, err = fm.contentRefName(name)
+		if err != nil {
+			fm.dropDedupRef(newHName)
+			return false, err
+		}
+	}
+	leafDurable := false
+	committed := false
+	if newHName != "" {
+		releaseNew := func() {
+			if !leafDurable {
+				fm.dropDedupRef(newHName)
+			}
+		}
+		fm.onOpAbort(releaseNew)
+		if fm.tx == nil {
+			defer func() {
+				if !committed {
+					releaseNew()
+				}
+			}()
+		}
+	}
+
 	oldMain, newMain, err := fm.writeLeaf(fm.content, name, body)
 	if err != nil {
 		return false, err
 	}
+	if !fm.staging() {
+		// The leaf hit the backend: it now references newHName, so an
+		// abort must not release it anymore.
+		leafDurable = true
+	}
+	// Releasing the old reference waits for the durable commit. When the
+	// rewrite stored identical content (oldHName == newHName), Put above
+	// acquired a second reference on the same object, so one release
+	// still balances the books.
+	finish := func() {
+		if oldHName != "" {
+			name := oldHName
+			fm.afterOp(func() { fm.dropDedupRef(name) })
+		}
+		committed = true
+	}
 	parent := path.Parent().String()
 	if existed {
-		return false, fm.applyToParent(fm.content, parent, nil, []bucketOp{
+		err := fm.applyToParent(fm.content, parent, nil, []bucketOp{
 			{child: treeID(fm.content, name), oldMain: oldMain, newMain: newMain},
 		})
+		if err != nil {
+			return false, err
+		}
+		finish()
+		return false, nil
 	}
 
 	_, aclMain, err := fm.writeLeaf(fm.content, aclName(name), newACL.Encode())
@@ -103,49 +156,53 @@ func (fm *fileManager) writeContent(path fspath.Path, content []byte, newACL *ac
 	if err != nil {
 		return false, err
 	}
+	finish()
 	return true, nil
 }
 
 // encodeContent builds a content file's body, deduplicating when the
-// extension is enabled (paper §V-A) and releasing the previous object on
-// update.
-func (fm *fileManager) encodeContent(name string, content []byte, existed bool) ([]byte, error) {
+// extension is enabled (paper §V-A). The returned hName (when non-empty)
+// carries a freshly acquired reference the caller must account for.
+func (fm *fileManager) encodeContent(content []byte) ([]byte, string, error) {
 	if fm.dedup == nil {
-		return encodeRawBody(content), nil
-	}
-	if existed {
-		if err := fm.releaseDedup(name); err != nil {
-			return nil, err
-		}
+		return encodeRawBody(content), "", nil
 	}
 	hName, _, err := fm.dedup.Put(content)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return encodeDedupBody(hName), nil
+	return encodeDedupBody(hName), hName, nil
 }
 
-// releaseDedup drops the dedup reference held by the current version of a
-// content file, if any.
-func (fm *fileManager) releaseDedup(name string) error {
+// contentRefName returns the dedup object a content file currently
+// references, or "" for raw bodies and absent files.
+func (fm *fileManager) contentRefName(name string) (string, error) {
 	if fm.dedup == nil {
-		return nil
+		return "", nil
 	}
 	_, body, err := fm.getBlob(fm.content, name)
 	if errors.Is(err, ErrNotFound) {
-		return nil
+		return "", nil
 	}
 	if err != nil {
-		return err
+		return "", err
 	}
 	_, hName, err := decodeContentBody(body)
-	if err != nil || hName == "" {
-		return err
+	if err != nil {
+		return "", err
 	}
-	if _, err := fm.dedup.Release(hName); err != nil {
-		return err
+	return hName, nil
+}
+
+// dropDedupRef releases one dedup reference, best-effort: a failure
+// leaves the refcount too high (content is retained longer than needed),
+// never too low — the safe direction for a compensation that cannot be
+// journaled (Release is not idempotent).
+func (fm *fileManager) dropDedupRef(hName string) {
+	if fm.dedup == nil || hName == "" {
+		return
 	}
-	return nil
+	_, _ = fm.dedup.Release(hName)
 }
 
 // readContent returns a content file's plaintext, validating the
@@ -200,7 +257,9 @@ func (fm *fileManager) readDir(path fspath.Path) ([]DirEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	fm.caches.dirs.Put(name, db, int64(len(body)), gen)
+	if !fm.staging() {
+		fm.caches.dirs.Put(name, db, int64(len(body)), gen)
+	}
 	out := make([]DirEntry, len(db.entries))
 	copy(out, db.entries)
 	return out, nil
@@ -226,7 +285,9 @@ func (fm *fileManager) readACL(path fspath.Path) (*acl.ACL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, name, err)
 	}
-	fm.caches.acls.Put(name, a.Clone(), int64(len(body)), gen)
+	if !fm.staging() {
+		fm.caches.acls.Put(name, a.Clone(), int64(len(body)), gen)
+	}
 	return a, nil
 }
 
@@ -264,8 +325,15 @@ func (fm *fileManager) removePath(path fspath.Path, releaseDedup bool) error {
 		if len(db.entries) > 0 {
 			return fmt.Errorf("%w: %s", ErrNotEmpty, name)
 		}
-	} else if releaseDedup {
-		if err := fm.releaseDedup(name); err != nil {
+	}
+	var relName string
+	if !path.IsDir() && releaseDedup && fm.dedup != nil {
+		// Capture the reference now; it is dropped only after the removal
+		// durably commits, so a failed removal keeps the content
+		// referenced.
+		var err error
+		relName, err = fm.contentRefName(name)
+		if err != nil {
 			return err
 		}
 	}
@@ -283,13 +351,10 @@ func (fm *fileManager) removePath(path fspath.Path, releaseDedup bool) error {
 		}
 		aclMain = aclHdr.Main
 	}
-	if err := fm.deleteBlob(fm.content, name); err != nil {
-		return err
-	}
-	if err := fm.deleteBlob(fm.content, aclName(name)); err != nil {
-		return err
-	}
-	return fm.applyToParent(fm.content, path.Parent().String(), func(db *dirBody) error {
+	// Parent first: once the directory entry is gone no reader can reach
+	// the blobs, so a fault between the steps leaves unreferenced objects
+	// (garbage) instead of a dangling entry whose GET fails integrity.
+	err := fm.applyToParent(fm.content, path.Parent().String(), func(db *dirBody) error {
 		if !db.remove(path.Name(), path.IsDir()) {
 			return fmt.Errorf("%w: %s missing in parent", ErrIntegrity, name)
 		}
@@ -298,6 +363,19 @@ func (fm *fileManager) removePath(path fspath.Path, releaseDedup bool) error {
 		{child: treeID(fm.content, name), oldMain: fileMain},
 		{child: treeID(fm.content, aclName(name)), oldMain: aclMain},
 	})
+	if err != nil {
+		return err
+	}
+	if err := fm.deleteBlob(fm.content, name); err != nil {
+		return err
+	}
+	if err := fm.deleteBlob(fm.content, aclName(name)); err != nil {
+		return err
+	}
+	if relName != "" {
+		fm.afterOp(func() { fm.dropDedupRef(relName) })
+	}
+	return nil
 }
 
 // movePath moves a content file or a whole directory subtree to a new
@@ -418,7 +496,9 @@ func (fm *fileManager) readMemberList(u acl.UserID) (*acl.MemberList, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, name, err)
 	}
-	fm.caches.members.Put(name, m.Clone(), int64(len(body)), gen)
+	if !fm.staging() {
+		fm.caches.members.Put(name, m.Clone(), int64(len(body)), gen)
+	}
 	return m, nil
 }
 
@@ -439,7 +519,9 @@ func (fm *fileManager) readGroupList() (*acl.GroupList, error) {
 	hdr, body, err := fm.getBlob(fm.group, groupListName)
 	if errors.Is(err, ErrNotFound) {
 		l := acl.NewGroupList()
-		fm.caches.groups.Put(groupListName, l.Clone(), 16, gen)
+		if !fm.staging() {
+			fm.caches.groups.Put(groupListName, l.Clone(), 16, gen)
+		}
 		return l, nil
 	}
 	if err != nil {
@@ -452,7 +534,9 @@ func (fm *fileManager) readGroupList() (*acl.GroupList, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrIntegrity, groupListName, err)
 	}
-	fm.caches.groups.Put(groupListName, l.Clone(), int64(len(body)), gen)
+	if !fm.staging() {
+		fm.caches.groups.Put(groupListName, l.Clone(), int64(len(body)), gen)
+	}
 	return l, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"segshare/internal/audit"
 	"segshare/internal/enclave"
 	"segshare/internal/enctls"
+	"segshare/internal/journal"
 	"segshare/internal/obs"
 	"segshare/internal/rollback"
 	"segshare/internal/store"
@@ -94,6 +95,12 @@ type Config struct {
 	// obs.Default(). Exported telemetry is bounded by the leak budget
 	// documented in package obs.
 	Obs *obs.Registry
+	// DisableJournal turns off the write-ahead intent journal that makes
+	// multi-blob mutations atomic-on-recovery (see internal/journal and
+	// txn.go). The journal is deliberately NOT part of the measured
+	// Features: it changes durability, not the security surface clients
+	// attest.
+	DisableJournal bool
 	// AuditStore, when non-nil, enables the tamper-evident audit log:
 	// security events (authn, authz decisions, ACL/group mutations,
 	// rollback failures, key operations) are sealed under keys derived
@@ -255,6 +262,20 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		groupGuard = rollback.NewCounterGuard(encl, "group-root")
 	}
 
+	var jl *journal.Journal
+	if !cfg.DisableJournal {
+		jKeys, err := journal.DeriveKeys(rootKey)
+		if err != nil {
+			return nil, err
+		}
+		// Journal records live next to the !meta:* objects in the group
+		// store; sequence numbers bind to an enclave monotonic counter.
+		jl, err = journal.Open(cfg.GroupStore, jKeys, encl.Counter("journal"), journal.Options{Obs: sObs.reg})
+		if err != nil {
+			return nil, fmt.Errorf("segshare: open journal: %w", err)
+		}
+	}
+
 	cacheBytes := cfg.CacheBytes
 	switch {
 	case cacheBytes == 0:
@@ -273,6 +294,7 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		contentGuard: contentGuard,
 		groupGuard:   groupGuard,
 		cacheBytes:   cacheBytes,
+		journal:      jl,
 		obs:          sObs,
 	})
 	if err != nil {
@@ -287,8 +309,11 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		fm:        fm,
 		ac:        &accessControl{fm: fm, fso: userID(cfg.FileSystemOwner)},
 		certifier: newCertifier(encl, cfg.GroupStore, caPub),
-		obs:       sObs,
-		locks:     newLockManager(cfg.LockShards, cfg.Features.RollbackProtection, sObs),
+		obs: sObs,
+		// The journal relies on at most one mutation being in flight
+		// (txn.go stages per-operation state on the file manager), which
+		// coupled mode guarantees; rollback protection needs it anyway.
+		locks: newLockManager(cfg.LockShards, cfg.Features.RollbackProtection || jl != nil, sObs),
 	}
 
 	s.bridge = enclave.NewBridge(cfg.Bridge)
@@ -374,6 +399,18 @@ func (s *Server) AuditHeadHandler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, s.obs.audit.Head())
 	})
+}
+
+// Fsck walks the full file-system state of both stores under the
+// whole-tree barrier: every node is decoded and (with rollback
+// protection) validated against the hash tree and root guards, every
+// directory entry must resolve, and every dedup indirection must reach
+// its content. Used by the fault-injection harness and available to
+// operators after a restore.
+func (s *Server) Fsck() error {
+	unlock := s.locks.wholeTree()
+	defer unlock()
+	return s.fm.validateAll()
 }
 
 // CheckStore probes the content store, for readiness checks.

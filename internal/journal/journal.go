@@ -1,0 +1,345 @@
+// Package journal implements a sealed write-ahead intent journal that
+// makes the file manager's multi-blob mutations atomic-on-recovery.
+//
+// Every SeGShare mutation is really a small transaction against the
+// untrusted stores — content + ACL + parent directory file + rollback
+// tree headers — but the backends only offer single-object puts. A fault
+// or crash between those puts leaves a state the enclave itself later
+// rejects as an integrity violation (paper §IV-C/§V-F assume the trusted
+// proxy applies updates atomically, and §V-G's backup story presumes a
+// consistent store to copy). The journal closes that window: the file
+// manager seals the full intent (every blob to write or delete) into one
+// journal object, commits it, applies the writes, and finally marks the
+// intent applied. Recovery re-applies any intent that committed but was
+// not marked applied; an intent that never finished committing is
+// discarded, which rolls the operation back.
+//
+// Journal records are ordinary objects in a store.Backend, named
+// "!journal:<seq>" next to the enclave's other reserved objects. Each
+// record is AES-GCM sealed under HKDF(SK_r, "journal/record") with the
+// object name as associated data, carries the SHA-256 of its predecessor
+// record (hash chain, like internal/audit), and takes its sequence
+// number from an enclave monotonic counter so a truncated journal is
+// detected: the newest surviving record must sit within one step of the
+// counter (the one-step slack is the legitimate crash window between the
+// counter increment and the record write).
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"segshare/internal/obs"
+	"segshare/internal/pae"
+	"segshare/internal/store"
+)
+
+// ObjectPrefix is the reserved name prefix of journal records in the
+// untrusted store.
+const ObjectPrefix = "!journal:"
+
+// ErrCorrupt reports a journal that fails integrity verification:
+// undecryptable non-tail records, sequence gaps, broken hash chains, or
+// truncation beyond the legitimate crash window. A corrupt journal is
+// evidence of host tampering; recovery refuses to proceed.
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// Counter is the enclave monotonic counter the journal binds sequence
+// numbers to (satisfied by *enclave.MonotonicCounter).
+type Counter interface {
+	Increment() (uint64, error)
+	Value() uint64
+}
+
+// Keys holds the journal sealing key derived from the root key SK_r.
+type Keys struct {
+	enc pae.Key
+}
+
+// DeriveKeys derives the journal keys from the root key (domain-separated
+// from every other SK_r use).
+func DeriveKeys(rootKey []byte) (Keys, error) {
+	k, err := pae.DeriveKey(rootKey, "journal/record", nil)
+	if err != nil {
+		return Keys{}, err
+	}
+	return Keys{enc: k}, nil
+}
+
+// Write is one blob write inside an intent. Header and Body are the
+// plaintext parts of the logical file; the applier re-encrypts them under
+// the per-file key, so a replay produces a fresh valid ciphertext.
+type Write struct {
+	// Store names the namespace the write belongs to ("content"/"group").
+	Store string `json:"s"`
+	// Name is the logical (pre-hiding) object name.
+	Name string `json:"n"`
+	// Header is the encoded rollback header, absent when rollback
+	// protection is off.
+	Header []byte `json:"h,omitempty"`
+	// Body is the plaintext body.
+	Body []byte `json:"b,omitempty"`
+	// NeedsToken marks a namespace-root write whose whole-file-system
+	// guard token must be assigned at apply time (a fresh guard commit per
+	// apply keeps replays valid).
+	NeedsToken bool `json:"t,omitempty"`
+}
+
+// Delete is one blob deletion inside an intent. Deletions apply after all
+// writes and tolerate already-absent objects, so replays are idempotent.
+type Delete struct {
+	Store string `json:"s"`
+	Name  string `json:"n"`
+}
+
+// Intent is one logical operation's journal record.
+type Intent struct {
+	Seq uint64 `json:"seq"`
+	// Op is the operation class (same closed set as the request metrics);
+	// it is sealed with the rest of the record.
+	Op string `json:"op"`
+	// Prev is the SHA-256 of the predecessor record's sealed bytes.
+	Prev    []byte   `json:"prev,omitempty"`
+	Writes  []Write  `json:"w,omitempty"`
+	Deletes []Delete `json:"d,omitempty"`
+}
+
+// Options tunes a Journal.
+type Options struct {
+	// Obs is the metric registry; nil means obs.Default().
+	Obs *obs.Registry
+}
+
+// RecoverySet is the outcome of scanning the journal at startup:
+// committed-but-unapplied intents in sequence order, plus the number of
+// torn tail records discarded (commits that crashed before completing).
+type RecoverySet struct {
+	Pending   []*Intent
+	Discarded int
+}
+
+// Journal is the intent journal. It is safe for concurrent use, though
+// the file manager serializes mutations anyway.
+type Journal struct {
+	mu       sync.Mutex
+	backend  store.Backend
+	keys     Keys
+	ctr      Counter
+	lastHash [sha256.Size]byte
+	pending  int
+
+	commits     *obs.Counter
+	commitBytes *obs.Counter
+	replayed    *obs.Counter
+	discardedC  *obs.Counter
+	pendingG    *obs.Gauge
+	commitNs    *obs.Histogram
+}
+
+func objectName(seq uint64) string {
+	return fmt.Sprintf("%s%016x", ObjectPrefix, seq)
+}
+
+// Open attaches a journal to the backend. It does not recover pending
+// intents — callers run Recover and re-apply what it returns before
+// serving requests.
+func Open(backend store.Backend, keys Keys, ctr Counter, opts Options) (*Journal, error) {
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	j := &Journal{
+		backend:     backend,
+		keys:        keys,
+		ctr:         ctr,
+		commits:     reg.Counter("segshare_journal_commits_total", "Intent records committed to the write-ahead journal.", nil),
+		commitBytes: reg.Counter("segshare_journal_commit_bytes_total", "Sealed journal record bytes written.", nil),
+		replayed:    reg.Counter("segshare_journal_replayed_total", "Intents re-applied by the recovery pass.", nil),
+		discardedC:  reg.Counter("segshare_journal_discarded_total", "Torn tail records discarded by the recovery pass.", nil),
+		pendingG:    reg.Gauge("segshare_journal_pending", "Committed intents not yet marked applied.", nil),
+		commitNs:    reg.Histogram("segshare_journal_commit_ns", "Journal commit latency (seal + store put, ns).", nil),
+	}
+	seqs, err := j.scan()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		raw, err := backend.Get(objectName(seqs[len(seqs)-1]))
+		if err != nil {
+			return nil, fmt.Errorf("journal: read head: %w", err)
+		}
+		j.lastHash = sha256.Sum256(raw)
+	}
+	j.pending = len(seqs)
+	j.pendingG.Set(int64(j.pending))
+	return j, nil
+}
+
+// scan lists the journal objects and returns their sequence numbers in
+// ascending order.
+func (j *Journal) scan() ([]uint64, error) {
+	names, err := j.backend.List()
+	if err != nil {
+		return nil, fmt.Errorf("journal: list: %w", err)
+	}
+	var seqs []uint64
+	for _, name := range names {
+		if !strings.HasPrefix(name, ObjectPrefix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimPrefix(name, ObjectPrefix), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: malformed record object %q", ErrCorrupt, name)
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	return seqs, nil
+}
+
+// Commit seals one intent and appends it to the journal, returning the
+// assigned sequence number. The caller applies the writes only after
+// Commit succeeds and calls MarkApplied when done.
+func (j *Journal) Commit(op string, writes []Write, deletes []Delete) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	start := time.Now()
+	seq, err := j.ctr.Increment()
+	if err != nil {
+		return 0, fmt.Errorf("journal: counter: %w", err)
+	}
+	rec := Intent{Seq: seq, Op: op, Prev: append([]byte(nil), j.lastHash[:]...), Writes: writes, Deletes: deletes}
+	plain, err := json.Marshal(&rec)
+	if err != nil {
+		return 0, fmt.Errorf("journal: encode: %w", err)
+	}
+	name := objectName(seq)
+	blob, err := pae.Encrypt(j.keys.enc, plain, []byte(name))
+	if err != nil {
+		return 0, fmt.Errorf("journal: seal: %w", err)
+	}
+	if err := j.backend.Put(name, blob); err != nil {
+		return 0, fmt.Errorf("journal: commit %d: %w", seq, err)
+	}
+	j.lastHash = sha256.Sum256(blob)
+	j.pending++
+	j.pendingG.Set(int64(j.pending))
+	j.commits.Inc()
+	j.commitBytes.Add(uint64(len(blob)))
+	j.commitNs.ObserveDuration(time.Since(start))
+	return seq, nil
+}
+
+// MarkApplied removes a fully applied intent from the journal. An
+// already-absent record is not an error (a crash between apply and
+// MarkApplied replays the intent, whose MarkApplied then races nothing).
+func (j *Journal) MarkApplied(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.backend.Delete(objectName(seq))
+	if err != nil && !errors.Is(err, store.ErrNotExist) {
+		return fmt.Errorf("journal: mark applied %d: %w", seq, err)
+	}
+	if j.pending > 0 {
+		j.pending--
+	}
+	j.pendingG.Set(int64(j.pending))
+	return nil
+}
+
+// PendingCount returns the number of committed-but-unapplied intents.
+func (j *Journal) PendingCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pending
+}
+
+// Recover scans, unseals, and verifies the journal, returning the
+// intents to re-apply in order. Verification requires contiguous
+// sequence numbers, an intact hash chain, and no record beyond the
+// enclave counter; the newest record alone may be unreadable (a commit
+// torn by the crash) and is then deleted and counted as discarded.
+//
+// In strict mode (normal startup) the newest surviving record must also
+// sit within one counter step of the enclave counter — anything farther
+// means the host truncated the journal. After a CA-authorized backup
+// restoration the counter is legitimately ahead of the restored records,
+// so that one check is relaxed (strict=false).
+func (j *Journal) Recover(strict bool) (RecoverySet, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var set RecoverySet
+	seqs, err := j.scan()
+	if err != nil {
+		return set, err
+	}
+	top := j.ctr.Value()
+	var lastGood []byte
+	for i, seq := range seqs {
+		if seq > top {
+			return set, fmt.Errorf("%w: record %d beyond enclave counter %d", ErrCorrupt, seq, top)
+		}
+		if i > 0 && seqs[i-1] != seq-1 {
+			return set, fmt.Errorf("%w: gap between records %d and %d", ErrCorrupt, seqs[i-1], seq)
+		}
+		name := objectName(seq)
+		blob, err := j.backend.Get(name)
+		if err != nil {
+			return set, fmt.Errorf("journal: read record %d: %w", seq, err)
+		}
+		rec := new(Intent)
+		plain, err := pae.Decrypt(j.keys.enc, blob, []byte(name))
+		if err == nil {
+			if uerr := json.Unmarshal(plain, rec); uerr != nil {
+				err = uerr
+			}
+		}
+		if err != nil {
+			if i != len(seqs)-1 {
+				return set, fmt.Errorf("%w: record %d unreadable", ErrCorrupt, seq)
+			}
+			// Torn tail: the crash interrupted this record's commit, so the
+			// operation never applied — discard it (the rollback half of
+			// recovery).
+			if derr := j.backend.Delete(name); derr != nil && !errors.Is(derr, store.ErrNotExist) {
+				return set, fmt.Errorf("journal: discard torn record %d: %w", seq, derr)
+			}
+			set.Discarded++
+			j.discardedC.Inc()
+			break
+		}
+		if rec.Seq != seq {
+			return set, fmt.Errorf("%w: record %d claims sequence %d", ErrCorrupt, seq, rec.Seq)
+		}
+		if i > 0 {
+			want := sha256.Sum256(lastGood)
+			if !bytes.Equal(rec.Prev, want[:]) {
+				return set, fmt.Errorf("%w: record %d breaks the hash chain", ErrCorrupt, seq)
+			}
+		}
+		lastGood = blob
+		set.Pending = append(set.Pending, rec)
+	}
+	if strict && len(seqs) > 0 {
+		if last := seqs[len(seqs)-1]; top-last > 1 {
+			return set, fmt.Errorf("%w: newest record %d but enclave counter %d — journal truncated", ErrCorrupt, last, top)
+		}
+	}
+	if lastGood != nil {
+		j.lastHash = sha256.Sum256(lastGood)
+	} else {
+		j.lastHash = [sha256.Size]byte{}
+	}
+	j.pending = len(set.Pending)
+	j.pendingG.Set(int64(j.pending))
+	j.replayed.Add(uint64(len(set.Pending)))
+	return set, nil
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -31,10 +32,20 @@ var _ Backend = (*Disk)(nil)
 const diskObjSuffix = ".obj"
 
 // NewDisk creates (if necessary) and opens a disk-backed store rooted at
-// dir.
+// dir. Temp files left behind by a crash mid-write are swept: they were
+// never renamed into place, so no object refers to them.
 func NewDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
 	}
 	return &Disk{dir: dir}, nil
 }
@@ -85,6 +96,14 @@ func (d *Disk) writeObject(target, name string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: write: %w", err)
 	}
+	// The data must be durable before the rename makes it visible, and the
+	// rename must be durable before Put returns: a journal replay decides
+	// what to redo based on which objects survived the crash.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: close: %w", err)
@@ -92,6 +111,20 @@ func (d *Disk) writeObject(target, name string, data []byte) error {
 	if err := os.Rename(tmpName, target); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: rename: %w", err)
+	}
+	return d.syncDir()
+}
+
+// syncDir flushes the directory entry metadata (new/removed object
+// files) to stable storage.
+func (d *Disk) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
 	}
 	return nil
 }
@@ -132,7 +165,7 @@ func (d *Disk) Delete(name string) error {
 	if err != nil {
 		return fmt.Errorf("store: delete: %w", err)
 	}
-	return nil
+	return d.syncDir()
 }
 
 // Rename implements Backend. Because the stored header carries the object
@@ -141,6 +174,20 @@ func (d *Disk) Rename(oldName, newName string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, err := os.Stat(d.fileFor(newName)); err == nil {
+		// A crash between writing the new object and removing the old one
+		// leaves both. If the payloads match this is that interrupted
+		// rename; completing it keeps retries idempotent. Any other
+		// collision is a real conflict.
+		oldData, oldErr := d.readObject(oldName)
+		if oldErr == nil {
+			newData, newErr := d.readObject(newName)
+			if newErr == nil && bytes.Equal(oldData, newData) {
+				if err := os.Remove(d.fileFor(oldName)); err != nil {
+					return fmt.Errorf("store: remove old: %w", err)
+				}
+				return d.syncDir()
+			}
+		}
 		return fmt.Errorf("%w: %q", ErrExist, newName)
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: stat: %w", err)
@@ -155,7 +202,7 @@ func (d *Disk) Rename(oldName, newName string) error {
 	if err := os.Remove(d.fileFor(oldName)); err != nil {
 		return fmt.Errorf("store: remove old: %w", err)
 	}
-	return nil
+	return d.syncDir()
 }
 
 // Exists implements Backend.

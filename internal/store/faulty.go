@@ -4,11 +4,95 @@ import (
 	"sync"
 )
 
+// FaultPlan is a deterministic failure schedule shared by every Faulty
+// backend of one store under test. It counts mutating backend operations
+// (put, delete, rename) across all attached backends and fires at a
+// chosen point, either once (a transient fault) or permanently (a
+// simulated process kill: from the n-th mutation on, every mutation
+// fails until Revive). Crash-consistency tests dry-run an operation to
+// learn its mutation count, then replay it once per failure point.
+type FaultPlan struct {
+	mu        sync.Mutex
+	ops       int
+	countdown int // fire on the countdown-th next mutation; 0 = disarmed
+	kill      bool
+	killed    bool
+	err       error
+}
+
+// NewFaultPlan returns a disarmed plan.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// FailAtOp arranges for the n-th subsequent mutating operation (counting
+// from 1) to fail once with err; later mutations succeed again.
+func (p *FaultPlan) FailAtOp(n int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.countdown = n
+	p.kill = false
+	p.killed = false
+	p.err = err
+}
+
+// KillAtOp arranges for the n-th subsequent mutating operation and every
+// one after it to fail with err, simulating a process kill mid-operation.
+func (p *FaultPlan) KillAtOp(n int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.countdown = n
+	p.kill = true
+	p.killed = false
+	p.err = err
+}
+
+// Revive disarms the plan ("restart the process"): mutations succeed
+// again. The operation counter keeps running.
+func (p *FaultPlan) Revive() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.countdown = 0
+	p.kill = false
+	p.killed = false
+}
+
+// Ops returns the number of mutating operations observed so far,
+// including ones that were failed.
+func (p *FaultPlan) Ops() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ops
+}
+
+func (p *FaultPlan) check(op string) error {
+	switch op {
+	case "put", "delete", "rename":
+	default:
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ops++
+	if p.killed {
+		return p.err
+	}
+	if p.countdown > 0 {
+		p.countdown--
+		if p.countdown == 0 {
+			if p.kill {
+				p.killed = true
+			}
+			return p.err
+		}
+	}
+	return nil
+}
+
 // Faulty wraps a Backend and injects errors on selected operations. It is
 // the failure-injection harness used by tests to verify that I/O faults
 // surface as errors instead of corrupting trusted state.
 type Faulty struct {
 	inner Backend
+	plan  *FaultPlan
 
 	mu        sync.Mutex
 	failAfter map[string]int // op name -> remaining successes before failing
@@ -26,6 +110,13 @@ func (f *Faulty) Unwrap() Backend { return f.inner }
 // NewFaulty wraps inner. Until FailAfter is called it is transparent.
 func NewFaulty(inner Backend) *Faulty {
 	return &Faulty{inner: inner, failAfter: make(map[string]int)}
+}
+
+// NewFaultyWithPlan wraps inner and attaches a shared FaultPlan. Several
+// backends (content, group, dedup stores) can share one plan so that a
+// schedule covers an operation's writes wherever they land.
+func NewFaultyWithPlan(inner Backend, plan *FaultPlan) *Faulty {
+	return &Faulty{inner: inner, plan: plan, failAfter: make(map[string]int)}
 }
 
 // FailAfter arranges for the n-th subsequent invocation of op ("put",
@@ -46,6 +137,11 @@ func (f *Faulty) Clear() {
 }
 
 func (f *Faulty) shouldFail(op string) error {
+	if f.plan != nil {
+		if err := f.plan.check(op); err != nil {
+			return err
+		}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n, ok := f.failAfter[op]

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFaultPlanFailAtOp(t *testing.T) {
+	plan := NewFaultPlan()
+	injected := errors.New("boom")
+	b := NewFaultyWithPlan(NewMemory(), plan)
+
+	plan.FailAtOp(2, injected)
+	if err := b.Put("a", []byte("1")); err != nil {
+		t.Fatalf("op 1 should succeed: %v", err)
+	}
+	if err := b.Put("b", []byte("2")); !errors.Is(err, injected) {
+		t.Fatalf("op 2 should fail, got %v", err)
+	}
+	// A one-shot fault: later mutations succeed again.
+	if err := b.Put("c", []byte("3")); err != nil {
+		t.Fatalf("op 3 should succeed after transient fault: %v", err)
+	}
+	if got := plan.Ops(); got != 3 {
+		t.Fatalf("Ops() = %d, want 3", got)
+	}
+}
+
+func TestFaultPlanKillAtOpAndRevive(t *testing.T) {
+	plan := NewFaultPlan()
+	injected := errors.New("killed")
+	b := NewFaultyWithPlan(NewMemory(), plan)
+
+	plan.KillAtOp(1, injected)
+	if err := b.Put("a", nil); !errors.Is(err, injected) {
+		t.Fatalf("op 1 should fail, got %v", err)
+	}
+	if err := b.Delete("a"); !errors.Is(err, injected) {
+		t.Fatalf("killed plan should keep failing, got %v", err)
+	}
+	// Reads are unaffected: a killed process cannot issue them anyway, and
+	// the recovery pass after Revive must be able to scan the store.
+	if _, err := b.Get("missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("get during kill should pass through, got %v", err)
+	}
+	plan.Revive()
+	if err := b.Put("a", []byte("x")); err != nil {
+		t.Fatalf("put after Revive: %v", err)
+	}
+}
+
+func TestFaultPlanSharedAcrossBackends(t *testing.T) {
+	plan := NewFaultPlan()
+	injected := errors.New("boom")
+	b1 := NewFaultyWithPlan(NewMemory(), plan)
+	b2 := NewFaultyWithPlan(NewMemory(), plan)
+
+	plan.FailAtOp(2, injected)
+	if err := b1.Put("a", nil); err != nil {
+		t.Fatalf("first backend op 1: %v", err)
+	}
+	if err := b2.Put("b", nil); !errors.Is(err, injected) {
+		t.Fatalf("second backend should see the shared op 2 fault, got %v", err)
+	}
+}
+
+func TestDiskRenameCompletesAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("old", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between the new object's write and the old one's
+	// removal: both objects exist with the same payload.
+	if err := d.writeObject(d.fileFor("new"), "new", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("old", "new"); err != nil {
+		t.Fatalf("rename retry should complete the interrupted rename: %v", err)
+	}
+	if ok, _ := d.Exists("old"); ok {
+		t.Fatal("old object should be gone after completed rename")
+	}
+	if data, err := d.Get("new"); err != nil || string(data) != "payload" {
+		t.Fatalf("new object: %q, %v", data, err)
+	}
+
+	// A genuine collision (different payloads) still errors.
+	if err := d.Put("src", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("dst", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("src", "dst"); !errors.Is(err, ErrExist) {
+		t.Fatalf("conflicting rename should fail with ErrExist, got %v", err)
+	}
+}
+
+func TestDiskSweepsTempFilesOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("keep", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, ".tmp-123456")
+	if err := os.WriteFile(stale, []byte("torn write"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp file should be swept on open, got %v", err)
+	}
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := d2.Get("keep"); err != nil || string(data) != "x" {
+		t.Fatalf("object should survive the sweep: %q, %v", data, err)
+	}
+}
