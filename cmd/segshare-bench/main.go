@@ -23,14 +23,18 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|all")
+		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|all")
 		full       = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		runs       = flag.Int("runs", 0, "override runs per data point")
 		maxExp     = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
 		wan        = flag.Bool("wan", false, "simulate the paper's Azure inter-region link")
 		metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of the accumulated metrics (e.g. BENCH_metrics.json)")
+		traceOut   = flag.String("trace-out", "", "capture every experiment's wide events and tail-sampled traces and write them as JSON (e.g. BENCH_traces.json)")
 	)
 	flag.Parse()
+	if *traceOut != "" {
+		bench.EnableTraceCapture()
+	}
 	if err := run(*exp, *full, *runs, *maxExp, *wan); err != nil {
 		fmt.Fprintln(os.Stderr, "segshare-bench:", err)
 		os.Exit(1)
@@ -41,6 +45,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nmetrics snapshot written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := bench.WriteTracesJSON(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "segshare-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nsampled traces written to %s\n", *traceOut)
 	}
 }
 
@@ -108,6 +119,12 @@ func run(exp string, full bool, runs, maxExp int, wan bool) error {
 	if all || exp == "e11" {
 		ran = true
 		if err := runE11(runs); err != nil {
+			return err
+		}
+	}
+	if all || exp == "e12" {
+		ran = true
+		if err := runE12(full, runs); err != nil {
 			return err
 		}
 	}
@@ -334,6 +351,36 @@ func runE11(runs int) error {
 			r.Op, sizeLabel(r.Size), r.With.Mean.Round(time.Microsecond), r.Without.Mean.Round(time.Microsecond), 100*r.Overhead)
 	}
 	return w.Flush()
+}
+
+func runE12(full bool, runs int) error {
+	cfg := bench.DefaultE12()
+	if full {
+		cfg.Ops = 2000
+	}
+	if runs > 0 {
+		cfg.Ops = runs
+	}
+	rows, export, err := bench.RunE12(cfg)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("E12 — wide-event + tail-sampling overhead, %d ops/client (vs telemetry off)", cfg.Ops),
+		"variant", "workload", "clients", "throughput", "overhead", "sampled/examined")
+	for _, r := range rows {
+		overhead := "—"
+		if r.Variant != "telemetry-off" {
+			overhead = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f op/s\t%s\t%d/%d\n",
+			r.Variant, r.Workload, r.Clients, r.Throughput, overhead, r.Sampled, r.Examined)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("export pipeline: %d wide events, %d sampled traces delivered, %d dropped\n",
+		export.WideEvents, export.Traces, export.Dropped)
+	return nil
 }
 
 func sizeLabel(size int) string {

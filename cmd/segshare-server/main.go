@@ -19,7 +19,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"segshare"
 	"segshare/internal/audit"
@@ -44,7 +46,7 @@ func run() error {
 		hide     = flag.Bool("hide-paths", false, "hide filenames and directory structure (§V-C)")
 		rollback = flag.Bool("rollback", false, "enable individual-file rollback protection (§V-D)")
 		guard    = flag.String("guard", "none", "whole-file-system guard: none|protmem|counter (§V-E)")
-		admin    = flag.String("admin", "127.0.0.1:8444", "untrusted admin listener serving /metrics, /debug/vars, /debug/traces, /healthz, /readyz, and /debug/pprof (empty disables)")
+		admin    = flag.String("admin", "127.0.0.1:8444", "untrusted admin listener serving /metrics, /debug/vars, /debug/traces, /debug/watchdog, /healthz, /readyz, and /debug/pprof (empty disables)")
 		logLevel = flag.String("log", "info", "request log level on stderr: debug|info|warn|error|off")
 		auditOn  = flag.Bool("audit", false, "enable the tamper-evident audit log (segments under <data>/audit)")
 		auditOfl = flag.String("audit-overflow", "drop", "audit queue overflow policy: drop (count and continue) | block (complete trail, couples request latency to audit I/O)")
@@ -53,6 +55,18 @@ func run() error {
 		profMtx  = flag.Int("profile-mutex", 0, "mutex contention sampling for /debug/pprof/mutex: 1 = every event, n = 1/n, 0 = off")
 		profBlk  = flag.Int("profile-block", 0, "block profiling for /debug/pprof/block: record events blocking >= this many ns, 0 = off")
 		journal  = flag.Bool("journal", true, "crash-consistent mutations via the sealed intent journal (disable only for benchmarking)")
+
+		wideEv    = flag.Bool("wide-events", true, "emit one canonical wide event per request (disable only when measuring telemetry overhead)")
+		exportOut = flag.String("export-out", "", "append wide events and sampled traces as JSONL to this file")
+		exportURL = flag.String("export-url", "", "POST wide-event/trace batches as JSON to this URL (retried with backoff, dropped when the bounded queue fills)")
+		trcSlow   = flag.Duration("trace-slow", 50*time.Millisecond, "tail-sampling: retain traces slower than this")
+		trcCont   = flag.Duration("trace-contention", 10*time.Millisecond, "tail-sampling: retain traces whose lock wait reached this")
+		trcKeep   = flag.Uint64("trace-keep-one-in", 100, "tail-sampling: retain one in N remaining traces as a baseline (0 disables the floor)")
+		wdOn      = flag.Bool("watchdog", true, "run the stall watchdog (snapshots on /debug/watchdog, audit event per trigger)")
+		wdIvl     = flag.Duration("watchdog-interval", time.Second, "watchdog sweep interval")
+		wdDeadl   = flag.Duration("watchdog-deadline", 30*time.Second, "watchdog: flag requests in flight longer than this")
+		wdRecov   = flag.Duration("watchdog-recovery", 30*time.Second, "watchdog: flag a journal recovery pass running longer than this")
+		wdSkew    = flag.Duration("watchdog-skew", 100*time.Millisecond, "watchdog: flag a lock shard absorbing this much more wait than its peers per sweep")
 	)
 	flag.Parse()
 
@@ -95,6 +109,53 @@ func run() error {
 		return fmt.Errorf("unknown guard %q", *guard)
 	}
 
+	// The registry, recovery state, and health checks exist before the
+	// server so the admin listener can come up first: journal recovery
+	// replays synchronously inside NewServer, and /readyz must be able to
+	// name it (leak-safe, check name only) while it runs.
+	reg := obs.NewRegistry()
+	stopUptime := obs.StartUptime(reg)
+	defer stopUptime()
+	recovery := &segshare.RecoveryState{}
+	health := obs.NewHealth()
+	if err := health.AddCheck("journal_recovery", recovery.Check); err != nil {
+		return err
+	}
+
+	// The admin handler is swappable: a startup handler (metrics + health
+	// only) serves while the enclave launches and the journal replays; the
+	// full handler (traces, watchdog, audit head) replaces it once the
+	// server exists.
+	var adminHandler atomic.Value
+	if *admin != "" {
+		adminHandler.Store(obs.Handler(reg, nil, obs.WithHealth(health)))
+		adminAddr, err := serveAdmin(*admin, &adminHandler)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("admin listener on http://%s (/metrics, /debug/vars, /debug/traces, /debug/watchdog, /debug/pprof, /healthz, /readyz)\n", adminAddr)
+	}
+
+	// Export pipeline: bounded async queue feeding every configured sink.
+	// Created before the server (requests enqueue into it) and closed
+	// after (the final batch drains on Close).
+	var sinks obs.MultiSink
+	if *exportOut != "" {
+		s, err := obs.NewJSONLSink(*exportOut)
+		if err != nil {
+			return fmt.Errorf("export sink: %w", err)
+		}
+		sinks = append(sinks, s)
+	}
+	if *exportURL != "" {
+		sinks = append(sinks, obs.NewHTTPSink(*exportURL, 3, 500*time.Millisecond))
+	}
+	var exporter *obs.Exporter
+	if len(sinks) > 0 {
+		exporter = obs.NewExporter(sinks, obs.ExporterOptions{Obs: reg})
+		defer exporter.Close()
+	}
+
 	contentStore, err := segshare.NewDiskStore(filepath.Join(*dataDir, "content"))
 	if err != nil {
 		return err
@@ -104,15 +165,32 @@ func run() error {
 		return err
 	}
 	cfg := segshare.ServerConfig{
-		CACertPEM:       certPEM,
-		ContentStore:    contentStore,
-		GroupStore:      groupStore,
-		Features:        features,
-		FileSystemOwner: *fso,
-		Logger:          logger,
-		LockShards:      *shards,
-		CacheBytes:      *cacheKiB * 1024,
-		DisableJournal:  !*journal,
+		CACertPEM:         certPEM,
+		ContentStore:      contentStore,
+		GroupStore:        groupStore,
+		Features:          features,
+		FileSystemOwner:   *fso,
+		Logger:            logger,
+		LockShards:        *shards,
+		CacheBytes:        *cacheKiB * 1024,
+		DisableJournal:    !*journal,
+		Obs:               reg,
+		Recovery:          recovery,
+		DisableWideEvents: !*wideEv,
+		Exporter:          exporter,
+		SamplePolicy: &obs.SamplePolicy{
+			SlowNs:       trcSlow.Nanoseconds(),
+			ErrorStatus:  500,
+			ContentionNs: trcCont.Nanoseconds(),
+			KeepOneIn:    *trcKeep,
+		},
+		Watchdog: segshare.WatchdogConfig{
+			Enable:          *wdOn,
+			Interval:        *wdIvl,
+			RequestDeadline: *wdDeadl,
+			RecoveryOverrun: *wdRecov,
+			ShardSkew:       *wdSkew,
+		},
 	}
 	if features.Dedup {
 		dedupStore, err := segshare.NewDiskStore(filepath.Join(*dataDir, "dedup"))
@@ -157,10 +235,6 @@ func run() error {
 		fmt.Println("reusing persisted server certificate")
 	}
 
-	// The admin listener comes up before the client listener so /readyz
-	// answers (not ready) during startup; readiness flips on once the
-	// client listener is accepting and off again when shutdown begins.
-	health := obs.NewHealth()
 	if err := health.AddCheck("store", server.CheckStore); err != nil {
 		return err
 	}
@@ -168,11 +242,14 @@ func run() error {
 		return err
 	}
 	if *admin != "" {
-		adminAddr, err := serveAdmin(*admin, server, health)
-		if err != nil {
-			return err
+		opts := []obs.HandlerOption{obs.WithHealth(health)}
+		if server.AuditLog() != nil {
+			opts = append(opts, obs.WithEndpoint("/debug/audit/head", server.AuditHeadHandler()))
 		}
-		fmt.Printf("admin listener on http://%s (/metrics, /debug/vars, /debug/traces, /debug/pprof, /healthz, /readyz)\n", adminAddr)
+		if wd := server.Watchdog(); wd != nil {
+			opts = append(opts, obs.WithEndpoint("/debug/watchdog", wd.Handler()))
+		}
+		adminHandler.Store(obs.Handler(server.Obs(), server.Traces(), opts...))
 	}
 
 	listenAddr, err := server.ListenAndServe(*addr)
@@ -180,8 +257,8 @@ func run() error {
 		return err
 	}
 	health.SetReady(true)
-	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v)\n",
-		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal)
+	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v wide-events=%v watchdog=%v)\n",
+		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal, *wideEv, *wdOn)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -195,19 +272,19 @@ func run() error {
 // outside the enclave boundary and on plain HTTP by design: everything
 // it can serve has already passed the leak budget (package obs) — only
 // aggregate counters, bucketed durations, op-class labels, health check
-// names, the sealed audit chain head, and process profiles of the
-// untrusted runtime. Keep it on loopback or a management network; it
-// needs no client certificates.
-func serveAdmin(addr string, server *segshare.Server, health *obs.Health) (net.Addr, error) {
+// names, watchdog snapshots of the untrusted runtime, the sealed audit
+// chain head, and process profiles. Keep it on loopback or a management
+// network; it needs no client certificates. The handler is read through
+// an atomic.Value so run() can swap the startup handler for the full one
+// once the server exists.
+func serveAdmin(addr string, handler *atomic.Value) (net.Addr, error) {
 	listener, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("admin listener: %w", err)
 	}
-	opts := []obs.HandlerOption{obs.WithHealth(health)}
-	if server.AuditLog() != nil {
-		opts = append(opts, obs.WithEndpoint("/debug/audit/head", server.AuditHeadHandler()))
-	}
-	srv := &http.Server{Handler: obs.Handler(server.Obs(), server.Traces(), opts...)}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
 	go srv.Serve(listener)
 	return listener.Addr(), nil
 }

@@ -61,6 +61,9 @@ const (
 	// EventRecovery: the journal recovery pass re-applied or discarded
 	// incomplete intents at startup or after a backup restoration.
 	EventRecovery EventType = "recovery"
+	// EventWatchdog: the stall watchdog detected a healthy→stalled
+	// transition on one of its checks and captured a profile snapshot.
+	EventWatchdog EventType = "watchdog"
 )
 
 // Decisions recorded on authorization events.

@@ -230,6 +230,13 @@ func (l *Log) Head() Head {
 // Drops returns the number of events discarded by the overflow policy.
 func (l *Log) Drops() uint64 { return l.dropped.Value() }
 
+// Backlog returns how many emitted events are queued but not yet
+// persisted, and the queue capacity. The stall watchdog compares the two
+// to detect a wedged or lagging writer.
+func (l *Log) Backlog() (queued, capacity int) {
+	return len(l.recCh), cap(l.recCh)
+}
+
 // --- writer goroutine --------------------------------------------------
 
 func (l *Log) loop() {

@@ -19,6 +19,7 @@ import (
 	"segshare/internal/baseline/plaindav"
 	"segshare/internal/core"
 	"segshare/internal/netsim"
+	"segshare/internal/obs"
 	"segshare/internal/store"
 )
 
@@ -83,6 +84,17 @@ type EnvConfig struct {
 	// DisableJournal turns off the crash-consistency intent journal; E11
 	// uses it to measure the journal's write-path overhead.
 	DisableJournal bool
+	// DisableWideEvents turns off per-request wide events; E12 uses it as
+	// the before-configuration when measuring telemetry overhead.
+	DisableWideEvents bool
+	// SamplePolicy overrides the tail-sampling policy (nil keeps the
+	// server default).
+	SamplePolicy *obs.SamplePolicy
+	// Exporter, when non-nil, receives the deployment's wide events and
+	// sampled traces. The caller owns it (Close after Env.Close). When
+	// nil and trace capture is enabled (EnableTraceCapture), the env
+	// creates its own exporter into the shared capture sink.
+	Exporter *obs.Exporter
 }
 
 // Env is a full in-process SeGShare deployment listening on loopback.
@@ -95,6 +107,9 @@ type Env struct {
 	cfg     segshare.ServerConfig
 	network netsim.Profile
 	clients []*segshare.Client
+	// exporter is the env-owned exporter feeding the shared capture sink
+	// (nil when the caller supplied its own or capture is off).
+	exporter *obs.Exporter
 }
 
 // NewEnv builds and starts a deployment.
@@ -109,14 +124,24 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	features := cfg.Features
 	serverCfg := segshare.ServerConfig{
-		CACertPEM:    authority.CertificatePEM(),
-		ContentStore: segshare.NewMemoryStore(),
-		GroupStore:   segshare.NewMemoryStore(),
-		Features:     features,
-		Bridge:       cfg.Bridge,
-		LockShards:     cfg.LockShards,
-		CacheBytes:     cfg.CacheBytes,
-		DisableJournal: cfg.DisableJournal,
+		CACertPEM:         authority.CertificatePEM(),
+		ContentStore:      segshare.NewMemoryStore(),
+		GroupStore:        segshare.NewMemoryStore(),
+		Features:          features,
+		Bridge:            cfg.Bridge,
+		LockShards:        cfg.LockShards,
+		CacheBytes:        cfg.CacheBytes,
+		DisableJournal:    cfg.DisableJournal,
+		DisableWideEvents: cfg.DisableWideEvents,
+		SamplePolicy:      cfg.SamplePolicy,
+		Exporter:          cfg.Exporter,
+	}
+	var ownExporter *obs.Exporter
+	if serverCfg.Exporter == nil {
+		if sink := captureSinkIfEnabled(); sink != nil {
+			ownExporter = obs.NewExporter(sink, obs.ExporterOptions{})
+			serverCfg.Exporter = ownExporter
+		}
 	}
 	if features.Dedup {
 		serverCfg.DedupStore = segshare.NewMemoryStore()
@@ -125,22 +150,31 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		serverCfg.AuditStore = segshare.NewMemoryStore()
 		serverCfg.Audit = audit.Options{Overflow: cfg.AuditOverflow}
 	}
+	closeOwn := func() {
+		if ownExporter != nil {
+			ownExporter.Close()
+		}
+	}
 	server, err := segshare.NewServer(platform, serverCfg)
 	if err != nil {
+		closeOwn()
 		return nil, err
 	}
 	if err := segshare.Provision(authority, platform, server, serverCfg, []string{"localhost"}); err != nil {
 		server.Close()
+		closeOwn()
 		return nil, err
 	}
 	listener, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		server.Close()
+		closeOwn()
 		return nil, err
 	}
 	if err := server.Serve(netsim.WrapListener(listener, cfg.Network)); err != nil {
 		listener.Close()
 		server.Close()
+		closeOwn()
 		return nil, err
 	}
 	return &Env{
@@ -150,6 +184,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Addr:      listener.Addr().String(),
 		cfg:       serverCfg,
 		network:   cfg.Network,
+		exporter:  ownExporter,
 	}, nil
 }
 
@@ -183,12 +218,17 @@ func (e *Env) DedupStore() segshare.Backend { return e.cfg.DedupStore }
 // ContentStore exposes the content backend for storage accounting.
 func (e *Env) ContentStore() segshare.Backend { return e.cfg.ContentStore }
 
-// Close tears the deployment down.
+// Close tears the deployment down. The env-owned capture exporter is
+// closed after the server so the final telemetry batch drains into the
+// capture sink.
 func (e *Env) Close() {
 	for _, c := range e.clients {
 		c.Close()
 	}
 	e.Server.Close()
+	if e.exporter != nil {
+		e.exporter.Close()
+	}
 }
 
 // PlainDAVEnv is one plaintext baseline server with an HTTPS client.

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"segshare/internal/obs"
 )
@@ -27,6 +29,70 @@ func WriteMetricsJSON(path string) error {
 	defer f.Close()
 	if err := obs.Default().WriteJSON(f, nil); err != nil {
 		return fmt.Errorf("bench: write metrics: %w", err)
+	}
+	return f.Close()
+}
+
+var capture struct {
+	mu   sync.Mutex
+	sink *obs.MemorySink
+}
+
+// EnableTraceCapture turns on process-wide capture of telemetry exports:
+// every Env created afterwards that does not bring its own exporter ships
+// its wide events and tail-sampled traces into a shared in-memory sink,
+// which WriteTracesJSON dumps. cmd/segshare-bench enables it for
+// -trace-out before running any experiment.
+func EnableTraceCapture() {
+	capture.mu.Lock()
+	defer capture.mu.Unlock()
+	if capture.sink == nil {
+		capture.sink = obs.NewMemorySink()
+	}
+}
+
+func captureSinkIfEnabled() *obs.MemorySink {
+	capture.mu.Lock()
+	defer capture.mu.Unlock()
+	return capture.sink
+}
+
+// WriteTracesJSON dumps everything the capture sink accumulated: the
+// tail-sampled trace trees in full, plus the count of wide events that
+// rode the same export pipeline. Written next to the -metrics-out
+// snapshot so a slow request found in the histogram exemplars can be
+// looked up by trace id offline.
+func WriteTracesJSON(path string) error {
+	sink := captureSinkIfEnabled()
+	if sink == nil {
+		return fmt.Errorf("bench: trace capture was not enabled")
+	}
+	var out struct {
+		WideEvents    int                 `json:"wide_events"`
+		SampledTraces []obs.TraceSnapshot `json:"sampled_traces"`
+	}
+	for _, rec := range sink.Records() {
+		switch {
+		case rec.Kind == "trace" && rec.Trace != nil:
+			out.SampledTraces = append(out.SampledTraces, *rec.Trace)
+		case rec.Kind == "wide_event":
+			out.WideEvents++
+		}
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("bench: traces dir: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: traces out: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("bench: write traces: %w", err)
 	}
 	return f.Close()
 }

@@ -250,6 +250,15 @@ type Stats struct {
 	Capacity  int64
 }
 
+// HitRate returns Hits/(Hits+Misses) in [0,1], or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Stats returns the current counters and occupancy.
 func (c *Cache[V]) Stats() Stats {
 	if c == nil {

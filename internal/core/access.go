@@ -7,6 +7,7 @@ import (
 
 	"segshare/internal/acl"
 	"segshare/internal/fspath"
+	"segshare/internal/obs"
 )
 
 // accessControl is SeGShare's access control component (paper Fig. 1): it
@@ -21,6 +22,17 @@ type accessControl struct {
 	// FSO's default group becomes the root directory's owner so root
 	// permissions are manageable.
 	fso acl.UserID
+}
+
+// withStats returns a view of ac whose file manager attributes work to
+// rs (see fileManager.withStats). A nil rs returns ac unchanged.
+func (ac *accessControl) withStats(rs *obs.ReqStats) *accessControl {
+	if rs == nil {
+		return ac
+	}
+	v := *ac
+	v.fm = ac.fm.withStats(rs)
+	return &v
 }
 
 // memberListOrEmpty returns the user's effective member list. Users that

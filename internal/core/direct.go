@@ -1,8 +1,13 @@
 package core
 
 import (
+	"errors"
+	"net/http"
+	"time"
+
 	"segshare/internal/acl"
 	"segshare/internal/fspath"
+	"segshare/internal/obs"
 )
 
 // DirectSession executes requests for a user directly against the
@@ -12,6 +17,12 @@ import (
 // through TLS would measure the network, not the system under test).
 // Authorization is enforced exactly as over the wire; only transport and
 // certificate parsing are skipped.
+//
+// Direct operations flow through the same telemetry chokepoint as HTTP
+// requests (finishRequest): one trace, one ReqStats collector, one wide
+// event per call — unless wide events are disabled, in which case the
+// wrapper degenerates to a plain call with a nil collector so baseline
+// benchmarks measure the un-instrumented path.
 type DirectSession struct {
 	s *Server
 	u acl.UserID
@@ -28,18 +39,57 @@ func (d *DirectSession) parse(path string) (fspath.Path, error) {
 	return fspath.Parse(path)
 }
 
+// statusForErr maps a core error to the HTTP status class the wire path
+// would have reported, so direct and HTTP wide events bucket alike. It
+// mirrors writeMappedErr.
+func statusForErr(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrPermissionDenied):
+		return http.StatusForbidden
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrGroupNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists), errors.Is(err, ErrNotEmpty):
+		return http.StatusConflict
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// observeDirect runs one direct operation through the request telemetry
+// chokepoint. fn receives the per-call stats collector and the
+// access-control view bound to it, and returns the response byte count
+// for the wide event.
+func (d *DirectSession) observeDirect(op string, bytesIn int64, fn func(rs *obs.ReqStats, ac *accessControl) (bytesOut int64, err error)) error {
+	if !d.s.obs.wideEvents {
+		_, err := fn(nil, d.s.ac)
+		return err
+	}
+	rs := &obs.ReqStats{}
+	tr := d.s.obs.traces.Start(op)
+	start := time.Now()
+	bytesOut, err := fn(rs, d.s.ac.withStats(rs))
+	d.s.obs.finishRequest(op, statusForErr(err), time.Since(start), bytesIn, bytesOut, tr, rs)
+	return err
+}
+
 // Mkdir creates a directory.
 func (d *DirectSession) Mkdir(path string) error {
 	p, err := d.parse(path)
 	if err != nil {
 		return err
 	}
-	if err := d.s.provisionUser(d.u); err != nil {
-		return err
-	}
-	unlock := d.s.locks.fsWrite(false, p)
-	defer unlock()
-	return d.s.ac.PutDir(d.u, p)
+	return d.observeDirect("fs_mkcol", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		if err := d.s.provisionUser(rs, d.u); err != nil {
+			return 0, err
+		}
+		unlock := d.s.locks.fsWrite(rs, false, p)
+		defer unlock()
+		return 0, ac.PutDir(d.u, p)
+	})
 }
 
 // Upload creates or updates a content file.
@@ -48,13 +98,15 @@ func (d *DirectSession) Upload(path string, content []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := d.s.provisionUser(d.u); err != nil {
-		return err
-	}
-	unlock := d.s.locks.fsWrite(false, p)
-	defer unlock()
-	_, err = d.s.ac.PutFile(d.u, p, content)
-	return err
+	return d.observeDirect("fs_put", int64(len(content)), func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		if err := d.s.provisionUser(rs, d.u); err != nil {
+			return 0, err
+		}
+		unlock := d.s.locks.fsWrite(rs, false, p)
+		defer unlock()
+		_, err := ac.PutFile(d.u, p, content)
+		return 0, err
+	})
 }
 
 // Download returns a file's content.
@@ -63,9 +115,15 @@ func (d *DirectSession) Download(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	unlock := d.s.locks.fsRead(p)
-	defer unlock()
-	return d.s.ac.GetFile(d.u, p)
+	var content []byte
+	err = d.observeDirect("fs_get", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		unlock := d.s.locks.fsRead(rs, p)
+		defer unlock()
+		var gerr error
+		content, gerr = ac.GetFile(d.u, p)
+		return int64(len(content)), gerr
+	})
+	return content, err
 }
 
 // List returns a directory listing.
@@ -74,9 +132,15 @@ func (d *DirectSession) List(path string) ([]ListedEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	unlock := d.s.locks.fsRead(p)
-	defer unlock()
-	return d.s.ac.GetDir(d.u, p)
+	var entries []ListedEntry
+	err = d.observeDirect("fs_get", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		unlock := d.s.locks.fsRead(rs, p)
+		defer unlock()
+		var gerr error
+		entries, gerr = ac.GetDir(d.u, p)
+		return 0, gerr
+	})
+	return entries, err
 }
 
 // Remove deletes a file or empty directory.
@@ -85,9 +149,11 @@ func (d *DirectSession) Remove(path string) error {
 	if err != nil {
 		return err
 	}
-	unlock := d.s.locks.fsWrite(false, p)
-	defer unlock()
-	return d.s.ac.Remove(d.u, p)
+	return d.observeDirect("fs_delete", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		unlock := d.s.locks.fsWrite(rs, false, p)
+		defer unlock()
+		return 0, ac.Remove(d.u, p)
+	})
 }
 
 // Move relocates a file or directory subtree.
@@ -100,9 +166,11 @@ func (d *DirectSession) Move(src, dst string) error {
 	if err != nil {
 		return err
 	}
-	unlock := d.s.locks.moveLocks(sp, dp)
-	defer unlock()
-	return d.s.ac.Move(d.u, sp, dp)
+	return d.observeDirect("fs_move", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		unlock := d.s.locks.moveLocks(rs, sp, dp)
+		defer unlock()
+		return 0, ac.Move(d.u, sp, dp)
+	})
 }
 
 // SetPermission sets a group's permission on a path ("none" clears).
@@ -115,9 +183,11 @@ func (d *DirectSession) SetPermission(path, group string, permission PermissionS
 	if err != nil {
 		return err
 	}
-	unlock := d.s.locks.fsWrite(true, p)
-	defer unlock()
-	return d.s.ac.SetPermission(d.u, p, acl.GroupName(group), perm)
+	return d.observeDirect("api_permission", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		unlock := d.s.locks.fsWrite(rs, true, p)
+		defer unlock()
+		return 0, ac.SetPermission(d.u, p, acl.GroupName(group), perm)
+	})
 }
 
 // SetInherit toggles permission inheritance.
@@ -126,29 +196,35 @@ func (d *DirectSession) SetInherit(path string, inherit bool) error {
 	if err != nil {
 		return err
 	}
-	unlock := d.s.locks.fsWrite(false, p)
-	defer unlock()
-	return d.s.ac.SetInherit(d.u, p, inherit)
+	return d.observeDirect("api_inherit", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		unlock := d.s.locks.fsWrite(rs, false, p)
+		defer unlock()
+		return 0, ac.SetInherit(d.u, p, inherit)
+	})
 }
 
 // AddUser adds a user to a group (creating it on first use).
 func (d *DirectSession) AddUser(user, group string) error {
-	if err := d.s.provisionUser(d.u, acl.UserID(user)); err != nil {
-		return err
-	}
-	unlock := d.s.locks.groupWrite()
-	defer unlock()
-	return d.s.ac.AddUser(d.u, acl.UserID(user), acl.GroupName(group))
+	return d.observeDirect("api_groups_add", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		if err := d.s.provisionUser(rs, d.u, acl.UserID(user)); err != nil {
+			return 0, err
+		}
+		unlock := d.s.locks.groupWrite(rs)
+		defer unlock()
+		return 0, ac.AddUser(d.u, acl.UserID(user), acl.GroupName(group))
+	})
 }
 
 // RemoveUser removes a user from a group.
 func (d *DirectSession) RemoveUser(user, group string) error {
-	if err := d.s.provisionUser(d.u); err != nil {
-		return err
-	}
-	unlock := d.s.locks.groupWrite()
-	defer unlock()
-	return d.s.ac.RemoveUser(d.u, acl.UserID(user), acl.GroupName(group))
+	return d.observeDirect("api_groups_remove", 0, func(rs *obs.ReqStats, ac *accessControl) (int64, error) {
+		if err := d.s.provisionUser(rs, d.u); err != nil {
+			return 0, err
+		}
+		unlock := d.s.locks.groupWrite(rs)
+		defer unlock()
+		return 0, ac.RemoveUser(d.u, acl.UserID(user), acl.GroupName(group))
+	})
 }
 
 // StoredContentBytes reports the content store's total size; the

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"segshare/internal/acl"
 	"segshare/internal/dedup"
 	"segshare/internal/journal"
+	"segshare/internal/obs"
 	"segshare/internal/pae"
 	"segshare/internal/pfs"
 	"segshare/internal/rollback"
@@ -75,14 +77,46 @@ type fileManager struct {
 	// journal is the write-ahead intent journal (see txn.go); nil
 	// disables crash-consistent mutations (writes apply directly).
 	journal *journal.Journal
-	// tx is the operation in flight; mutations are serialized by the lock
-	// manager (coupled mode), so at most one exists at a time.
+	// tx is the operation in flight. It lives on the (possibly per-request
+	// view) copy that runs the mutation, so a request's staging state is
+	// never visible through another request's view; the lock manager still
+	// serializes the mutations themselves.
 	tx *opCtx
-	// journalDirty forces a recovery pass before the next mutation: a
-	// committed intent failed mid-apply or could not be marked applied.
-	journalDirty bool
+	// shared holds mutable state that must be visible across views.
+	shared *fmShared
+
+	// rs is the per-request stats collector carried by a view (see
+	// withStats); nil on the base fileManager, and every ReqStats method
+	// is nil-safe, so non-request paths pay one predicted branch.
+	rs *obs.ReqStats
 
 	obs *serverObs
+}
+
+// fmShared is the cross-view mutable state of a fileManager. Views made
+// by withStats are shallow copies; anything a view writes that later
+// views must see lives here.
+type fmShared struct {
+	// journalDirty forces a recovery pass before the next mutation: a
+	// committed intent failed mid-apply or could not be marked applied.
+	journalDirty atomic.Bool
+	// recovery publishes journal-recovery progress for /readyz and the
+	// watchdog; may be nil.
+	recovery *RecoveryState
+}
+
+// withStats returns a shallow view of fm that attributes store, cache,
+// journal, and audit timings to rs. A nil rs returns fm unchanged. The
+// view shares every backing object (caches, journal, namespaces,
+// shared state) but carries its own tx slot.
+func (fm *fileManager) withStats(rs *obs.ReqStats) *fileManager {
+	if rs == nil {
+		return fm
+	}
+	v := *fm
+	v.tx = nil
+	v.rs = rs
+	return &v
 }
 
 type fmConfig struct {
@@ -102,7 +136,9 @@ type fmConfig struct {
 	// journal enables crash-consistent mutations; nil applies writes
 	// directly (see txn.go).
 	journal *journal.Journal
-	obs     *serverObs
+	// recovery publishes journal-recovery progress; may be nil.
+	recovery *RecoveryState
+	obs      *serverObs
 }
 
 func newFileManager(cfg fmConfig) (*fileManager, error) {
@@ -132,6 +168,7 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 		validate:   cfg.rollbackOn,
 		caches:     newRelCaches(cfg.cacheBytes, cfg.obs),
 		journal:    cfg.journal,
+		shared:     &fmShared{recovery: cfg.recovery},
 		obs:        cfg.obs,
 	}
 	fm.content = &namespace{
@@ -223,8 +260,10 @@ func (fm *fileManager) storageName(ns *namespace, name string) string {
 func (fm *fileManager) fileKey(ns *namespace, name string) (pae.Key, error) {
 	ck := ns.kind + ":" + name
 	if k, ok := fm.caches.fileKeys.Get(ck); ok {
+		fm.rs.AddCacheHit()
 		return k, nil
 	}
+	fm.rs.AddCacheMiss()
 	gen := fm.caches.fileKeys.Gen()
 	k, err := pae.DeriveKey(fm.rootKey, "file-key/"+ns.kind, []byte(name))
 	if err == nil {
@@ -291,6 +330,7 @@ func (fm *fileManager) putBlobRaw(ns *namespace, name string, hdr *rollback.Head
 	if err != nil {
 		return err
 	}
+	fm.rs.AddStoreOps(1)
 	if err := ns.backend.Put(fm.storageName(ns, name), blob); err != nil {
 		return fmt.Errorf("segshare: store %q: %w", name, err)
 	}
@@ -318,6 +358,7 @@ func (fm *fileManager) getBlob(ns *namespace, name string) (*rollback.Header, []
 			return hdr, body, nil
 		}
 	}
+	fm.rs.AddStoreOps(1)
 	raw, err := ns.backend.Get(fm.storageName(ns, name))
 	if errors.Is(err, store.ErrNotExist) {
 		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, name)
@@ -362,6 +403,7 @@ func (fm *fileManager) readHeader(ns *namespace, name string) (*rollback.Header,
 			return hdr, nil
 		}
 	}
+	fm.rs.AddStoreOps(1)
 	raw, err := ns.backend.Get(fm.storageName(ns, name))
 	if errors.Is(err, store.ErrNotExist) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
@@ -400,6 +442,7 @@ func (fm *fileManager) exists(ns *namespace, name string) (bool, error) {
 			return true, nil
 		}
 	}
+	fm.rs.AddStoreOps(1)
 	ok, err := ns.backend.Exists(fm.storageName(ns, name))
 	if err != nil {
 		return false, fmt.Errorf("segshare: stat %q: %w", name, err)
@@ -415,6 +458,7 @@ func (fm *fileManager) deleteBlob(ns *namespace, name string) error {
 		if sp, deleted := fm.tx.staged(ns, name); deleted {
 			return fmt.Errorf("%w: %s", ErrNotFound, name)
 		} else if sp == nil {
+			fm.rs.AddStoreOps(1)
 			ok, err := ns.backend.Exists(fm.storageName(ns, name))
 			if err != nil {
 				return fmt.Errorf("segshare: stat %q: %w", name, err)
@@ -431,6 +475,7 @@ func (fm *fileManager) deleteBlob(ns *namespace, name string) error {
 }
 
 func (fm *fileManager) deleteBlobRaw(ns *namespace, name string) error {
+	fm.rs.AddStoreOps(1)
 	err := ns.backend.Delete(fm.storageName(ns, name))
 	if errors.Is(err, store.ErrNotExist) {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)

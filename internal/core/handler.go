@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -192,6 +193,49 @@ func traceFrom(r *http.Request) *obs.Trace {
 	return tr
 }
 
+// statsCtxKey carries the request's ReqStats collector through the
+// context; connCtxKey carries the server-side net.Conn (installed by
+// http.Server.ConnContext in Serve).
+type (
+	statsCtxKey struct{}
+	connCtxKey  struct{}
+)
+
+func contextWithStats(ctx context.Context, rs *obs.ReqStats) context.Context {
+	return context.WithValue(ctx, statsCtxKey{}, rs)
+}
+
+// statsFrom returns the request's stats collector, or nil (all ReqStats
+// methods are nil-safe) outside the instrumented handler.
+func statsFrom(r *http.Request) *obs.ReqStats {
+	rs, _ := r.Context().Value(statsCtxKey{}).(*obs.ReqStats)
+	return rs
+}
+
+// reqAC returns the request's access-control view and stats collector.
+// The view attributes store/cache/journal work done on behalf of this
+// request to its wide event; without a collector it is s.ac itself.
+func (s *Server) reqAC(r *http.Request) (*accessControl, *obs.ReqStats) {
+	rs := statsFrom(r)
+	return s.ac.withStats(rs), rs
+}
+
+// bridgeCallCounts unwraps the request's connection down to the
+// enclave-TLS bridge conn and reads its cumulative ecall/ocall
+// counters. Requests not served over the trusted endpoint (tests using
+// httptest, DirectSession) return zeros.
+func bridgeCallCounts(r *http.Request) (ecalls, ocalls int64) {
+	conn, _ := r.Context().Value(connCtxKey{}).(interface{ NetConn() net.Conn })
+	if conn == nil {
+		return 0, 0
+	}
+	bc, _ := conn.NetConn().(interface{ BridgeCallCounts() (int64, int64) })
+	if bc == nil {
+		return 0, 0
+	}
+	return bc.BridgeCallCounts()
+}
+
 // statusRecorder captures the response status and body size.
 type statusRecorder struct {
 	http.ResponseWriter
@@ -228,10 +272,11 @@ func (b *countingBody) Read(p []byte) (int, error) {
 }
 
 // instrument wraps the request handler with the per-request telemetry:
-// one trace and one latency observation per request, labeled by operation
-// class only, plus a structured log line (request id, op class, status,
-// duration — byte counts are already visible to the host via TLS record
-// sizes, so logging them leaks nothing new).
+// one trace, one ReqStats collector, one latency observation, and one
+// wide event per request, labeled by operation class only, plus a
+// structured log line (request id, op class, status, duration — byte
+// counts are already visible to the host via TLS record sizes, so
+// logging them leaks nothing new).
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		op := opClass(r)
@@ -241,10 +286,18 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		id := tr.ID()
 		s.obs.inflight.Add(1)
 
+		var rs *obs.ReqStats
+		if s.obs.wideEvents {
+			rs = &obs.ReqStats{}
+		}
+		ecall0, ocall0 := bridgeCallCounts(r)
+
 		body := &countingBody{ReadCloser: r.Body}
 		r.Body = body
 		rw := &statusRecorder{ResponseWriter: w}
-		r = r.WithContext(contextWithTrace(r.Context(), tr))
+		ctx := contextWithTrace(r.Context(), tr)
+		ctx = contextWithStats(ctx, rs)
+		r = r.WithContext(ctx)
 
 		start := time.Now()
 		next.ServeHTTP(rw, r)
@@ -254,18 +307,21 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			rw.status = http.StatusOK
 		}
 		s.obs.inflight.Add(-1)
-		tr.SetStatus(rw.status)
-		tr.Annotate("bytes_in", body.n)
-		tr.Annotate("bytes_out", rw.bytes)
-		tr.End()
-		s.obs.observeRequest(op, rw.status, dur, body.n, rw.bytes)
+		// Attribute the connection's ecall/ocall delta to this request.
+		// HTTP keep-alive serializes requests per connection, so the delta
+		// belongs to this request alone.
+		if ecall1, ocall1 := bridgeCallCounts(r); ecall1 > ecall0 || ocall1 > ocall0 {
+			rs.AddBridgeCalls(ecall1-ecall0, ocall1-ocall0)
+		}
+		sampled := s.obs.finishRequest(op, rw.status, dur, body.n, rw.bytes, tr, rs)
 		s.obs.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.Uint64("id", id),
 			slog.String("op", op),
 			slog.Int("status", rw.status),
 			slog.Duration("duration", dur),
 			slog.Int64("bytesIn", body.n),
-			slog.Int64("bytesOut", rw.bytes))
+			slog.Int64("bytesOut", rw.bytes),
+			slog.Bool("sampled", sampled))
 	})
 }
 
@@ -320,6 +376,7 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		writeMappedErr(w, err)
 		return
 	}
+	ac, rs := s.reqAC(r)
 	switch r.Method {
 	case "PROPFIND":
 		s.servePropfind(w, r, u, path)
@@ -329,8 +386,8 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 
 	case http.MethodGet, http.MethodHead:
 		if path.IsDir() {
-			unlock := s.locks.fsRead(path)
-			entries, err := s.ac.GetDir(u, path)
+			unlock := s.locks.fsRead(rs, path)
+			entries, err := ac.GetDir(u, path)
 			unlock()
 			s.auditAuthz(r, u, path.String(), err)
 			if err != nil {
@@ -348,8 +405,8 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			writeJSON(w, http.StatusOK, listing)
 			return
 		}
-		unlock := s.locks.fsRead(path)
-		content, err := s.ac.GetFile(u, path)
+		unlock := s.locks.fsRead(rs, path)
+		content, err := ac.GetFile(u, path)
 		unlock()
 		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
@@ -370,10 +427,10 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			return
 		}
 		var created bool
-		err = s.provisionUser(u)
+		err = s.provisionUser(rs, u)
 		if err == nil {
-			unlock := s.locks.fsWrite(false, path)
-			created, err = s.ac.PutFile(u, path, content)
+			unlock := s.locks.fsWrite(rs, false, path)
+			created, err = ac.PutFile(u, path, content)
 			unlock()
 		}
 		s.auditAuthz(r, u, path.String(), err)
@@ -388,10 +445,10 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		}
 
 	case "MKCOL":
-		err := s.provisionUser(u)
+		err := s.provisionUser(rs, u)
 		if err == nil {
-			unlock := s.locks.fsWrite(false, path)
-			err = s.ac.PutDir(u, path)
+			unlock := s.locks.fsWrite(rs, false, path)
+			err = ac.PutDir(u, path)
 			unlock()
 		}
 		s.auditAuthz(r, u, path.String(), err)
@@ -402,8 +459,8 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		w.WriteHeader(http.StatusCreated)
 
 	case http.MethodDelete:
-		unlock := s.locks.fsWrite(false, path)
-		err := s.ac.Remove(u, path)
+		unlock := s.locks.fsWrite(rs, false, path)
+		err := ac.Remove(u, path)
 		unlock()
 		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
@@ -423,8 +480,8 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		unlock := s.locks.moveLocks(path, dst)
-		err = s.ac.Move(u, path, dst)
+		unlock := s.locks.moveLocks(rs, path, dst)
+		err = ac.Move(u, path, dst)
 		unlock()
 		s.auditAuthz(r, u, path.String()+" -> "+dst.String(), err)
 		if err != nil {
@@ -471,17 +528,18 @@ type (
 func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity) {
 	u := acl.UserID(id.UserID)
 	route := strings.TrimPrefix(r.URL.Path, "/api/")
+	ac, rs := s.reqAC(r)
 
 	if r.Method == http.MethodGet {
 		if route != "whoami" {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("%w: unknown API %q", ErrBadRequest, route))
 			return
 		}
-		unlock := s.locks.groupRead()
-		groups, err := s.ac.Memberships(u)
+		unlock := s.locks.groupRead(rs)
+		groups, err := ac.Memberships(u)
 		var owned []acl.GroupName
 		if err == nil {
-			owned, err = s.ac.OwnedGroups(u)
+			owned, err = ac.OwnedGroups(u)
 		}
 		unlock()
 		if err != nil {
@@ -525,8 +583,8 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 			Group: req.Group, Detail: "permission=" + string(req.Permission)}
 		// groupWrite: granting to a default group ("user:x") may create
 		// its group-list record on demand.
-		unlock := s.locks.fsWrite(true, path)
-		err = s.ac.SetPermission(u, path, acl.GroupName(req.Group), p)
+		unlock := s.locks.fsWrite(rs, true, path)
+		err = ac.SetPermission(u, path, acl.GroupName(req.Group), p)
 		unlock()
 
 	case "inherit":
@@ -540,8 +598,8 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		}
 		ev = audit.Event{Event: audit.EventACLChange, Path: path.String(),
 			Detail: fmt.Sprintf("inherit=%t", req.Inherit)}
-		unlock := s.locks.fsWrite(false, path)
-		err = s.ac.SetInherit(u, path, req.Inherit)
+		unlock := s.locks.fsWrite(rs, false, path)
+		err = ac.SetInherit(u, path, req.Inherit)
 		unlock()
 
 	case "owner":
@@ -555,8 +613,8 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		}
 		ev = audit.Event{Event: audit.EventACLChange, Path: path.String(),
 			Group: req.Group, Detail: fmt.Sprintf("owner=%t", req.Owner)}
-		unlock := s.locks.fsWrite(true, path)
-		err = s.ac.SetFileOwner(u, path, acl.GroupName(req.Group), req.Owner)
+		unlock := s.locks.fsWrite(rs, true, path)
+		err = ac.SetFileOwner(u, path, acl.GroupName(req.Group), req.Owner)
 		unlock()
 
 	case "groups/add":
@@ -568,10 +626,10 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		// Provision both principals first: adding a never-seen user must
 		// not bootstrap identity relations (or the FSO root ACL) inside
 		// the group-only critical section.
-		err = s.provisionUser(u, acl.UserID(req.User))
+		err = s.provisionUser(rs, u, acl.UserID(req.User))
 		if err == nil {
-			unlock := s.locks.groupWrite()
-			err = s.ac.AddUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
+			unlock := s.locks.groupWrite(rs)
+			err = ac.AddUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
 			unlock()
 		}
 
@@ -581,10 +639,10 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 			break
 		}
 		ev = audit.Event{Event: audit.EventGroupChange, Target: req.User, Group: req.Group}
-		err = s.provisionUser(u)
+		err = s.provisionUser(rs, u)
 		if err == nil {
-			unlock := s.locks.groupWrite()
-			err = s.ac.RemoveUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
+			unlock := s.locks.groupWrite(rs)
+			err = ac.RemoveUser(u, acl.UserID(req.User), acl.GroupName(req.Group))
 			unlock()
 		}
 
@@ -595,10 +653,10 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 		}
 		ev = audit.Event{Event: audit.EventGroupChange, Group: req.Group,
 			Detail: fmt.Sprintf("ownerGroup=%s owner=%t", req.OwnerGroup, req.Owner)}
-		err = s.provisionUser(u)
+		err = s.provisionUser(rs, u)
 		if err == nil {
-			unlock := s.locks.groupWrite()
-			err = s.ac.SetGroupOwner(u, acl.GroupName(req.Group), acl.GroupName(req.OwnerGroup), req.Owner)
+			unlock := s.locks.groupWrite(rs)
+			err = ac.SetGroupOwner(u, acl.GroupName(req.Group), acl.GroupName(req.OwnerGroup), req.Owner)
 			unlock()
 		}
 
@@ -608,10 +666,10 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 			break
 		}
 		ev = audit.Event{Event: audit.EventGroupChange, Group: req.Group, Detail: "delete"}
-		err = s.provisionUser(u)
+		err = s.provisionUser(rs, u)
 		if err == nil {
-			unlock := s.locks.groupWrite()
-			err = s.ac.DeleteGroup(u, acl.GroupName(req.Group))
+			unlock := s.locks.groupWrite(rs)
+			err = ac.DeleteGroup(u, acl.GroupName(req.Group))
 			unlock()
 		}
 

@@ -2,13 +2,16 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"segshare/internal/acl"
 	"segshare/internal/fspath"
+	"segshare/internal/obs"
 )
 
 // The request path used to serialize through one global RWMutex. This
@@ -59,6 +62,11 @@ type lockManager struct {
 	barrier sync.RWMutex
 	group   sync.RWMutex
 	shards  []sync.RWMutex
+	// shardWait accumulates nanoseconds spent blocked per shard. The
+	// watchdog's skew probe compares deltas between sweeps: one shard
+	// absorbing most of the fleet's wait time means hot paths are
+	// colliding on a single shard (or a holder is wedged).
+	shardWait []atomic.Int64
 	// coupled marks rollback-protection mode: content mutations escalate
 	// to the exclusive barrier (see package comment above).
 	coupled bool
@@ -71,9 +79,10 @@ func newLockManager(shards int, coupled bool, obs *serverObs) *lockManager {
 		shards = defaultLockShards
 	}
 	return &lockManager{
-		shards:  make([]sync.RWMutex, shards),
-		coupled: coupled,
-		obs:     obs,
+		shards:    make([]sync.RWMutex, shards),
+		shardWait: make([]atomic.Int64, shards),
+		coupled:   coupled,
+		obs:       obs,
 	}
 }
 
@@ -108,25 +117,82 @@ func (lm *lockManager) shardSet(paths ...fspath.Path) []int {
 }
 
 // observeWait records how long an acquisition (all levels together)
-// blocked, labeled by scope only.
-func (lm *lockManager) observeWait(scope string, start time.Time) {
+// blocked, labeled by scope only, and attributes it to the request's
+// stats collector for the wide event.
+func (lm *lockManager) observeWait(rs *obs.ReqStats, scope string, start time.Time) {
+	d := time.Since(start)
 	if lm.obs != nil {
-		lm.obs.lockWait(scope, time.Since(start))
+		lm.obs.lockWait(scope, d)
+	}
+	rs.AddLockWait(d)
+}
+
+// lockShard acquires shard i (exclusive or shared) and charges the time
+// blocked to the per-shard wait accumulator.
+func (lm *lockManager) lockShard(i int, exclusive bool) {
+	start := time.Now()
+	if exclusive {
+		lm.shards[i].Lock()
+	} else {
+		lm.shards[i].RLock()
+	}
+	if d := time.Since(start); d > 0 {
+		lm.shardWait[i].Add(int64(d))
+	}
+}
+
+// shardWaits snapshots the cumulative per-shard wait nanoseconds.
+func (lm *lockManager) shardWaits() []int64 {
+	out := make([]int64, len(lm.shardWait))
+	for i := range lm.shardWait {
+		out[i] = lm.shardWait[i].Load()
+	}
+	return out
+}
+
+// skewProbe returns a watchdog probe that flags sustained contention
+// skew: between two sweeps, one shard absorbed more than threshold of
+// new wait time AND more than 4x the mean across shards. Both
+// conditions must hold — absolute, so an idle server never trips, and
+// relative, so uniformly heavy load (which sharding handles) does not.
+func (lm *lockManager) skewProbe(threshold time.Duration) func() error {
+	prev := lm.shardWaits()
+	return func() error {
+		cur := lm.shardWaits()
+		var max, sum int64
+		hot := -1
+		for i := range cur {
+			d := cur[i] - prev[i]
+			sum += d
+			if d > max {
+				max, hot = d, i
+			}
+		}
+		prev = cur
+		if len(cur) < 2 || max < int64(threshold) {
+			return nil
+		}
+		mean := sum / int64(len(cur))
+		if mean > 0 && max > 4*mean {
+			return fmt.Errorf("lock shard %d absorbed %v of wait (mean %v across %d shards)",
+				hot, time.Duration(max), time.Duration(mean), len(cur))
+		}
+		return nil
 	}
 }
 
 // fsRead locks for a read-only file-system operation touching the given
 // paths: shared barrier, shared group (authorization reads member and
 // group lists), shared shards.
-func (lm *lockManager) fsRead(paths ...fspath.Path) (unlock func()) {
+func (lm *lockManager) fsRead(rs *obs.ReqStats, paths ...fspath.Path) (unlock func()) {
 	start := time.Now()
 	lm.barrier.RLock()
 	lm.group.RLock()
 	idx := lm.shardSet(paths...)
 	for _, i := range idx {
-		lm.shards[i].RLock()
+		lm.lockShard(i, false)
 	}
-	lm.observeWait("fs_read", start)
+	lm.observeWait(rs, "fs_read", start)
 	return func() {
 		for j := len(idx) - 1; j >= 0; j-- {
 			lm.shards[idx[j]].RUnlock()
@@ -139,11 +205,11 @@ func (lm *lockManager) fsRead(paths ...fspath.Path) (unlock func()) {
 // fsWrite locks for a content mutation on the given paths. groupWrite
 // additionally takes the group lock exclusively, for operations that may
 // create group records while rewriting an ACL (set_p, rFO).
-func (lm *lockManager) fsWrite(groupWrite bool, paths ...fspath.Path) (unlock func()) {
+func (lm *lockManager) fsWrite(rs *obs.ReqStats, groupWrite bool, paths ...fspath.Path) (unlock func()) {
 	start := time.Now()
 	if lm.coupled {
 		lm.barrier.Lock()
-		lm.observeWait("fs_write", start)
+		lm.observeWait(rs, "fs_write", start)
 		return func() { lm.barrier.Unlock() }
 	}
 	lm.barrier.RLock()
@@ -154,9 +220,9 @@ func (lm *lockManager) fsWrite(groupWrite bool, paths ...fspath.Path) (unlock fu
 	}
 	idx := lm.shardSet(paths...)
 	for _, i := range idx {
-		lm.shards[i].Lock()
+		lm.lockShard(i, true)
 	}
-	lm.observeWait("fs_write", start)
+	lm.observeWait(rs, "fs_write", start)
 	return func() {
 		for j := len(idx) - 1; j >= 0; j-- {
 			lm.shards[idx[j]].Unlock()
@@ -172,11 +238,11 @@ func (lm *lockManager) fsWrite(groupWrite bool, paths ...fspath.Path) (unlock fu
 
 // groupRead locks for a read-only group-store operation (whoami,
 // membership listings).
-func (lm *lockManager) groupRead() (unlock func()) {
+func (lm *lockManager) groupRead(rs *obs.ReqStats) (unlock func()) {
 	start := time.Now()
 	lm.barrier.RLock()
 	lm.group.RLock()
-	lm.observeWait("grp_read", start)
+	lm.observeWait(rs, "grp_read", start)
 	return func() {
 		lm.group.RUnlock()
 		lm.barrier.RUnlock()
@@ -186,11 +252,11 @@ func (lm *lockManager) groupRead() (unlock func()) {
 // groupWrite locks for a group-store mutation (add_u, rmv_u, rGO,
 // group deletion). Content shards are untouched: these operations only
 // rewrite member-list and group-list files.
-func (lm *lockManager) groupWrite() (unlock func()) {
+func (lm *lockManager) groupWrite(rs *obs.ReqStats) (unlock func()) {
 	start := time.Now()
 	lm.barrier.RLock()
 	lm.group.Lock()
-	lm.observeWait("grp_write", start)
+	lm.observeWait(rs, "grp_write", start)
 	return func() {
 		lm.group.Unlock()
 		lm.barrier.RUnlock()
@@ -200,10 +266,10 @@ func (lm *lockManager) groupWrite() (unlock func()) {
 // wholeTree locks the barrier exclusively: backup restoration, directory
 // moves (the subtree's shard set is unbounded), and first-contact user
 // provisioning (which may bootstrap the root ACL in the content store).
-func (lm *lockManager) wholeTree() (unlock func()) {
+func (lm *lockManager) wholeTree(rs *obs.ReqStats) (unlock func()) {
 	start := time.Now()
 	lm.barrier.Lock()
-	lm.observeWait("barrier", start)
+	lm.observeWait(rs, "barrier", start)
 	return func() { lm.barrier.Unlock() }
 }
 
@@ -214,10 +280,11 @@ func (lm *lockManager) wholeTree() (unlock func()) {
 // only ever *reads* identity relations. First contact is a whole-tree
 // event: it writes the group store and, for the FSO, the root ACL in
 // the content store.
-func (s *Server) provisionUser(users ...acl.UserID) error {
+func (s *Server) provisionUser(rs *obs.ReqStats, users ...acl.UserID) error {
+	ac := s.ac.withStats(rs)
 	for _, u := range users {
-		unlock := s.locks.groupRead()
-		_, err := s.fm.readMemberList(u)
+		unlock := s.locks.groupRead(rs)
+		_, err := ac.fm.readMemberList(u)
 		unlock()
 		if err == nil {
 			continue
@@ -225,9 +292,9 @@ func (s *Server) provisionUser(users ...acl.UserID) error {
 		if !errors.Is(err, ErrNotFound) {
 			return err
 		}
-		unlock = s.locks.wholeTree()
-		err = s.fm.mutate("provision", func() error {
-			_, perr := s.ac.ensureUser(u)
+		unlock = s.locks.wholeTree(rs)
+		err = ac.fm.mutate("provision", func() error {
+			_, perr := ac.ensureUser(u)
 			return perr
 		})
 		unlock()
@@ -241,9 +308,9 @@ func (s *Server) provisionUser(users ...acl.UserID) error {
 // moveLocks returns the unlock for a MOVE: file moves take the ordered
 // multi-shard write plan over source and destination; directory moves
 // recurse over an unbounded subtree and escalate to the barrier.
-func (lm *lockManager) moveLocks(src, dst fspath.Path) (unlock func()) {
+func (lm *lockManager) moveLocks(rs *obs.ReqStats, src, dst fspath.Path) (unlock func()) {
 	if src.IsDir() || dst.IsDir() {
-		return lm.wholeTree()
+		return lm.wholeTree(rs)
 	}
-	return lm.fsWrite(false, src, dst)
+	return lm.fsWrite(rs, false, src, dst)
 }

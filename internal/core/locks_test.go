@@ -55,11 +55,11 @@ func TestDisjointWritesDoNotBlock(t *testing.T) {
 	if b.IsZero() {
 		t.Skip("no disjoint candidate found (improbable)")
 	}
-	unlockA := lm.fsWrite(false, a)
+	unlockA := lm.fsWrite(nil, false, a)
 	defer unlockA()
 	done := make(chan struct{})
 	go func() {
-		unlockB := lm.fsWrite(false, b)
+		unlockB := lm.fsWrite(nil, false, b)
 		unlockB()
 		close(done)
 	}()
@@ -88,10 +88,10 @@ func shardsOverlap(lm *lockManager, a, b fspath.Path) bool {
 func TestOverlappingWriteExcludesRead(t *testing.T) {
 	lm := newLockManager(64, false, nil)
 	p := mustPath(t, "/a/x")
-	unlock := lm.fsWrite(false, p)
+	unlock := lm.fsWrite(nil, false, p)
 	acquired := make(chan struct{})
 	go func() {
-		u := lm.fsRead(p)
+		u := lm.fsRead(nil, p)
 		close(acquired)
 		u()
 	}()
@@ -115,10 +115,10 @@ func TestCoupledModeWritesAreExclusive(t *testing.T) {
 	lm := newLockManager(64, true, nil)
 	a := mustPath(t, "/a/x")
 	b := mustPath(t, "/b/y")
-	unlockA := lm.fsWrite(false, a)
+	unlockA := lm.fsWrite(nil, false, a)
 	acquired := make(chan struct{})
 	go func() {
-		u := lm.fsWrite(false, b)
+		u := lm.fsWrite(nil, false, b)
 		close(acquired)
 		u()
 	}()
@@ -139,11 +139,11 @@ func TestCoupledModeWritesAreExclusive(t *testing.T) {
 func TestCoupledModeReadsShare(t *testing.T) {
 	lm := newLockManager(64, true, nil)
 	p := mustPath(t, "/a/x")
-	u1 := lm.fsRead(p)
+	u1 := lm.fsRead(nil, p)
 	defer u1()
 	done := make(chan struct{})
 	go func() {
-		u2 := lm.fsRead(p)
+		u2 := lm.fsRead(nil, p)
 		u2()
 		close(done)
 	}()
@@ -158,10 +158,10 @@ func TestCoupledModeReadsShare(t *testing.T) {
 // for file moves; directory moves therefore exclude everything.
 func TestMoveLocksDirectoryEscalates(t *testing.T) {
 	lm := newLockManager(64, false, nil)
-	unlock := lm.moveLocks(mustPath(t, "/a/"), mustPath(t, "/b/"))
+	unlock := lm.moveLocks(nil, mustPath(t, "/a/"), mustPath(t, "/b/"))
 	acquired := make(chan struct{})
 	go func() {
-		u := lm.fsRead(mustPath(t, "/elsewhere"))
+		u := lm.fsRead(nil, mustPath(t, "/elsewhere"))
 		close(acquired)
 		u()
 	}()
@@ -192,19 +192,19 @@ func TestLockManagerMixedTrafficNoDeadlock(t *testing.T) {
 				q := paths[(g+i*7+1)%len(paths)]
 				switch i % 5 {
 				case 0:
-					u := lm.fsWrite(i%2 == 0, p, q)
+					u := lm.fsWrite(nil, i%2 == 0, p, q)
 					u()
 				case 1:
-					u := lm.groupWrite()
+					u := lm.groupWrite(nil)
 					u()
 				case 2:
-					u := lm.wholeTree()
+					u := lm.wholeTree(nil)
 					u()
 				case 3:
-					u := lm.groupRead()
+					u := lm.groupRead(nil)
 					u()
 				default:
-					u := lm.fsRead(p, q)
+					u := lm.fsRead(nil, p, q)
 					u()
 				}
 			}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"log/slog"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"segshare/internal/audit"
@@ -37,13 +39,42 @@ type serverObs struct {
 	// acquisition path never takes the registry lock. Scopes are the
 	// closed compile-time set in locks.go; durations only, no identity.
 	lockWaits map[string]*obs.Histogram
+
+	// exporter ships wide events and sampled traces off the request path;
+	// nil discards them (Enqueue* are nil-safe). Set once in NewServer.
+	exporter *obs.Exporter
+	// wideEvents gates per-request wide-event collection and emission.
+	wideEvents bool
+	wideTotal  *obs.Counter
+
+	// reqMetrics caches per-op request instruments so the finish-request
+	// hot path never rebuilds label maps or takes the registry lock. Op
+	// and status classes are closed compile-time sets, so the cache is
+	// bounded.
+	reqMetrics sync.Map // op string -> *opRequestMetrics
+	bodyIn     *obs.Counter
+	bodyOut    *obs.Counter
 }
 
-// auditEmit forwards one security event to the audit log, if enabled.
-func (o *serverObs) auditEmit(ev audit.Event) {
-	if o.audit != nil {
-		o.audit.Emit(ev)
+// opRequestMetrics holds one op class's request instruments. Status-class
+// counters fill in lazily (indexed by the status' hundreds digit) so the
+// exported series match what the server has actually answered.
+type opRequestMetrics struct {
+	latency *obs.Histogram
+	byCode  [6]atomic.Pointer[obs.Counter]
+}
+
+// auditEmit forwards one security event to the audit log, if enabled,
+// charging the (queue-send-only) cost to the request's stats.
+func (o *serverObs) auditEmit(ev audit.Event) { o.auditEmitStats(nil, ev) }
+
+func (o *serverObs) auditEmitStats(rs *obs.ReqStats, ev audit.Event) {
+	if o.audit == nil {
+		return
 	}
+	start := time.Now()
+	o.audit.Emit(ev)
+	rs.AddAuditEnqueue(time.Since(start))
 }
 
 func newServerObs(reg *obs.Registry, logger *slog.Logger) *serverObs {
@@ -67,7 +98,21 @@ func newServerObs(reg *obs.Registry, logger *slog.Logger) *serverObs {
 		treeValidateDepth: reg.Histogram("segshare_rollback_tree_validate_depth", "Ancestor levels checked per rollback-tree validation.", nil),
 		rollbackFailures:  reg.Counter("segshare_rollback_failures_total", "Requests rejected by rollback/integrity verification.", nil),
 		lockWaits:         lockWaits,
+		bodyIn:            reg.Counter("segshare_request_body_bytes_total", "Request body bytes received.", nil),
+		bodyOut:           reg.Counter("segshare_response_body_bytes_total", "Response body bytes sent.", nil),
 	}
+}
+
+// requestMetrics returns op's cached instruments, registering them on
+// first use.
+func (o *serverObs) requestMetrics(op string) *opRequestMetrics {
+	if m, ok := o.reqMetrics.Load(op); ok {
+		return m.(*opRequestMetrics)
+	}
+	m := &opRequestMetrics{latency: o.reg.Histogram("segshare_request_ns",
+		"End-to-end request handling latency (ns).", obs.Labels{"op": op})}
+	actual, _ := o.reqMetrics.LoadOrStore(op, m)
+	return actual.(*opRequestMetrics)
 }
 
 // lockWait records how long one lock acquisition blocked, by scope.
@@ -99,18 +144,59 @@ func (o *serverObs) cacheHooks(kind string) cache.Hooks {
 }
 
 // observeRequest records one finished request: counter by op class and
-// status class, latency histogram by op class, and byte traffic.
-func (o *serverObs) observeRequest(op string, status int, dur time.Duration, bytesIn, bytesOut int64) {
-	o.reg.Counter("segshare_requests_total", "Handled requests by operation class and status class.",
-		obs.Labels{"op": op, "code": statusClass(status)}).Inc()
-	o.reg.Histogram("segshare_request_ns", "End-to-end request handling latency (ns).",
-		obs.Labels{"op": op}).ObserveDuration(dur)
+// status class, latency histogram by op class (carrying the request's
+// trace id as an exemplar), and byte traffic.
+func (o *serverObs) observeRequest(op string, status int, dur time.Duration, bytesIn, bytesOut int64, traceID uint64) {
+	m := o.requestMetrics(op)
+	idx := status / 100
+	if idx < 1 {
+		idx = 1
+	} else if idx > 5 {
+		idx = 5
+	}
+	ctr := m.byCode[idx].Load()
+	if ctr == nil {
+		// The registry returns the same counter for the same (op, code),
+		// so a racing double-store is benign.
+		ctr = o.reg.Counter("segshare_requests_total", "Handled requests by operation class and status class.",
+			obs.Labels{"op": op, "code": statusClass(status)})
+		m.byCode[idx].Store(ctr)
+	}
+	ctr.Inc()
+	m.latency.ObserveDurationWithExemplar(dur, traceID)
 	if bytesIn > 0 {
-		o.reg.Counter("segshare_request_body_bytes_total", "Request body bytes received.", nil).Add(uint64(bytesIn))
+		o.bodyIn.Add(uint64(bytesIn))
 	}
 	if bytesOut > 0 {
-		o.reg.Counter("segshare_response_body_bytes_total", "Response body bytes sent.", nil).Add(uint64(bytesOut))
+		o.bodyOut.Add(uint64(bytesOut))
 	}
+}
+
+// finishRequest is the single chokepoint every finished request —
+// HTTP-handled or DirectSession — funnels through. It closes the trace
+// (the tail-sampling decision happens inside End), updates the
+// aggregate metrics with the request's trace id as an exemplar, and
+// emits the canonical wide event. Returns whether the trace was
+// sampled, for the request log line.
+func (o *serverObs) finishRequest(op string, status int, dur time.Duration, bytesIn, bytesOut int64, tr *obs.Trace, rs *obs.ReqStats) (sampled bool) {
+	var traceID uint64
+	if tr != nil {
+		traceID = tr.ID()
+		tr.Annotate("bytes_in", bytesIn)
+		tr.Annotate("bytes_out", bytesOut)
+		tr.Annotate(obs.LockWaitAnnotation, rs.LockWaitNs())
+		tr.SetStatus(status)
+		sampled = tr.End()
+	}
+	o.observeRequest(op, status, dur, bytesIn, bytesOut, traceID)
+	if o.wideEvents {
+		ev := obs.NewWideEvent(op, statusClass(status), traceID, sampled, dur, bytesIn, bytesOut, rs)
+		o.exporter.EnqueueEvent(ev)
+		if o.wideTotal != nil {
+			o.wideTotal.Inc()
+		}
+	}
+	return sampled
 }
 
 func statusClass(status int) string {

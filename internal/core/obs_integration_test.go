@@ -75,7 +75,7 @@ func TestLeakBudgetIntegration(t *testing.T) {
 		{"bob", "GET", "/fs/top-secret-dir/alice-payroll.txt", nil, nil, 200},
 		{"alice", "MOVE", "/fs/top-secret-dir/copy.txt", nil, map[string]string{"Destination": "/fs/top-secret-dir/renamed.txt"}, 201},
 		{"alice", "DELETE", "/fs/top-secret-dir/renamed.txt", nil, nil, 204},
-		{"eve", "GET", "/fs/top-secret-dir/alice-payroll.txt", nil, nil, 403},
+		{"mallory", "GET", "/fs/top-secret-dir/alice-payroll.txt", nil, nil, 403},
 		{"alice", "GET", "/fs/missing", nil, nil, 404},
 	}
 	for _, s := range steps {
@@ -98,7 +98,7 @@ func TestLeakBudgetIntegration(t *testing.T) {
 		t.Fatal("no metrics registered")
 	}
 	for _, m := range snap {
-		for _, leak := range []string{"alice", "bob", "eve", "top-secret", "payroll", "finance-team", "renamed.txt"} {
+		for _, leak := range []string{"alice", "bob", "mallory", "top-secret", "payroll", "finance-team", "renamed.txt"} {
 			if strings.Contains(m.Name, leak) {
 				t.Fatalf("metric name %q leaks %q", m.Name, leak)
 			}

@@ -241,10 +241,12 @@ func (fm *fileManager) readDir(path fspath.Path) ([]DirEntry, error) {
 	}
 	name := path.String()
 	if db, ok := fm.caches.dirs.Get(name); ok {
+		fm.rs.AddCacheHit()
 		out := make([]DirEntry, len(db.entries))
 		copy(out, db.entries)
 		return out, nil
 	}
+	fm.rs.AddCacheMiss()
 	gen := fm.caches.dirs.Gen()
 	hdr, body, err := fm.getBlob(fm.content, name)
 	if err != nil {
@@ -271,8 +273,10 @@ func (fm *fileManager) readDir(path fspath.Path) ([]DirEntry, error) {
 func (fm *fileManager) readACL(path fspath.Path) (*acl.ACL, error) {
 	name := aclName(path.String())
 	if a, ok := fm.caches.acls.Get(name); ok {
+		fm.rs.AddCacheHit()
 		return a.Clone(), nil
 	}
+	fm.rs.AddCacheMiss()
 	gen := fm.caches.acls.Gen()
 	hdr, body, err := fm.getBlob(fm.content, name)
 	if err != nil {
@@ -482,8 +486,10 @@ func (fm *fileManager) movePath(src, dst fspath.Path) error {
 func (fm *fileManager) readMemberList(u acl.UserID) (*acl.MemberList, error) {
 	name := memberListName(u)
 	if m, ok := fm.caches.members.Get(name); ok {
+		fm.rs.AddCacheHit()
 		return m.Clone(), nil
 	}
+	fm.rs.AddCacheMiss()
 	gen := fm.caches.members.Gen()
 	hdr, body, err := fm.getBlob(fm.group, name)
 	if err != nil {
@@ -513,8 +519,10 @@ func (fm *fileManager) writeMemberList(u acl.UserID, m *acl.MemberList) error {
 // first; the returned list is the caller's to mutate.
 func (fm *fileManager) readGroupList() (*acl.GroupList, error) {
 	if l, ok := fm.caches.groups.Get(groupListName); ok {
+		fm.rs.AddCacheHit()
 		return l.Clone(), nil
 	}
+	fm.rs.AddCacheMiss()
 	gen := fm.caches.groups.Gen()
 	hdr, body, err := fm.getBlob(fm.group, groupListName)
 	if errors.Is(err, ErrNotFound) {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RecoveryState tracks journal recovery progress so readiness and the
+// stall watchdog can observe it without reaching into the journal. The
+// server begins recovery synchronously inside NewServer (strict replay
+// before the first request), but a crash with a large intent backlog can
+// keep it busy for a while; /readyz reports "journal_recovery" until
+// finish, and the watchdog flags a recovery that overruns its budget.
+//
+// A nil *RecoveryState is valid and inert, so callers that do not gate
+// readiness pay nothing.
+type RecoveryState struct {
+	mu       sync.Mutex
+	active   bool
+	started  time.Time
+	replayed int
+	runs     int
+}
+
+// begin marks a recovery pass as started.
+func (r *RecoveryState) begin() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.active = true
+	r.started = time.Now()
+	r.replayed = 0
+	r.runs++
+	r.mu.Unlock()
+}
+
+// progress records verified-intent replay progress (monotone count).
+func (r *RecoveryState) progress(replayed int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if replayed > r.replayed {
+		r.replayed = replayed
+	}
+	r.mu.Unlock()
+}
+
+// finish marks the pass complete.
+func (r *RecoveryState) finish() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.active = false
+	r.mu.Unlock()
+}
+
+// Check is a readiness probe: non-nil while a recovery pass is running.
+// The reason stays inside the leak budget — a count and a duration, no
+// paths or principals.
+func (r *RecoveryState) Check() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.active {
+		return nil
+	}
+	return fmt.Errorf("journal recovery in progress (%d intents replayed, running %v)",
+		r.replayed, time.Since(r.started).Round(time.Millisecond))
+}
+
+// Overrun reports whether an active recovery pass has exceeded limit.
+// The watchdog uses it to capture a profile of a wedged replay.
+func (r *RecoveryState) Overrun(limit time.Duration) error {
+	if r == nil || limit <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.active || time.Since(r.started) <= limit {
+		return nil
+	}
+	return fmt.Errorf("journal recovery running %v, budget %v (%d intents replayed)",
+		time.Since(r.started).Round(time.Millisecond), limit, r.replayed)
+}
+
+// Runs returns how many recovery passes have started (tests).
+func (r *RecoveryState) Runs() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs
+}

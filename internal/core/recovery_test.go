@@ -1,0 +1,118 @@
+package core
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"segshare/internal/obs"
+)
+
+// TestRecoveryStateLifecycle walks a full recovery pass through the
+// readiness probe: idle → active (probe fails, budget overruns) →
+// finished (probe clears), with the pass counter recording the run.
+func TestRecoveryStateLifecycle(t *testing.T) {
+	rs := &RecoveryState{}
+	if err := rs.Check(); err != nil {
+		t.Fatalf("idle state fails readiness: %v", err)
+	}
+	if err := rs.Overrun(time.Nanosecond); err != nil {
+		t.Fatalf("idle state reports overrun: %v", err)
+	}
+
+	rs.begin()
+	rs.progress(3)
+	err := rs.Check()
+	if err == nil {
+		t.Fatal("active recovery passes readiness")
+	}
+	if !strings.Contains(err.Error(), "recovery") {
+		t.Errorf("Check error does not name recovery: %v", err)
+	}
+	// The reason stays inside the leak budget: counts and durations only.
+	if strings.ContainsAny(err.Error(), "/\\") {
+		t.Errorf("Check error carries path-like content: %v", err)
+	}
+
+	time.Sleep(time.Microsecond)
+	if err := rs.Overrun(time.Nanosecond); err == nil {
+		t.Error("active recovery past its budget not reported as overrun")
+	}
+	if err := rs.Overrun(time.Hour); err != nil {
+		t.Errorf("recovery within budget reported as overrun: %v", err)
+	}
+	// A zero limit disables the check rather than tripping instantly.
+	if err := rs.Overrun(0); err != nil {
+		t.Errorf("zero budget should disable the overrun check: %v", err)
+	}
+
+	rs.finish()
+	if err := rs.Check(); err != nil {
+		t.Fatalf("finished recovery still fails readiness: %v", err)
+	}
+	if got := rs.Runs(); got != 1 {
+		t.Errorf("Runs() = %d, want 1", got)
+	}
+}
+
+// TestRecoveryStateNilReceiver: a nil state is valid and inert, so
+// callers that do not gate readiness pay nothing.
+func TestRecoveryStateNilReceiver(t *testing.T) {
+	var rs *RecoveryState
+	rs.begin()
+	rs.progress(1)
+	rs.finish()
+	if err := rs.Check(); err != nil {
+		t.Errorf("nil Check() = %v", err)
+	}
+	if err := rs.Overrun(time.Nanosecond); err != nil {
+		t.Errorf("nil Overrun() = %v", err)
+	}
+	if got := rs.Runs(); got != 0 {
+		t.Errorf("nil Runs() = %d", got)
+	}
+}
+
+// TestReadyzGatesOnRecovery exercises satellite wiring end to end: a
+// health check registered before NewServer (the pattern segshare-server
+// uses) makes /readyz answer 503 naming journal_recovery while a pass is
+// active — by name only, never the probe's error text — and recover to
+// 200 once it finishes.
+func TestReadyzGatesOnRecovery(t *testing.T) {
+	rs := &RecoveryState{}
+	health := obs.NewHealth()
+	if err := health.AddCheck("journal_recovery", rs.Check); err != nil {
+		t.Fatal(err)
+	}
+	admin := obs.Handler(obs.NewRegistry(), nil, obs.WithHealth(health))
+
+	ready := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		admin.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		return rec
+	}
+
+	// Startup: recovery running, operator flag not yet flipped.
+	rs.begin()
+	rs.progress(7)
+	rec := ready()
+	if rec.Code != 503 {
+		t.Fatalf("/readyz during recovery = %d, want 503", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "journal_recovery") {
+		t.Errorf("/readyz body does not name the failing check: %q", body)
+	}
+	// Only the name crosses the boundary, not the probe's error text.
+	if strings.Contains(body, "replayed") || strings.Contains(body, "intents") {
+		t.Errorf("/readyz body leaks probe error text: %q", body)
+	}
+
+	// Recovery done, server flips the flag.
+	rs.finish()
+	health.SetReady(true)
+	if rec := ready(); rec.Code != 200 {
+		t.Fatalf("/readyz after recovery = %d: %s", rec.Code, rec.Body)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/tls"
 	"crypto/x509"
@@ -109,6 +110,62 @@ type Config struct {
 	// Audit tunes the audit writer (overflow policy, buffer sizes,
 	// checkpoint cadence). Ignored when AuditStore is nil.
 	Audit audit.Options
+	// DisableWideEvents turns off per-request wide-event collection and
+	// emission. Benchmarks use it as the before-configuration when
+	// measuring telemetry overhead.
+	DisableWideEvents bool
+	// SamplePolicy selects which finished request traces are retained
+	// and exported (tail-based sampling); nil means
+	// obs.DefaultSamplePolicy() — slow, errored, contended, and a 1-in-N
+	// floor.
+	SamplePolicy *obs.SamplePolicy
+	// Exporter, when non-nil, receives every wide event and each sampled
+	// trace on a bounded async queue. The server does not own it: the
+	// caller Closes it after Server.Close so the final batch drains.
+	Exporter *obs.Exporter
+	// Watchdog configures the stall watchdog; the zero value disables it.
+	Watchdog WatchdogConfig
+	// Recovery, when non-nil, is the journal-recovery state the server
+	// publishes progress into. Journal replay runs synchronously inside
+	// NewServer, so a caller that wants /readyz to gate on it must create
+	// the state and register its readiness check before calling NewServer.
+	// Nil means the server allocates its own (see Server.Recovery).
+	Recovery *RecoveryState
+}
+
+// WatchdogConfig tunes the stall watchdog (see obs.Watchdog). All
+// durations default when zero.
+type WatchdogConfig struct {
+	// Enable turns the watchdog on.
+	Enable bool
+	// Interval is the sweep cadence (default 1s).
+	Interval time.Duration
+	// RequestDeadline flags any in-flight request older than this
+	// (default 30s).
+	RequestDeadline time.Duration
+	// RecoveryOverrun flags a journal recovery pass running longer than
+	// this (default 30s).
+	RecoveryOverrun time.Duration
+	// ShardSkew flags one lock shard absorbing more than this much new
+	// wait time between sweeps while also exceeding 4x the mean across
+	// shards (default 100ms).
+	ShardSkew time.Duration
+}
+
+func (w WatchdogConfig) withDefaults() WatchdogConfig {
+	if w.Interval <= 0 {
+		w.Interval = time.Second
+	}
+	if w.RequestDeadline <= 0 {
+		w.RequestDeadline = 30 * time.Second
+	}
+	if w.RecoveryOverrun <= 0 {
+		w.RecoveryOverrun = 30 * time.Second
+	}
+	if w.ShardSkew <= 0 {
+		w.ShardSkew = 100 * time.Millisecond
+	}
+	return w
 }
 
 // Server is one SeGShare enclave with its untrusted plumbing: the call
@@ -132,6 +189,11 @@ type Server struct {
 	locks *lockManager
 	// reset tracks the outstanding backup-restoration challenge (§V-G).
 	reset resetState
+	// recovery publishes journal-recovery progress for readiness gating
+	// and the watchdog.
+	recovery *RecoveryState
+	// watchdog is the stall detector, nil unless Config.Watchdog.Enable.
+	watchdog *obs.Watchdog
 
 	httpServer *http.Server
 	terminator *enctls.UntrustedTerminator
@@ -187,6 +249,24 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 	}
 
 	sObs := newServerObs(cfg.Obs, cfg.Logger)
+	sObs.wideEvents = !cfg.DisableWideEvents
+	sObs.exporter = cfg.Exporter
+	if sObs.wideEvents {
+		sObs.wideTotal = sObs.reg.Counter("segshare_wide_events_total",
+			"Wide events emitted (one per finished request).", nil)
+	}
+	// Tail-based sampling: the policy decides at End which traces stay in
+	// the ring; sampled ones additionally flow to the exporter.
+	policy := cfg.SamplePolicy
+	if policy == nil {
+		policy = obs.DefaultSamplePolicy()
+	}
+	sObs.traces.SetPolicy(policy)
+	sObs.traces.SetOnEnd(func(tr *obs.Trace, sampled bool) {
+		if sampled {
+			sObs.exporter.EnqueueTrace(tr.Snapshot())
+		}
+	})
 	// All backend traffic is measured through store.Instrumented; the
 	// labels name the store role only. The bridge reports into the same
 	// registry.
@@ -262,6 +342,10 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		groupGuard = rollback.NewCounterGuard(encl, "group-root")
 	}
 
+	recovery := cfg.Recovery
+	if recovery == nil {
+		recovery = &RecoveryState{}
+	}
 	var jl *journal.Journal
 	if !cfg.DisableJournal {
 		jKeys, err := journal.DeriveKeys(rootKey)
@@ -270,7 +354,8 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		}
 		// Journal records live next to the !meta:* objects in the group
 		// store; sequence numbers bind to an enclave monotonic counter.
-		jl, err = journal.Open(cfg.GroupStore, jKeys, encl.Counter("journal"), journal.Options{Obs: sObs.reg})
+		jl, err = journal.Open(cfg.GroupStore, jKeys, encl.Counter("journal"),
+			journal.Options{Obs: sObs.reg, OnScan: recovery.progress})
 		if err != nil {
 			return nil, fmt.Errorf("segshare: open journal: %w", err)
 		}
@@ -295,6 +380,7 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		groupGuard:   groupGuard,
 		cacheBytes:   cacheBytes,
 		journal:      jl,
+		recovery:     recovery,
 		obs:          sObs,
 	})
 	if err != nil {
@@ -309,11 +395,67 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		fm:        fm,
 		ac:        &accessControl{fm: fm, fso: userID(cfg.FileSystemOwner)},
 		certifier: newCertifier(encl, cfg.GroupStore, caPub),
-		obs: sObs,
+		obs:       sObs,
+		recovery:  recovery,
 		// The journal relies on at most one mutation being in flight
 		// (txn.go stages per-operation state on the file manager), which
 		// coupled mode guarantees; rollback protection needs it anyway.
 		locks: newLockManager(cfg.LockShards, cfg.Features.RollbackProtection || jl != nil, sObs),
+	}
+
+	// segshare_build_info pins the deployment's shape next to its
+	// metrics: the enclave version and which durability/integrity
+	// subsystems are on. All values come from a closed configuration
+	// set — never request data.
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	sObs.reg.Gauge("segshare_build_info",
+		"Constant 1; labels carry the enclave version and feature switches.",
+		obs.Labels{
+			"version":  fmt.Sprintf("v%d", cfg.Version),
+			"journal":  onOff(jl != nil),
+			"rollback": onOff(cfg.Features.RollbackProtection),
+			"audit":    onOff(sObs.audit != nil),
+		}).Set(1)
+
+	if cfg.Watchdog.Enable {
+		wcfg := cfg.Watchdog.withDefaults()
+		wd := obs.NewWatchdog(obs.WatchdogOptions{
+			Interval: wcfg.Interval,
+			Obs:      sObs.reg,
+			OnTrigger: func(check string) {
+				sObs.auditEmit(audit.Event{Event: audit.EventWatchdog, Detail: check})
+			},
+		})
+		_ = wd.AddCheck("request_deadline", func() error {
+			n, oldest := sObs.traces.OverDeadline(wcfg.RequestDeadline)
+			if n > 0 {
+				return fmt.Errorf("%d requests in flight past %v (oldest %v)",
+					n, wcfg.RequestDeadline, oldest.Round(time.Millisecond))
+			}
+			return nil
+		})
+		if sObs.audit != nil {
+			_ = wd.AddCheck("audit_backlog", func() error {
+				queued, capacity := sObs.audit.Backlog()
+				if capacity > 0 && queued*10 >= capacity*9 {
+					return fmt.Errorf("audit queue %d/%d (>= 90%%): writer wedged or lagging", queued, capacity)
+				}
+				return nil
+			})
+		}
+		if jl != nil {
+			_ = wd.AddCheck("journal_recovery", func() error {
+				return recovery.Overrun(wcfg.RecoveryOverrun)
+			})
+		}
+		_ = wd.AddCheck("lock_shard_skew", s.locks.skewProbe(wcfg.ShardSkew))
+		wd.Start()
+		s.watchdog = wd
 	}
 
 	s.bridge = enclave.NewBridge(cfg.Bridge)
@@ -408,7 +550,7 @@ func (s *Server) AuditHeadHandler() http.Handler {
 // its content. Used by the fault-injection harness and available to
 // operators after a restore.
 func (s *Server) Fsck() error {
-	unlock := s.locks.wholeTree()
+	unlock := s.locks.wholeTree(nil)
 	defer unlock()
 	return s.fm.validateAll()
 }
@@ -438,6 +580,14 @@ func (s *Server) Obs() *obs.Registry { return s.obs.reg }
 // Traces returns the server's request trace recorder.
 func (s *Server) Traces() *obs.TraceRecorder { return s.obs.traces }
 
+// Watchdog returns the stall watchdog, or nil when disabled. Mount its
+// Handler under /debug/watchdog on the admin listener.
+func (s *Server) Watchdog() *obs.Watchdog { return s.watchdog }
+
+// Recovery returns the journal-recovery state for readiness checks
+// (Check) and inspection; never nil.
+func (s *Server) Recovery() *RecoveryState { return s.recovery }
+
 // HasCertificate reports whether a server certificate is installed.
 func (s *Server) HasCertificate() bool {
 	_, err := s.certifier.Certificate()
@@ -459,6 +609,11 @@ func (s *Server) Serve(listener net.Listener) error {
 		s.httpServer = &http.Server{
 			Handler:           s.handler(),
 			ReadHeaderTimeout: 30 * time.Second,
+			// Expose the connection to the handler so per-request
+			// ecall/ocall deltas can be read off the bridge conn.
+			ConnContext: func(ctx context.Context, c net.Conn) context.Context {
+				return context.WithValue(ctx, connCtxKey{}, c)
+			},
 			// Failed handshakes (e.g. rejected client certificates) are
 			// expected under the threat model; route them to the
 			// structured logger at debug level (discarded by default).
@@ -497,6 +652,9 @@ func (s *Server) Addr() net.Addr {
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		if s.watchdog != nil {
+			s.watchdog.Stop()
+		}
 		if s.terminator != nil {
 			err = s.terminator.Close()
 		}

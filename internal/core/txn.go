@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"segshare/internal/audit"
 	"segshare/internal/journal"
@@ -184,7 +185,7 @@ func (fm *fileManager) mutate(op string, fn func() error) error {
 	}
 	// A failure after an intent committed leaves the operation half
 	// applied; finish it before accepting new work.
-	if fm.journalDirty {
+	if fm.shared.journalDirty.Load() {
 		if err := fm.recoverJournal(recoverOpts{strict: true, validate: fm.rollbackOn}); err != nil {
 			return err
 		}
@@ -208,7 +209,9 @@ func (fm *fileManager) mutate(op string, fn func() error) error {
 	}
 
 	writes, deletes := tx.records()
+	commitStart := time.Now()
 	seq, err := fm.journal.Commit(op, writes, deletes)
+	fm.rs.AddJournalCommit(time.Since(commitStart))
 	if err != nil {
 		// The intent never became durable: the operation rolls back (no
 		// backend object was touched yet).
@@ -219,14 +222,14 @@ func (fm *fileManager) mutate(op string, fn func() error) error {
 		// The intent IS durable: recovery will finish the operation, so
 		// commit hooks must not run yet and abort hooks must not run at
 		// all. Refuse further mutations until the replay succeeds.
-		fm.journalDirty = true
+		fm.shared.journalDirty.Store(true)
 		return err
 	}
 	if err := fm.journal.MarkApplied(seq); err != nil {
 		// The operation applied fully; only the journal cleanup failed.
 		// Report success, but force a (harmless, idempotent) replay before
 		// the next mutation.
-		fm.journalDirty = true
+		fm.shared.journalDirty.Store(true)
 	}
 	tx.runCommitHooks()
 	return nil
@@ -306,19 +309,22 @@ func (fm *fileManager) recoverJournal(opts recoverOpts) error {
 	if fm.journal == nil {
 		return nil
 	}
+	fm.shared.recovery.begin()
+	defer fm.shared.recovery.finish()
 	set, err := fm.journal.Recover(opts.strict)
 	if err != nil {
 		return err
 	}
-	for _, rec := range set.Pending {
+	for i, rec := range set.Pending {
 		if err := fm.applyIntent(rec.Writes, rec.Deletes); err != nil {
 			return fmt.Errorf("segshare: replay journal intent %d: %w", rec.Seq, err)
 		}
 		if err := fm.journal.MarkApplied(rec.Seq); err != nil {
 			return err
 		}
+		fm.shared.recovery.progress(i + 1)
 	}
-	fm.journalDirty = false
+	fm.shared.journalDirty.Store(false)
 	if len(set.Pending) > 0 || set.Discarded > 0 {
 		fm.obs.auditEmit(audit.Event{
 			Event:  audit.EventRecovery,

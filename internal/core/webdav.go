@@ -69,12 +69,13 @@ func (s *Server) servePropfind(w http.ResponseWriter, r *http.Request, u acl.Use
 		return
 	}
 
-	unlock := s.locks.fsRead(path)
+	ac, rs := s.reqAC(r)
+	unlock := s.locks.fsRead(rs, path)
 	defer unlock()
 
 	ms := davMultistatus{XMLNS: "DAV:"}
 	if path.IsDir() {
-		entries, err := s.ac.GetDir(u, path)
+		entries, err := ac.GetDir(u, path)
 		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)
@@ -90,7 +91,7 @@ func (s *Server) servePropfind(w http.ResponseWriter, r *http.Request, u acl.Use
 				size := int64(0)
 				if !e.IsDir && e.Permission.Has(acl.PermRead) {
 					if child, err := path.ChildFile(e.Name); err == nil {
-						if content, err := s.ac.GetFile(u, child); err == nil {
+						if content, err := ac.GetFile(u, child); err == nil {
 							size = int64(len(content))
 						}
 					}
@@ -99,7 +100,7 @@ func (s *Server) servePropfind(w http.ResponseWriter, r *http.Request, u acl.Use
 			}
 		}
 	} else {
-		content, err := s.ac.GetFile(u, path)
+		content, err := ac.GetFile(u, path)
 		s.auditAuthz(r, u, path.String(), err)
 		if err != nil {
 			writeMappedErr(w, err)

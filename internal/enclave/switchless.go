@@ -136,6 +136,7 @@ type Bridge struct {
 	nECalls      atomic.Uint64
 	nOCalls      atomic.Uint64
 	nTransitions atomic.Uint64
+	inflight     atomic.Int64
 
 	einst       bridgeInstruments
 	oinst       bridgeInstruments
@@ -218,6 +219,8 @@ func (b *Bridge) call(table map[string]Handler, tasks chan bridgeTask, inst *bri
 	if b.closed.Load() {
 		return nil, ErrBridgeClosed
 	}
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
 	b.mu.RLock()
 	fn, ok := table[op]
 	b.mu.RUnlock()
@@ -250,6 +253,11 @@ func (b *Bridge) call(table map[string]Handler, tasks chan bridgeTask, inst *bri
 		return r.data, r.err
 	}
 }
+
+// Pending returns the number of boundary calls currently in flight
+// (dispatched but not yet returned). The stall watchdog reads it to tell
+// a wedged bridge from an idle one.
+func (b *Bridge) Pending() int64 { return b.inflight.Load() }
 
 // Metrics returns a snapshot of call counters.
 func (b *Bridge) Metrics() BridgeMetrics {

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,6 +45,13 @@ type trustedConn struct {
 	write func(id uint64, p []byte) error
 	close func(id uint64)
 
+	// ecalls counts enclave entries on this connection (data and EOF
+	// deliveries from the terminator); ocalls counts enclave exits
+	// (writes and the close relay). The core handler reads deltas of
+	// these around each request to attribute boundary crossings to it.
+	ecalls atomic.Int64
+	ocalls atomic.Int64
+
 	mu           sync.Mutex
 	cond         *sync.Cond
 	buf          []byte
@@ -63,6 +71,7 @@ func newTrustedConn(id uint64, write func(uint64, []byte) error, closeFn func(ui
 // deliver appends bytes received from the untrusted side, blocking while
 // the buffer is full (backpressure on the TCP reader).
 func (c *trustedConn) deliver(p []byte) error {
+	c.ecalls.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for len(c.buf) > maxBuffered && !c.closed {
@@ -78,6 +87,7 @@ func (c *trustedConn) deliver(p []byte) error {
 
 // deliverEOF marks the untrusted side's read loop as finished.
 func (c *trustedConn) deliverEOF() {
+	c.ecalls.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.eof = true
@@ -126,10 +136,19 @@ func (c *trustedConn) Write(p []byte) (int, error) {
 	if closed {
 		return 0, errConnClosed
 	}
+	c.ocalls.Add(1)
 	if err := c.write(c.id, p); err != nil {
 		return 0, err
 	}
 	return len(p), nil
+}
+
+// BridgeCallCounts returns the cumulative enclave boundary crossings on
+// this connection: ecalls (deliveries in) and ocalls (writes and close
+// out). The core handler snapshots these around a request to attribute
+// crossings per request.
+func (c *trustedConn) BridgeCallCounts() (ecalls, ocalls int64) {
+	return c.ecalls.Load(), c.ocalls.Load()
 }
 
 // Close implements net.Conn.
@@ -142,6 +161,7 @@ func (c *trustedConn) Close() error {
 	c.closed = true
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	c.ocalls.Add(1)
 	c.close(c.id)
 	return nil
 }

@@ -116,6 +116,11 @@ type Intent struct {
 type Options struct {
 	// Obs is the metric registry; nil means obs.Default().
 	Obs *obs.Registry
+	// OnScan, when set, is called during Recover with the number of
+	// records verified so far — a progress heartbeat the recovery-overrun
+	// watchdog check and the /readyz reason use. It runs with the journal
+	// lock held: keep it to a counter store.
+	OnScan func(verified int)
 }
 
 // RecoverySet is the outcome of scanning the journal at startup:
@@ -135,6 +140,7 @@ type Journal struct {
 	ctr      Counter
 	lastHash [sha256.Size]byte
 	pending  int
+	onScan   func(verified int)
 
 	commits     *obs.Counter
 	commitBytes *obs.Counter
@@ -160,6 +166,7 @@ func Open(backend store.Backend, keys Keys, ctr Counter, opts Options) (*Journal
 		backend:     backend,
 		keys:        keys,
 		ctr:         ctr,
+		onScan:      opts.OnScan,
 		commits:     reg.Counter("segshare_journal_commits_total", "Intent records committed to the write-ahead journal.", nil),
 		commitBytes: reg.Counter("segshare_journal_commit_bytes_total", "Sealed journal record bytes written.", nil),
 		replayed:    reg.Counter("segshare_journal_replayed_total", "Intents re-applied by the recovery pass.", nil),
@@ -327,6 +334,9 @@ func (j *Journal) Recover(strict bool) (RecoverySet, error) {
 		}
 		lastGood = blob
 		set.Pending = append(set.Pending, rec)
+		if j.onScan != nil {
+			j.onScan(len(set.Pending))
+		}
 	}
 	if strict && len(seqs) > 0 {
 		if last := seqs[len(seqs)-1]; top-last > 1 {

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExemplarLinksBucketToTrace: an observation with a trace id becomes
+// the exemplar of exactly the bucket it landed in, and the OpenMetrics
+// export renders it in exemplar syntax so a dashboard can jump from a
+// latency bucket straight to /debug/traces.
+func TestExemplarLinksBucketToTrace(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("segshare_request_ns", "Request latency (ns).", Labels{"op": "fs_get"})
+	h.ObserveDurationWithExemplar(100*time.Microsecond, 41)
+	h.ObserveDurationWithExemplar(90*time.Millisecond, 42) // a "slow" outlier
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="42"}`) {
+		t.Fatalf("OpenMetrics output missing the slow request's exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `# {trace_id="41"}`) {
+		t.Fatalf("OpenMetrics output missing the fast request's exemplar:\n%s", out)
+	}
+
+	// The Prometheus 0.0.4 fallback format must stay exemplar-free —
+	// classic scrapers reject the comment syntax mid-line.
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "trace_id") {
+		t.Fatal("Prometheus 0.0.4 output carries exemplar syntax")
+	}
+}
+
+// TestExemplarZeroTraceID: requests with no trace (id 0) must not
+// produce exemplars — id 0 means "no trace recorded".
+func TestExemplarZeroTraceID(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("segshare_request_ns", "Request latency (ns).", Labels{"op": "fs_put"})
+	h.ObserveDurationWithExemplar(time.Millisecond, 0)
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "trace_id") {
+		t.Fatal("observation with trace id 0 produced an exemplar")
+	}
+}
+
+// TestExemplarLatestWins: within one bucket the most recent trace id is
+// retained.
+func TestExemplarLatestWins(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("segshare_request_ns", "Request latency (ns).", Labels{"op": "fs_move"})
+	h.ObserveDurationWithExemplar(time.Millisecond, 7)
+	h.ObserveDurationWithExemplar(time.Millisecond+time.Microsecond, 8) // same log2 bucket
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `# {trace_id="7"}`) {
+		t.Fatal("stale exemplar survived a newer observation in the same bucket")
+	}
+	if !strings.Contains(out, `# {trace_id="8"}`) {
+		t.Fatal("newest exemplar missing")
+	}
+}

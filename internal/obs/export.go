@@ -71,6 +71,87 @@ func writePromHistogram(w io.Writer, name string, m MetricSnapshot, seconds bool
 	return err
 }
 
+// WriteOpenMetrics renders all exportable metrics in the OpenMetrics 1.0
+// text format. It differs from WritePrometheus in three ways: counter
+// families are declared by their base name (the _total suffix stays on
+// the sample), histogram bucket lines carry exemplars — the most recent
+// trace id per bucket, linking a bad latency bucket straight to its
+// retained span tree in /debug/traces — and the body ends with # EOF.
+// The same _ns → _seconds transform applies, including to exemplar
+// values.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	snap := r.Snapshot()
+	var lastName string
+	for _, m := range snap {
+		name := m.Name
+		seconds := m.Kind == "histogram" && strings.HasSuffix(name, "_ns")
+		if seconds {
+			name = strings.TrimSuffix(name, "_ns") + "_seconds"
+		}
+		if m.Name != lastName {
+			family := name
+			if m.Kind == "counter" {
+				family = strings.TrimSuffix(family, "_total")
+			}
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, sanitizeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, m.Kind); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		switch m.Kind {
+		case "histogram":
+			if err := writeOMHistogram(w, name, m, seconds); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(m.Labels, ""), m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func writeOMHistogram(w io.Writer, name string, m MetricSnapshot, seconds bool) error {
+	h := m.Histogram
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name,
+			promLabels(m.Labels, promBound(b.UpperBound, seconds)), cum,
+			omExemplar(b.Exemplar, seconds)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabelsInf(m.Labels), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(m.Labels, ""), promValue(h.Sum, seconds)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(m.Labels, ""), h.Count)
+	return err
+}
+
+// omExemplar renders the OpenMetrics exemplar suffix for one bucket line:
+// ` # {trace_id="<id>"} <value> <unix seconds>`. The only label is the
+// server-assigned trace id (leak budget: no request content).
+func omExemplar(e *Exemplar, seconds bool) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s",
+		strconv.FormatUint(e.TraceID, 10),
+		promValue(e.Value, seconds),
+		strconv.FormatFloat(float64(e.TimeUnixMs)/1e3, 'f', 3, 64))
+}
+
 // promBound renders one le boundary: integer for native-unit histograms,
 // float seconds for nanosecond histograms.
 func promBound(bound uint64, seconds bool) string {
@@ -130,9 +211,11 @@ func sanitizeHelp(s string) string {
 type VarsSnapshot struct {
 	Timestamp     time.Time        `json:"timestamp"`
 	Metrics       []MetricSnapshot `json:"metrics"`
-	Violations    uint64           `json:"leakBudgetViolations"`
-	TracesActive  int64            `json:"tracesActive,omitempty"`
-	TracesDropped uint64           `json:"tracesDropped,omitempty"`
+	Violations     uint64           `json:"leakBudgetViolations"`
+	TracesActive   int64            `json:"tracesActive,omitempty"`
+	TracesDropped  uint64           `json:"tracesDropped,omitempty"`
+	TracesExamined uint64           `json:"tracesExamined,omitempty"`
+	TracesSampled  uint64           `json:"tracesSampled,omitempty"`
 }
 
 // Vars builds the /debug/vars snapshot. rec may be nil.
@@ -145,6 +228,8 @@ func (r *Registry) Vars(rec *TraceRecorder) VarsSnapshot {
 	if rec != nil {
 		s.TracesActive = rec.Active()
 		s.TracesDropped = rec.Dropped()
+		s.TracesExamined = rec.Examined()
+		s.TracesSampled = rec.Sampled()
 	}
 	return s
 }

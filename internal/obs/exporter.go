@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExportRecord is one item on the export pipeline: a wide event or a
+// sampled trace. Exactly one of the payload fields is set.
+type ExportRecord struct {
+	Kind  string         `json:"kind"` // "wide_event" | "trace"
+	Event *WideEvent     `json:"event,omitempty"`
+	Trace *TraceSnapshot `json:"trace,omitempty"`
+}
+
+// ExportSink receives marshaled export batches off the request path.
+type ExportSink interface {
+	// Write delivers one batch of records. It runs on the exporter
+	// goroutine; blocking here backs up the queue, never a request.
+	Write(ctx context.Context, recs []ExportRecord) error
+	// Close releases sink resources after the exporter drains.
+	Close() error
+}
+
+// ExporterOptions configures the bounded async exporter.
+type ExporterOptions struct {
+	// QueueSize bounds the in-memory record queue. When full, Enqueue
+	// drops and counts — the request path never blocks on export.
+	// Default 4096.
+	QueueSize int
+	// BatchSize is the most records handed to the sink per Write.
+	// Default 128.
+	BatchSize int
+	// FlushInterval bounds how long a partial batch may wait.
+	// Default 1s.
+	FlushInterval time.Duration
+	// Obs, when set, registers drop/sent counters on the registry.
+	Obs *Registry
+}
+
+// Exporter drains wide events and sampled traces to a sink on a
+// background goroutine. Enqueue is non-blocking by construction: a full
+// queue drops the record and increments a counter, because telemetry
+// must never add latency to the request path it measures.
+type Exporter struct {
+	sink ExportSink
+	ch   chan ExportRecord
+
+	batchSize int
+	flushIvl  time.Duration
+
+	dropped atomic.Uint64
+	sent    atomic.Uint64
+
+	droppedCtr *Counter
+	sentCtr    *Counter
+
+	closeOnce sync.Once
+	done      chan struct{}
+	drained   chan struct{}
+}
+
+// NewExporter starts the exporter goroutine. The caller must Close it to
+// flush and release the sink.
+func NewExporter(sink ExportSink, opt ExporterOptions) *Exporter {
+	if opt.QueueSize <= 0 {
+		opt.QueueSize = 4096
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 128
+	}
+	if opt.FlushInterval <= 0 {
+		opt.FlushInterval = time.Second
+	}
+	e := &Exporter{
+		sink:      sink,
+		ch:        make(chan ExportRecord, opt.QueueSize),
+		batchSize: opt.BatchSize,
+		flushIvl:  opt.FlushInterval,
+		done:      make(chan struct{}),
+		drained:   make(chan struct{}),
+	}
+	if opt.Obs != nil {
+		e.droppedCtr = opt.Obs.Counter("segshare_export_dropped_total",
+			"Telemetry records dropped because the export queue was full.", nil)
+		e.sentCtr = opt.Obs.Counter("segshare_export_sent_total",
+			"Telemetry records delivered to the export sink.", nil)
+	}
+	go e.run()
+	return e
+}
+
+// Enqueue offers one record to the pipeline without blocking. It reports
+// whether the record was accepted.
+func (e *Exporter) Enqueue(rec ExportRecord) bool {
+	if e == nil {
+		return false
+	}
+	select {
+	case e.ch <- rec:
+		return true
+	default:
+		e.dropped.Add(1)
+		if e.droppedCtr != nil {
+			e.droppedCtr.Add(1)
+		}
+		return false
+	}
+}
+
+// EnqueueEvent offers one wide event.
+func (e *Exporter) EnqueueEvent(ev WideEvent) bool {
+	return e.Enqueue(ExportRecord{Kind: "wide_event", Event: &ev})
+}
+
+// EnqueueTrace offers one sampled trace.
+func (e *Exporter) EnqueueTrace(snap TraceSnapshot) bool {
+	return e.Enqueue(ExportRecord{Kind: "trace", Trace: &snap})
+}
+
+// Dropped returns how many records were rejected by a full queue.
+func (e *Exporter) Dropped() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.dropped.Load()
+}
+
+// Sent returns how many records the sink accepted.
+func (e *Exporter) Sent() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.sent.Load()
+}
+
+func (e *Exporter) run() {
+	defer close(e.drained)
+	ticker := time.NewTicker(e.flushIvl)
+	defer ticker.Stop()
+	batch := make([]ExportRecord, 0, e.batchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := e.sink.Write(context.Background(), batch); err == nil {
+			e.sent.Add(uint64(len(batch)))
+			if e.sentCtr != nil {
+				e.sentCtr.Add(uint64(len(batch)))
+			}
+		} else {
+			// The sink already retried internally (HTTPSink) or the
+			// write is not retryable (closed file): count the loss.
+			e.dropped.Add(uint64(len(batch)))
+			if e.droppedCtr != nil {
+				e.droppedCtr.Add(uint64(len(batch)))
+			}
+		}
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case rec := <-e.ch:
+			batch = append(batch, rec)
+			if len(batch) >= e.batchSize {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-e.done:
+			// Drain whatever is queued, then flush once and exit.
+			for {
+				select {
+				case rec := <-e.ch:
+					batch = append(batch, rec)
+					if len(batch) >= e.batchSize {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close stops the exporter, flushes the queue, and closes the sink.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	var err error
+	e.closeOnce.Do(func() {
+		close(e.done)
+		<-e.drained
+		err = e.sink.Close()
+	})
+	return err
+}
+
+// JSONLSink appends one JSON object per record to a file. Lines are
+// whole records, so a crash mid-run leaves at most one torn trailing
+// line.
+type JSONLSink struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// NewJSONLSink opens (appending) or creates the export file.
+func NewJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLSink{f: f}, nil
+}
+
+// Write appends the batch as JSON lines.
+func (s *JSONLSink) Write(_ context.Context, recs []ExportRecord) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.Write(buf.Bytes())
+	return err
+}
+
+// Close syncs and closes the file.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// HTTPSink POSTs batches as JSONL to a collector endpoint, retrying with
+// exponential backoff. Retries happen on the exporter goroutine and are
+// bounded, so a dead collector costs queued records (counted drops), not
+// request latency or unbounded memory.
+type HTTPSink struct {
+	url     string
+	client  *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// NewHTTPSink builds a sink for the given collector URL. retries is the
+// number of attempts beyond the first (default 3); backoff is the initial
+// retry delay, doubling per attempt (default 100ms).
+func NewHTTPSink(url string, retries int, backoff time.Duration) *HTTPSink {
+	if retries <= 0 {
+		retries = 3
+	}
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	return &HTTPSink{
+		url:     url,
+		client:  &http.Client{Timeout: 10 * time.Second},
+		retries: retries,
+		backoff: backoff,
+	}
+}
+
+var errSinkStatus = errors.New("obs: export sink returned non-2xx status")
+
+// Write POSTs the batch, retrying transient failures.
+func (s *HTTPSink) Write(ctx context.Context, recs []ExportRecord) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	body := buf.Bytes()
+	delay := s.backoff
+	var lastErr error
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			delay *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/jsonl")
+		resp, err := s.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return nil
+		}
+		lastErr = errSinkStatus
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return lastErr // the collector rejected the payload; retrying cannot help
+		}
+	}
+	return lastErr
+}
+
+// Close is a no-op; the HTTP client holds no resources worth releasing.
+func (s *HTTPSink) Close() error { return nil }
+
+// MemorySink buffers records in memory for tests and the bench harness'
+// -trace-out capture.
+type MemorySink struct {
+	mu   sync.Mutex
+	recs []ExportRecord
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Write appends the batch.
+func (s *MemorySink) Write(_ context.Context, recs []ExportRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, recs...)
+	return nil
+}
+
+// Close is a no-op.
+func (s *MemorySink) Close() error { return nil }
+
+// Records returns a copy of everything written so far.
+func (s *MemorySink) Records() []ExportRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ExportRecord, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// MultiSink fans one batch out to several sinks; the first error wins
+// but every sink sees the batch.
+type MultiSink []ExportSink
+
+// Write delivers the batch to every sink.
+func (m MultiSink) Write(ctx context.Context, recs []ExportRecord) error {
+	var first error
+	for _, s := range m {
+		if err := s.Write(ctx, recs); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close closes every sink.
+func (m MultiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testEvent(op string, traceID uint64) WideEvent {
+	return NewWideEvent(op, "2xx", traceID, false, time.Millisecond, 100, 200, nil)
+}
+
+// TestExporterDeliversBothKinds: wide events and trace snapshots ride
+// the same queue and arrive typed at the sink, fully drained by Close.
+func TestExporterDeliversBothKinds(t *testing.T) {
+	sink := NewMemorySink()
+	e := NewExporter(sink, ExporterOptions{})
+	if !e.EnqueueEvent(testEvent("fs_get", 1)) {
+		t.Fatal("EnqueueEvent rejected with an empty queue")
+	}
+	if !e.EnqueueTrace(TraceSnapshot{ID: 1, Op: "fs_get"}) {
+		t.Fatal("EnqueueTrace rejected with an empty queue")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := sink.Records()
+	if len(recs) != 2 {
+		t.Fatalf("sink got %d records, want 2", len(recs))
+	}
+	kinds := map[string]bool{}
+	for _, r := range recs {
+		kinds[r.Kind] = true
+		switch r.Kind {
+		case "wide_event":
+			if r.Event == nil || r.Event.Op != "fs_get" {
+				t.Errorf("wide_event record malformed: %+v", r)
+			}
+		case "trace":
+			if r.Trace == nil || r.Trace.ID != 1 {
+				t.Errorf("trace record malformed: %+v", r)
+			}
+		}
+	}
+	if !kinds["wide_event"] || !kinds["trace"] {
+		t.Fatalf("kinds seen: %v", kinds)
+	}
+	if e.Sent() != 2 {
+		t.Errorf("Sent() = %d, want 2", e.Sent())
+	}
+}
+
+// blockingSink wedges in Write until released, simulating a dead or
+// slow collector.
+type blockingSink struct {
+	release chan struct{}
+	writes  atomic.Int64
+}
+
+func (s *blockingSink) Write(_ context.Context, recs []ExportRecord) error {
+	s.writes.Add(1)
+	<-s.release
+	return nil
+}
+func (s *blockingSink) Close() error { return nil }
+
+// TestExporterBoundedQueueDrops: when the sink wedges, the queue fills
+// and Enqueue turns into a counted drop — it must return immediately
+// rather than block the request path.
+func TestExporterBoundedQueueDrops(t *testing.T) {
+	sink := &blockingSink{release: make(chan struct{})}
+	e := NewExporter(sink, ExporterOptions{QueueSize: 2, BatchSize: 1})
+	defer func() {
+		close(sink.release)
+		e.Close()
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Dropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no drops recorded while the sink was wedged")
+		}
+		done := make(chan bool, 1)
+		go func() { done <- e.EnqueueEvent(testEvent("fs_get", 9)) }()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("EnqueueEvent blocked on a full queue")
+		}
+	}
+}
+
+// TestJSONLSink: records land one JSON object per line and survive a
+// round-trip.
+func TestJSONLSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.jsonl")
+	sink, err := NewJSONLSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExporter(sink, ExporterOptions{})
+	e.EnqueueEvent(testEvent("fs_put", 3))
+	e.EnqueueTrace(TraceSnapshot{ID: 3, Op: "fs_put"})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		lines++
+		var rec ExportRecord
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not an ExportRecord: %v", lines, err)
+		}
+		if rec.Kind != "wide_event" && rec.Kind != "trace" {
+			t.Errorf("line %d has kind %q", lines, rec.Kind)
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("JSONL file has %d lines, want 2", lines)
+	}
+}
+
+// TestHTTPSinkRetries: a collector that fails once with a 5xx gets the
+// same batch again; a 4xx is terminal.
+func TestHTTPSinkRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	sink := NewHTTPSink(srv.URL, 2, time.Millisecond)
+	ev := testEvent("fs_get", 5)
+	if err := sink.Write(context.Background(), []ExportRecord{{Kind: "wide_event", Event: &ev}}); err != nil {
+		t.Fatalf("Write with one transient failure: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("collector called %d times, want 2 (initial + one retry)", got)
+	}
+
+	calls.Store(0)
+	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer reject.Close()
+	badSink := NewHTTPSink(reject.URL, 5, time.Millisecond)
+	if err := badSink.Write(context.Background(), []ExportRecord{{Kind: "wide_event", Event: &ev}}); err == nil {
+		t.Fatal("Write to a rejecting collector reported success")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("4xx retried: collector called %d times, want 1", got)
+	}
+}
+
+// TestExporterNilSafe: a nil exporter accepts and discards, so emitting
+// code needs no branches.
+func TestExporterNilSafe(t *testing.T) {
+	var e *Exporter
+	if e.EnqueueEvent(testEvent("fs_get", 1)) {
+		t.Error("nil exporter claimed to accept an event")
+	}
+	if e.EnqueueTrace(TraceSnapshot{}) {
+		t.Error("nil exporter claimed to accept a trace")
+	}
+	if e.Dropped() != 0 || e.Sent() != 0 {
+		t.Error("nil exporter reported nonzero counters")
+	}
+}

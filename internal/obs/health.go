@@ -74,16 +74,19 @@ func (h *Health) handleLive(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReady serves /readyz: 200 when the ready flag is set and every
-// probe passes, 503 otherwise with the names of what failed.
+// probe passes, 503 otherwise with the names of what failed. Probes run
+// even before the operator flag flips so a slow startup phase (e.g.
+// journal recovery replaying inside NewServer) is distinguishable from
+// a listener that merely has not opened yet — by check name only, never
+// error text (leak budget).
 func (h *Health) handleReady(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if !h.ready.Load() {
+	failing := h.failing()
+	if !h.ready.Load() || len(failing) > 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "not ready")
-		return
-	}
-	if failing := h.failing(); len(failing) > 0 {
-		w.WriteHeader(http.StatusServiceUnavailable)
+		if !h.ready.Load() {
+			fmt.Fprintln(w, "not ready")
+		}
 		for _, name := range failing {
 			fmt.Fprintf(w, "check failed: %s\n", name)
 		}

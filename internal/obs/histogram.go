@@ -20,6 +20,25 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	buckets [NumHistogramBuckets]atomic.Uint64
+
+	// exemplars is allocated on the first ObserveWithExemplar, so
+	// histograms that never see a trace id (the vast majority) pay one
+	// nil pointer per instrument and zero per observation.
+	exemplars atomic.Pointer[exemplarSet]
+}
+
+// Exemplar links a histogram bucket to the most recent trace that landed
+// in it. The trace id is a server-assigned sequence number (leak budget:
+// no request content); the value is the raw observation so operators can
+// see where in the bucket it fell.
+type Exemplar struct {
+	TraceID    uint64 `json:"traceId"`
+	Value      uint64 `json:"value"`
+	TimeUnixMs int64  `json:"ts"`
+}
+
+type exemplarSet struct {
+	slots [NumHistogramBuckets]atomic.Pointer[Exemplar]
 }
 
 func newHistogram() *Histogram { return &Histogram{} }
@@ -56,6 +75,36 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(uint64(d))
 }
 
+// ObserveWithExemplar records one value and remembers traceID as the
+// bucket's exemplar, replacing any previous one. A zero traceID records
+// the value without an exemplar.
+func (h *Histogram) ObserveWithExemplar(v uint64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	set := h.exemplars.Load()
+	if set == nil {
+		set = &exemplarSet{}
+		if !h.exemplars.CompareAndSwap(nil, set) {
+			set = h.exemplars.Load()
+		}
+	}
+	set.slots[BucketIndex(v)].Store(&Exemplar{
+		TraceID:    traceID,
+		Value:      v,
+		TimeUnixMs: time.Now().UnixMilli(),
+	})
+}
+
+// ObserveDurationWithExemplar is ObserveWithExemplar for durations.
+func (h *Histogram) ObserveDurationWithExemplar(d time.Duration, traceID uint64) {
+	if d < 0 {
+		d = 0
+	}
+	h.ObserveWithExemplar(uint64(d), traceID)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -69,6 +118,9 @@ type HistogramBucket struct {
 	UpperBound uint64 `json:"le"`
 	// Count is the number of observations in this bucket alone.
 	Count uint64 `json:"count"`
+	// Exemplar is the most recent trace that landed in this bucket, if
+	// any observation carried one.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram. Because the
@@ -83,12 +135,17 @@ type HistogramSnapshot struct {
 // Snapshot copies the histogram state, keeping only non-empty buckets.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	set := h.exemplars.Load()
 	for i := range h.buckets {
 		n := h.buckets[i].Load()
 		if n == 0 {
 			continue
 		}
-		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: BucketUpperBound(i), Count: n})
+		b := HistogramBucket{UpperBound: BucketUpperBound(i), Count: n}
+		if set != nil {
+			b.Exemplar = set.slots[i].Load()
+		}
+		s.Buckets = append(s.Buckets, b)
 	}
 	return s
 }

@@ -35,7 +35,9 @@ func WithEndpoint(pattern string, h http.Handler) HandlerOption {
 // Handler serves the observability endpoints on an *untrusted* admin
 // listener, separate from the enclave-terminated client port:
 //
-//	/metrics        Prometheus text format
+//	/metrics        OpenMetrics text format with exemplars (Prometheus
+//	                0.0.4 format when the client asks for it via
+//	                ?format=prometheus)
 //	/debug/vars     JSON snapshot of all metrics
 //	/debug/traces   recent request traces (?n= limits the count, clamped
 //	                to the recorder's ring capacity)
@@ -55,8 +57,13 @@ func Handler(reg *Registry, rec *TraceRecorder, opts ...HandlerOption) http.Hand
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = reg.WriteOpenMetrics(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

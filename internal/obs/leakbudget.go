@@ -2,7 +2,7 @@ package obs
 
 import (
 	"fmt"
-	"strings"
+	"sync"
 )
 
 // The leak budget (package doc) is enforced here. Two complementary
@@ -54,7 +54,16 @@ func VerifyMetric(name string, labels Labels) error {
 	return nil
 }
 
+// verifiedNames caches names that already passed verifyName. Names come
+// from closed compile-time sets (metric names, annotation keys, span and
+// check names), so the cache is bounded — and hot paths (one annotation
+// per request field) skip the token scan entirely.
+var verifiedNames sync.Map
+
 func verifyName(name, what string) error {
+	if _, ok := verifiedNames.Load(name); ok {
+		return nil
+	}
 	if name == "" {
 		return fmt.Errorf("obs: empty %s", what)
 	}
@@ -63,11 +72,18 @@ func verifyName(name, what string) error {
 			return fmt.Errorf("obs: %s %q: character %q outside [a-z0-9_]", what, name, r)
 		}
 	}
-	for _, tok := range strings.Split(name, "_") {
-		if deniedTokens[tok] {
-			return fmt.Errorf("obs: %s %q: identity-bearing token %q", what, name, tok)
+	// Walk '_'-separated tokens in place; map lookups on substrings of
+	// name do not allocate.
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '_' {
+			if deniedTokens[name[start:i]] {
+				return fmt.Errorf("obs: %s %q: identity-bearing token %q", what, name, name[start:i])
+			}
+			start = i + 1
 		}
 	}
+	verifiedNames.Store(name, struct{}{})
 	return nil
 }
 

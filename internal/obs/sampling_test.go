@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// strictPolicy samples nothing on its own: every rule is set so far out
+// of reach that only the dimension a test exercises can trip it.
+func strictPolicy() *SamplePolicy {
+	return &SamplePolicy{
+		SlowNs:       time.Hour.Nanoseconds(),
+		ErrorStatus:  500,
+		ContentionNs: time.Hour.Nanoseconds(),
+		KeepOneIn:    0,
+	}
+}
+
+// TestTailSamplingDimensions verifies each retention rule independently:
+// a boring fast request is discarded, while slow, errored, and
+// lock-contended requests keep their full span trees.
+func TestTailSamplingDimensions(t *testing.T) {
+	t.Run("fast 2xx discarded", func(t *testing.T) {
+		r := NewTraceRecorder(8)
+		r.SetPolicy(strictPolicy())
+		tr := r.Start("fs_get")
+		tr.SetStatus(200)
+		if tr.End() {
+			t.Fatal("unremarkable trace was sampled")
+		}
+		if got := len(r.Recent(8)); got != 0 {
+			t.Fatalf("ring holds %d traces, want 0", got)
+		}
+		if r.Examined() != 1 || r.Sampled() != 0 {
+			t.Fatalf("examined/sampled = %d/%d, want 1/0", r.Examined(), r.Sampled())
+		}
+	})
+
+	t.Run("slow sampled", func(t *testing.T) {
+		r := NewTraceRecorder(8)
+		p := strictPolicy()
+		p.SlowNs = 1 // any measurable duration is "slow"
+		r.SetPolicy(p)
+		tr := r.Start("fs_get")
+		tr.SetStatus(200)
+		time.Sleep(time.Microsecond)
+		if !tr.End() {
+			t.Fatal("slow trace was not sampled")
+		}
+		if got := len(r.Recent(8)); got != 1 {
+			t.Fatalf("ring holds %d traces, want 1", got)
+		}
+	})
+
+	t.Run("error sampled", func(t *testing.T) {
+		r := NewTraceRecorder(8)
+		r.SetPolicy(strictPolicy())
+		tr := r.Start("fs_put")
+		tr.SetStatus(503)
+		if !tr.End() {
+			t.Fatal("5xx trace was not sampled")
+		}
+	})
+
+	t.Run("contention sampled", func(t *testing.T) {
+		r := NewTraceRecorder(8)
+		p := strictPolicy()
+		p.ContentionNs = 1000
+		r.SetPolicy(p)
+		tr := r.Start("fs_move")
+		tr.SetStatus(200)
+		tr.Annotate(LockWaitAnnotation, 5000)
+		if !tr.End() {
+			t.Fatal("contended trace was not sampled")
+		}
+	})
+
+	t.Run("keep one in n floor", func(t *testing.T) {
+		r := NewTraceRecorder(16)
+		p := strictPolicy()
+		p.KeepOneIn = 3
+		r.SetPolicy(p)
+		var kept int
+		for i := 0; i < 9; i++ {
+			tr := r.Start("fs_get")
+			tr.SetStatus(200)
+			if tr.End() {
+				kept++
+			}
+		}
+		if kept != 3 {
+			t.Fatalf("kept %d of 9 traces, want 3 (one in 3)", kept)
+		}
+	})
+
+	t.Run("nil policy retains all", func(t *testing.T) {
+		r := NewTraceRecorder(8)
+		tr := r.Start("fs_get")
+		tr.SetStatus(200)
+		if !tr.End() {
+			t.Fatal("nil policy discarded a trace (v1 behavior is retain-all)")
+		}
+	})
+
+	t.Run("force sample overrides policy", func(t *testing.T) {
+		r := NewTraceRecorder(8)
+		r.SetPolicy(strictPolicy())
+		tr := r.Start("fs_get")
+		tr.SetStatus(200)
+		tr.ForceSample()
+		if !tr.End() {
+			t.Fatal("forced trace was not sampled")
+		}
+	})
+}
+
+// TestSamplingOnEndFeed: the finished-trace observer receives every
+// trace with its sampling verdict — the exporter wiring depends on it.
+func TestSamplingOnEndFeed(t *testing.T) {
+	r := NewTraceRecorder(8)
+	p := strictPolicy()
+	p.SlowNs = 1
+	r.SetPolicy(p)
+
+	var mu sync.Mutex
+	verdicts := map[uint64]bool{}
+	r.SetOnEnd(func(tr *Trace, sampled bool) {
+		mu.Lock()
+		verdicts[tr.ID()] = sampled
+		mu.Unlock()
+	})
+
+	slow := r.Start("fs_get")
+	time.Sleep(time.Microsecond)
+	slow.SetStatus(200)
+	slow.End()
+
+	// Swap in a policy nothing can satisfy for the fast trace.
+	r.SetPolicy(strictPolicy())
+	fast := r.Start("fs_get")
+	fast.SetStatus(200)
+	fast.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(verdicts) != 2 {
+		t.Fatalf("observer saw %d traces, want 2", len(verdicts))
+	}
+	if !verdicts[slow.ID()] {
+		t.Error("observer reported the slow trace unsampled")
+	}
+	if verdicts[fast.ID()] {
+		t.Error("observer reported the fast trace sampled")
+	}
+}
+
+// TestDefaultSamplePolicy pins the default thresholds the server
+// installs when the config leaves SamplePolicy nil.
+func TestDefaultSamplePolicy(t *testing.T) {
+	p := DefaultSamplePolicy()
+	if p.SlowNs != (50 * time.Millisecond).Nanoseconds() {
+		t.Errorf("SlowNs = %d", p.SlowNs)
+	}
+	if p.ErrorStatus != 500 {
+		t.Errorf("ErrorStatus = %d", p.ErrorStatus)
+	}
+	if p.ContentionNs != (10 * time.Millisecond).Nanoseconds() {
+		t.Errorf("ContentionNs = %d", p.ContentionNs)
+	}
+	if p.KeepOneIn != 100 {
+		t.Errorf("KeepOneIn = %d", p.KeepOneIn)
+	}
+}

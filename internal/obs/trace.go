@@ -3,14 +3,22 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// TraceRecorder keeps the last N request traces in a ring buffer. A trace
-// is one request labeled by operation class only (leak budget: the class
-// set is closed and compile-time constant; logical paths, user IDs, and
-// group names never enter a trace). Within a trace, spans record where
-// the time went — dispatch, store I/O, tree updates.
+// TraceRecorder keeps request traces in a ring buffer. A trace is one
+// request labeled by operation class only (leak budget: the class set is
+// closed and compile-time constant; logical paths, user IDs, and group
+// names never enter a trace). Within a trace, spans record where the
+// time went — dispatch, store I/O, tree updates.
+//
+// Retention is tail-based: a trace enters the ring when it *ends*, and
+// only if the sampling policy keeps it (slow, errored, contended, every
+// Nth, or force-sampled). With no policy installed every finished trace
+// is retained, which preserves the v1 uniform-window behavior. In-flight
+// traces live in a separate active set so the stall watchdog can find
+// over-deadline requests without them occupying ring slots.
 //
 // Annotations are deliberately numeric-only: the API offers no way to
 // attach a string to a trace, so identity-bearing request data cannot be
@@ -22,6 +30,19 @@ type TraceRecorder struct {
 	next    int
 	seq     uint64
 	dropped uint64
+	inFlight map[uint64]*Trace
+
+	policy   atomic.Pointer[SamplePolicy]
+	examined atomic.Uint64
+	sampled  atomic.Uint64
+
+	// onEnd, when set, observes every finished trace with its sampling
+	// decision — the export pipeline and sampling metrics hang off it.
+	// It receives the live *Trace so discarded traces (the overwhelming
+	// majority under a tail-sampling policy) cost no snapshot; call
+	// Snapshot only on the traces worth shipping. Set once during
+	// wiring, before traffic.
+	onEnd func(t *Trace, sampled bool)
 
 	active Gauge
 }
@@ -29,13 +50,65 @@ type TraceRecorder struct {
 // DefaultTraceCapacity is the ring size used when none is given.
 const DefaultTraceCapacity = 256
 
-// NewTraceRecorder returns a recorder keeping the last capacity traces.
+// NewTraceRecorder returns a recorder keeping the last capacity retained
+// traces.
 func NewTraceRecorder(capacity int) *TraceRecorder {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &TraceRecorder{ring: make([]*Trace, 0, capacity)}
+	return &TraceRecorder{
+		ring:     make([]*Trace, 0, capacity),
+		inFlight: make(map[uint64]*Trace),
+	}
 }
+
+// SamplePolicy decides which finished traces keep their full span tree.
+// Zero thresholds disable the corresponding rule; a trace is retained if
+// ANY enabled rule matches. The zero policy retains nothing except
+// force-sampled traces — explicitly install nil to keep everything.
+type SamplePolicy struct {
+	// SlowNs retains traces with end-to-end duration >= SlowNs.
+	SlowNs int64
+	// ErrorStatus retains traces whose status code is >= this value
+	// (e.g. 500 for server errors, 400 to include denials).
+	ErrorStatus int
+	// ContentionNs retains traces whose accumulated lock wait (the
+	// lock_wait_ns annotation) is >= ContentionNs.
+	ContentionNs int64
+	// KeepOneIn retains every Nth finished trace regardless, keeping a
+	// thin uniform baseline in the ring. 0 disables.
+	KeepOneIn uint64
+}
+
+// DefaultSamplePolicy is the production default: keep server errors,
+// anything slower than 50ms or blocked on locks for 10ms, and a 1%
+// uniform baseline.
+func DefaultSamplePolicy() *SamplePolicy {
+	return &SamplePolicy{
+		SlowNs:       (50 * time.Millisecond).Nanoseconds(),
+		ErrorStatus:  500,
+		ContentionNs: (10 * time.Millisecond).Nanoseconds(),
+		KeepOneIn:    100,
+	}
+}
+
+// SetPolicy installs the sampling policy. A nil policy retains every
+// finished trace (the v1 behavior).
+func (r *TraceRecorder) SetPolicy(p *SamplePolicy) { r.policy.Store(p) }
+
+// Policy returns the installed sampling policy, or nil.
+func (r *TraceRecorder) Policy() *SamplePolicy { return r.policy.Load() }
+
+// SetOnEnd installs the finished-trace observer. Call once during
+// wiring, before any request runs.
+func (r *TraceRecorder) SetOnEnd(fn func(t *Trace, sampled bool)) { r.onEnd = fn }
+
+// Examined returns how many traces have finished and been considered by
+// the sampler.
+func (r *TraceRecorder) Examined() uint64 { return r.examined.Load() }
+
+// Sampled returns how many finished traces were retained.
+func (r *TraceRecorder) Sampled() uint64 { return r.sampled.Load() }
 
 // Trace is one in-flight or finished request.
 type Trace struct {
@@ -45,8 +118,12 @@ type Trace struct {
 	start  time.Time
 	end    time.Time
 	status int
+	forced bool
 	spans  []span
 	annots []annotation
+	// annotsBuf backs annots for the first few annotations so the common
+	// request (a handful of numeric fields) never grows a heap slice.
+	annotsBuf [4]annotation
 
 	rec *TraceRecorder
 }
@@ -62,13 +139,25 @@ type annotation struct {
 	value int64
 }
 
-// Start opens a new trace for the given operation class and inserts it
-// into the ring, evicting the oldest trace when full.
+// Start opens a new trace for the given operation class. The trace joins
+// the active set; whether it enters the ring is decided at End by the
+// sampling policy.
 func (r *TraceRecorder) Start(op string) *Trace {
 	t := &Trace{op: op, start: time.Now(), status: 0, rec: r}
+	t.annots = t.annotsBuf[:0]
 	r.mu.Lock()
 	r.seq++
 	t.id = r.seq
+	r.inFlight[t.id] = t
+	r.mu.Unlock()
+	r.active.Add(1)
+	return t
+}
+
+// retain inserts a finished trace into the ring, evicting the oldest
+// retained trace when full.
+func (r *TraceRecorder) retain(t *Trace) {
+	r.mu.Lock()
 	if len(r.ring) < cap(r.ring) {
 		r.ring = append(r.ring, t)
 	} else {
@@ -77,11 +166,10 @@ func (r *TraceRecorder) Start(op string) *Trace {
 		r.dropped++
 	}
 	r.mu.Unlock()
-	r.active.Add(1)
-	return t
 }
 
-// Dropped returns how many traces have been evicted from the ring.
+// Dropped returns how many retained traces have been evicted from the
+// ring.
 func (r *TraceRecorder) Dropped() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -91,6 +179,26 @@ func (r *TraceRecorder) Dropped() uint64 {
 // Active returns the number of started-but-unfinished traces.
 func (r *TraceRecorder) Active() int64 { return r.active.Value() }
 
+// OverDeadline reports how many in-flight traces started more than
+// deadline ago, and the age of the oldest one. The watchdog's
+// over-deadline check runs on it; only ages and counts leave, never ops
+// or ids.
+func (r *TraceRecorder) OverDeadline(deadline time.Duration) (n int, oldest time.Duration) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.inFlight {
+		age := now.Sub(t.start)
+		if age >= deadline {
+			n++
+		}
+		if age > oldest {
+			oldest = age
+		}
+	}
+	return n, oldest
+}
+
 // Capacity returns the ring size: the maximum number of traces Recent can
 // ever return.
 func (r *TraceRecorder) Capacity() int {
@@ -99,8 +207,9 @@ func (r *TraceRecorder) Capacity() int {
 	return cap(r.ring)
 }
 
-// ID returns the trace's ring-unique id, usable as a request id in logs
-// and audit records to correlate them with the exported trace.
+// ID returns the trace's recorder-unique id, usable as a request id in
+// logs, wide events, and audit records to correlate them with the
+// exported trace.
 func (t *Trace) ID() uint64 {
 	if t == nil {
 		return 0
@@ -117,6 +226,17 @@ func (t *Trace) SetStatus(code int) {
 	}
 	t.mu.Lock()
 	t.status = code
+	t.mu.Unlock()
+}
+
+// ForceSample marks the trace retained regardless of policy, e.g. when
+// the watchdog fires while it is in flight.
+func (t *Trace) ForceSample() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.forced = true
 	t.mu.Unlock()
 }
 
@@ -151,20 +271,69 @@ func (t *Trace) Span(name string) func() {
 	}
 }
 
-// End closes the trace.
-func (t *Trace) End() {
+// LockWaitAnnotation is the annotation key the sampling policy's
+// contention rule reads; the handler records the request's accumulated
+// lock wait under it before End.
+const LockWaitAnnotation = "lock_wait_ns"
+
+// keep evaluates the policy against a finished trace. Caller holds t.mu.
+func (p *SamplePolicy) keep(t *Trace, nth uint64) bool {
+	if p.SlowNs > 0 && t.end.Sub(t.start).Nanoseconds() >= p.SlowNs {
+		return true
+	}
+	if p.ErrorStatus > 0 && t.status >= p.ErrorStatus {
+		return true
+	}
+	if p.ContentionNs > 0 {
+		for _, a := range t.annots {
+			if a.key == LockWaitAnnotation && a.value >= p.ContentionNs {
+				return true
+			}
+		}
+	}
+	if p.KeepOneIn > 0 && nth%p.KeepOneIn == 0 {
+		return true
+	}
+	return false
+}
+
+// End closes the trace: it leaves the active set, the sampling policy
+// decides retention, and the finished-trace observer (metrics, export
+// pipeline) runs. End reports whether the trace was retained.
+func (t *Trace) End() bool {
 	if t == nil {
-		return
+		return false
 	}
 	t.mu.Lock()
-	done := !t.end.IsZero()
-	if !done {
-		t.end = time.Now()
+	if !t.end.IsZero() {
+		t.mu.Unlock()
+		return false
 	}
+	t.end = time.Now()
 	t.mu.Unlock()
-	if !done && t.rec != nil {
-		t.rec.active.Add(-1)
+
+	r := t.rec
+	if r == nil {
+		return false
 	}
+	r.active.Add(-1)
+	r.mu.Lock()
+	delete(r.inFlight, t.id)
+	r.mu.Unlock()
+
+	nth := r.examined.Add(1)
+	policy := r.policy.Load()
+	t.mu.Lock()
+	keep := t.forced || policy == nil || policy.keep(t, nth)
+	t.mu.Unlock()
+	if keep {
+		r.sampled.Add(1)
+		r.retain(t)
+	}
+	if r.onEnd != nil {
+		r.onEnd(t, keep)
+	}
+	return keep
 }
 
 // SpanSnapshot is one finished span for export.
@@ -185,6 +354,10 @@ type TraceSnapshot struct {
 	Spans       []SpanSnapshot   `json:"spans,omitempty"`
 	Annotations map[string]int64 `json:"annotations,omitempty"`
 }
+
+// Snapshot captures the trace's exportable state: id, op, status,
+// timing, finished spans, and numeric annotations.
+func (t *Trace) Snapshot() TraceSnapshot { return t.snapshot() }
 
 func (t *Trace) snapshot() TraceSnapshot {
 	t.mu.Lock()
@@ -212,7 +385,7 @@ func (t *Trace) snapshot() TraceSnapshot {
 	return s
 }
 
-// Recent returns up to n most recent traces, newest first.
+// Recent returns up to n most recent retained traces, newest first.
 func (r *TraceRecorder) Recent(n int) []TraceSnapshot {
 	r.mu.Lock()
 	traces := make([]*Trace, len(r.ring))

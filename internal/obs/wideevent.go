@@ -1,0 +1,162 @@
+package obs
+
+import "time"
+
+// WideEvent is the one canonical structured event emitted per request at
+// the handler chokepoint: everything an operator needs to answer "why
+// was this request slow" in a single record, joinable to the sampled
+// trace and the audit trail through the trace id.
+//
+// # Leak budget
+//
+// A wide event crosses the enclave boundary (log line, JSONL export,
+// HTTP sink), so every field belongs to exactly one of five closed
+// classes, enumerated in WideEventFields and enforced by the meta-test:
+//
+//   - enum: a value from a small compile-time set (operation class,
+//     status class), checked against the label-value rules.
+//   - bucketed: a numeric rounded UP to its log₂ bucket upper bound
+//     before it enters the struct — durations, sizes, and counts export
+//     only their magnitude, the same granularity as the histograms.
+//   - id: the request's trace id, a server-assigned sequence number
+//     carrying no request content.
+//   - time: the emission timestamp, millisecond precision (the host
+//     observes request timing anyway).
+//   - flag: a boolean derived from exported policy state (sampled).
+//
+// There is no string field that can carry request data: no path, user,
+// group, header, or error text can enter a wide event by construction.
+type WideEvent struct {
+	// TimeUnixMs is the emission time (class: time).
+	TimeUnixMs int64 `json:"ts"`
+	// TraceID joins the event to /debug/traces and audit records
+	// (class: id).
+	TraceID uint64 `json:"traceId"`
+	// Op is the operation class (class: enum).
+	Op string `json:"op"`
+	// Code is the status class, "1xx".."5xx" (class: enum).
+	Code string `json:"code"`
+	// Sampled reports whether the trace ring retained the full span tree
+	// (class: flag).
+	Sampled bool `json:"sampled"`
+
+	// Every numeric below is a log₂ bucket upper bound (class: bucketed).
+	DurationNs      uint64 `json:"durationNsLe"`
+	BytesIn         uint64 `json:"bytesInLe"`
+	BytesOut        uint64 `json:"bytesOutLe"`
+	LockWaitNs      uint64 `json:"lockWaitNsLe"`
+	CacheHits       uint64 `json:"cacheHitsLe"`
+	CacheMisses     uint64 `json:"cacheMissesLe"`
+	Ecalls          uint64 `json:"ecallsLe"`
+	Ocalls          uint64 `json:"ocallsLe"`
+	StoreOps        uint64 `json:"storeOpsLe"`
+	JournalCommitNs uint64 `json:"journalCommitNsLe"`
+	AuditEnqueueNs  uint64 `json:"auditEnqueueNsLe"`
+}
+
+// FieldClass is the leak-budget class of one WideEvent field.
+type FieldClass string
+
+// The closed set of wide-event field classes.
+const (
+	FieldEnum     FieldClass = "enum"
+	FieldBucketed FieldClass = "bucketed"
+	FieldID       FieldClass = "id"
+	FieldTime     FieldClass = "time"
+	FieldFlag     FieldClass = "flag"
+)
+
+// WideEventFields maps every WideEvent struct field name to its class.
+// The meta-test reflects over WideEvent and fails if a field is missing
+// here or carries a class its value does not satisfy — adding a field
+// without classifying it breaks the build gate.
+var WideEventFields = map[string]FieldClass{
+	"TimeUnixMs":      FieldTime,
+	"TraceID":         FieldID,
+	"Op":              FieldEnum,
+	"Code":            FieldEnum,
+	"Sampled":         FieldFlag,
+	"DurationNs":      FieldBucketed,
+	"BytesIn":         FieldBucketed,
+	"BytesOut":        FieldBucketed,
+	"LockWaitNs":      FieldBucketed,
+	"CacheHits":       FieldBucketed,
+	"CacheMisses":     FieldBucketed,
+	"Ecalls":          FieldBucketed,
+	"Ocalls":          FieldBucketed,
+	"StoreOps":        FieldBucketed,
+	"JournalCommitNs": FieldBucketed,
+	"AuditEnqueueNs":  FieldBucketed,
+}
+
+// BucketCeil rounds v up to the inclusive upper bound of its log₂
+// bucket — the only transformation through which a raw per-request
+// numeric may enter a wide event.
+func BucketCeil(v int64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	return BucketUpperBound(BucketIndex(uint64(v)))
+}
+
+// IsBucketBound reports whether v is a value BucketCeil can produce,
+// i.e. a log₂ bucket upper bound. The meta-test uses it.
+func IsBucketBound(v uint64) bool {
+	return v == BucketUpperBound(BucketIndex(v))
+}
+
+// NewWideEvent assembles the canonical event from raw measurements,
+// bucketing every numeric. op and code must come from closed sets — the
+// enum check still runs in VerifyWideEvent, this constructor just
+// shapes the data.
+func NewWideEvent(op, code string, traceID uint64, sampled bool, dur time.Duration, bytesIn, bytesOut int64, rs *ReqStats) WideEvent {
+	ecalls, ocalls := rs.BridgeCalls()
+	return WideEvent{
+		TimeUnixMs:      time.Now().UnixMilli(),
+		TraceID:         traceID,
+		Op:              op,
+		Code:            code,
+		Sampled:         sampled,
+		DurationNs:      BucketCeil(int64(dur)),
+		BytesIn:         BucketCeil(bytesIn),
+		BytesOut:        BucketCeil(bytesOut),
+		LockWaitNs:      BucketCeil(rs.LockWaitNs()),
+		CacheHits:       BucketCeil(rs.CacheHits()),
+		CacheMisses:     BucketCeil(rs.CacheMisses()),
+		Ecalls:          BucketCeil(ecalls),
+		Ocalls:          BucketCeil(ocalls),
+		StoreOps:        BucketCeil(rs.StoreOps()),
+		JournalCommitNs: BucketCeil(rs.JournalCommitNs()),
+		AuditEnqueueNs:  BucketCeil(rs.AuditEnqueueNs()),
+	}
+}
+
+// VerifyWideEvent checks one event against the leak budget: enum fields
+// must satisfy the label-value rules and every bucketed field must hold
+// a log₂ bucket bound. The meta-test runs it over events produced by a
+// real workload; emitting paths may also assert with it in debug builds.
+func VerifyWideEvent(ev WideEvent) error {
+	if err := verifyLabelValue(ev.Op); err != nil {
+		return err
+	}
+	if err := verifyLabelValue(ev.Code); err != nil {
+		return err
+	}
+	for name, v := range map[string]uint64{
+		"DurationNs": ev.DurationNs, "BytesIn": ev.BytesIn, "BytesOut": ev.BytesOut,
+		"LockWaitNs": ev.LockWaitNs, "CacheHits": ev.CacheHits, "CacheMisses": ev.CacheMisses,
+		"Ecalls": ev.Ecalls, "Ocalls": ev.Ocalls, "StoreOps": ev.StoreOps,
+		"JournalCommitNs": ev.JournalCommitNs, "AuditEnqueueNs": ev.AuditEnqueueNs,
+	} {
+		if !IsBucketBound(v) {
+			return &wideFieldError{field: name}
+		}
+	}
+	return nil
+}
+
+type wideFieldError struct{ field string }
+
+func (e *wideFieldError) Error() string {
+	return "obs: wide event field " + e.field + " holds a raw value, not a log2 bucket bound"
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWideEventFieldClasses is the meta-test guarding the wide-event
+// leak budget: every struct field must be classified in WideEventFields,
+// no stale classifications may remain, and each class must match the Go
+// type that makes its guarantee enforceable (bucketed and id fields are
+// uint64, enums are strings checked by the label rules, and so on).
+// Adding a field to WideEvent without classifying it fails here.
+func TestWideEventFieldClasses(t *testing.T) {
+	typ := reflect.TypeOf(WideEvent{})
+	if typ.NumField() != len(WideEventFields) {
+		t.Errorf("WideEvent has %d fields but WideEventFields classifies %d", typ.NumField(), len(WideEventFields))
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		class, ok := WideEventFields[f.Name]
+		if !ok {
+			t.Errorf("field %s is not classified in WideEventFields", f.Name)
+			continue
+		}
+		var wantKind reflect.Kind
+		switch class {
+		case FieldEnum:
+			wantKind = reflect.String
+		case FieldBucketed, FieldID:
+			wantKind = reflect.Uint64
+		case FieldTime:
+			wantKind = reflect.Int64
+		case FieldFlag:
+			wantKind = reflect.Bool
+		default:
+			t.Errorf("field %s has unknown class %q", f.Name, class)
+			continue
+		}
+		if f.Type.Kind() != wantKind {
+			t.Errorf("field %s: class %q requires kind %v, struct has %v", f.Name, class, wantKind, f.Type.Kind())
+		}
+		if f.Tag.Get("json") == "" {
+			t.Errorf("field %s has no json tag; wide events are export records", f.Name)
+		}
+	}
+	for name := range WideEventFields {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("WideEventFields classifies %q, which is not a WideEvent field", name)
+		}
+	}
+}
+
+// TestNewWideEventBucketsEveryNumeric feeds raw, non-power-of-two
+// measurements through the constructor and checks that only log₂ bucket
+// bounds come out — and that each bound is at least the raw value, so
+// bucketing rounds up (never under-reports).
+func TestNewWideEventBucketsEveryNumeric(t *testing.T) {
+	rs := &ReqStats{}
+	rs.AddLockWait(12345 * time.Nanosecond)
+	rs.AddCacheHit()
+	rs.AddCacheHit()
+	rs.AddCacheHit()
+	rs.AddCacheMiss()
+	rs.AddStoreOps(7)
+	rs.AddBridgeCalls(5, 11)
+	rs.AddJournalCommit(999 * time.Microsecond)
+	rs.AddAuditEnqueue(777 * time.Nanosecond)
+
+	ev := NewWideEvent("fs_get", "2xx", 42, true, 1234567*time.Nanosecond, 3000, 5000, rs)
+	if err := VerifyWideEvent(ev); err != nil {
+		t.Fatalf("VerifyWideEvent: %v", err)
+	}
+	checks := []struct {
+		name string
+		got  uint64
+		raw  int64
+	}{
+		{"DurationNs", ev.DurationNs, 1234567},
+		{"BytesIn", ev.BytesIn, 3000},
+		{"BytesOut", ev.BytesOut, 5000},
+		{"LockWaitNs", ev.LockWaitNs, 12345},
+		{"CacheHits", ev.CacheHits, 3},
+		{"CacheMisses", ev.CacheMisses, 1},
+		{"Ecalls", ev.Ecalls, 5},
+		{"Ocalls", ev.Ocalls, 11},
+		{"StoreOps", ev.StoreOps, 7},
+		{"JournalCommitNs", ev.JournalCommitNs, 999000},
+		{"AuditEnqueueNs", ev.AuditEnqueueNs, 777},
+	}
+	for _, c := range checks {
+		if !IsBucketBound(c.got) {
+			t.Errorf("%s = %d is not a log2 bucket bound", c.name, c.got)
+		}
+		if c.got < uint64(c.raw) {
+			t.Errorf("%s = %d under-reports raw value %d", c.name, c.got, c.raw)
+		}
+	}
+	// The raw values above are deliberately not powers of two; none may
+	// survive into the event verbatim.
+	for _, c := range checks {
+		if c.got == uint64(c.raw) && !IsBucketBound(uint64(c.raw)) {
+			t.Errorf("%s exported the raw value %d", c.name, c.raw)
+		}
+	}
+}
+
+// TestVerifyWideEventRejectsRawValues: a hand-built event holding an
+// unbucketed numeric or a leaking enum value must fail verification.
+func TestVerifyWideEventRejectsRawValues(t *testing.T) {
+	good := NewWideEvent("fs_get", "2xx", 1, false, time.Millisecond, 0, 0, nil)
+	if err := VerifyWideEvent(good); err != nil {
+		t.Fatalf("baseline event rejected: %v", err)
+	}
+
+	raw := good
+	raw.DurationNs = 12345 // not a bucket bound
+	if err := VerifyWideEvent(raw); err == nil {
+		t.Error("event with raw DurationNs passed verification")
+	}
+
+	leaky := good
+	leaky.Op = "/top-secret/payroll.txt" // path-shaped, not an op-class enum
+	if err := VerifyWideEvent(leaky); err == nil {
+		t.Error("event with path-shaped op passed verification")
+	}
+}
+
+// TestBucketCeil pins the bucketing function's contract.
+func TestBucketCeil(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want uint64
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 3},
+		{4, 7},
+		{1000, 1023},
+	}
+	for _, c := range cases {
+		if got := BucketCeil(c.in); got != c.want {
+			t.Errorf("BucketCeil(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if got := BucketCeil(c.in); !IsBucketBound(got) {
+			t.Errorf("BucketCeil(%d) = %d is not its own bucket bound", c.in, got)
+		}
+	}
+}
+
+// TestWideEventJSONStable: the wire names carry the "Le" suffix marking
+// bucket upper bounds, so a collector can tell at a glance no field is a
+// raw measurement.
+func TestWideEventJSONStable(t *testing.T) {
+	ev := NewWideEvent("fs_put", "2xx", 7, true, time.Millisecond, 100, 0, nil)
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, key := range []string{`"ts"`, `"traceId"`, `"op"`, `"code"`, `"sampled"`, `"durationNsLe"`, `"bytesInLe"`, `"lockWaitNsLe"`, `"ecallsLe"`, `"journalCommitNsLe"`} {
+		if !strings.Contains(s, key) {
+			t.Errorf("marshaled wide event missing %s: %s", key, s)
+		}
+	}
+}

@@ -68,6 +68,11 @@ type (
 	ListingEntry = core.ListingEntry
 	// WhoAmI reports the server-derived identity and memberships.
 	WhoAmI = core.WhoAmI
+	// WatchdogConfig tunes the stall watchdog (ServerConfig.Watchdog).
+	WatchdogConfig = core.WatchdogConfig
+	// RecoveryState publishes journal-recovery progress for readiness
+	// gating (ServerConfig.Recovery, Server.Recovery).
+	RecoveryState = core.RecoveryState
 
 	// Client is the SeGShare user application.
 	Client = client.Client
