@@ -1,0 +1,30 @@
+# Developer entry points. `make verify` mirrors the tier-1 CI gate in
+# .github/workflows/verify.yml exactly — run it before pushing.
+
+RACE_PKGS := ./internal/obs ./internal/enclave ./internal/store ./internal/audit ./internal/core ./internal/cache ./internal/journal
+
+.PHONY: verify build test vet race bench advisory
+
+verify: build test vet race
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race $(RACE_PKGS)
+
+# Scaled-down benchmark sweep (see EXPERIMENTS.md for full commands).
+bench:
+	go run ./cmd/segshare-bench -exp all
+
+# Advisory static analysis — mirrors the non-blocking CI job. Needs
+# network access to fetch the tools; failures here never gate a merge.
+advisory:
+	-go run golang.org/x/vuln/cmd/govulncheck@latest ./...
+	-go run honnef.co/go/tools/cmd/staticcheck@latest ./...

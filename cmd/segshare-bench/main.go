@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|all")
+		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|e13|all")
 		full       = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		runs       = flag.Int("runs", 0, "override runs per data point")
 		maxExp     = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
@@ -125,6 +125,12 @@ func run(exp string, full bool, runs, maxExp int, wan bool) error {
 	if all || exp == "e12" {
 		ran = true
 		if err := runE12(full, runs); err != nil {
+			return err
+		}
+	}
+	if all || exp == "e13" {
+		ran = true
+		if err := runE13(full, runs); err != nil {
 			return err
 		}
 	}
@@ -380,6 +386,36 @@ func runE12(full bool, runs int) error {
 	}
 	fmt.Printf("export pipeline: %d wide events, %d sampled traces delivered, %d dropped\n",
 		export.WideEvents, export.Traces, export.Dropped)
+	return nil
+}
+
+func runE13(full bool, runs int) error {
+	cfg := bench.DefaultE13()
+	if full {
+		cfg.Ops = 2000
+	}
+	if runs > 0 {
+		cfg.Ops = runs
+	}
+	rows, stats, err := bench.RunE13(cfg)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("E13 — introspection overhead, %d ops/client (registry + SLO + top-k + profiler vs off)", cfg.Ops),
+		"variant", "workload", "clients", "throughput", "overhead")
+	for _, r := range rows {
+		overhead := "—"
+		if r.Variant != "introspect-off" {
+			overhead = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f op/s\t%s\n",
+			r.Variant, r.Workload, r.Clients, r.Throughput, overhead)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("introspection live: %d SLO classes, %d hot groups, %d profile pairs captured\n",
+		stats.SLOClasses, stats.HotGroups, stats.ProfileCaptures)
 	return nil
 }
 

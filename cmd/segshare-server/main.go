@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -46,7 +47,7 @@ func run() error {
 		hide     = flag.Bool("hide-paths", false, "hide filenames and directory structure (§V-C)")
 		rollback = flag.Bool("rollback", false, "enable individual-file rollback protection (§V-D)")
 		guard    = flag.String("guard", "none", "whole-file-system guard: none|protmem|counter (§V-E)")
-		admin    = flag.String("admin", "127.0.0.1:8444", "untrusted admin listener serving /metrics, /debug/vars, /debug/traces, /debug/watchdog, /healthz, /readyz, and /debug/pprof (empty disables)")
+		admin    = flag.String("admin", "127.0.0.1:8444", "untrusted admin listener serving /metrics, /healthz, /readyz, and the /debug/{vars,traces,watchdog,slo,requests,hot,profiles,pprof} endpoints (empty disables)")
 		logLevel = flag.String("log", "info", "request log level on stderr: debug|info|warn|error|off")
 		auditOn  = flag.Bool("audit", false, "enable the tamper-evident audit log (segments under <data>/audit)")
 		auditOfl = flag.String("audit-overflow", "drop", "audit queue overflow policy: drop (count and continue) | block (complete trail, couples request latency to audit I/O)")
@@ -67,6 +68,17 @@ func run() error {
 		wdDeadl   = flag.Duration("watchdog-deadline", 30*time.Second, "watchdog: flag requests in flight longer than this")
 		wdRecov   = flag.Duration("watchdog-recovery", 30*time.Second, "watchdog: flag a journal recovery pass running longer than this")
 		wdSkew    = flag.Duration("watchdog-skew", 100*time.Millisecond, "watchdog: flag a lock shard absorbing this much more wait than its peers per sweep")
+
+		sloOn    = flag.Bool("slo", true, "evaluate per-op-class SLO burn rates (/debug/slo, segshare_slo_* metrics, audit event + forced traces on breach)")
+		sloObj   = flag.Float64("slo-objective", 0.999, "SLO success objective as a fraction (0.999 = three nines)")
+		sloLat   = flag.Duration("slo-latency", 250*time.Millisecond, "SLO latency threshold: slower 2xx responses count against the error budget")
+		sloLatOp = flag.String("slo-latency-op", "", "per-op-class latency overrides, comma-separated op=duration (e.g. fs_put=1s,fs_copy=2s)")
+		hotK     = flag.Int("hot-k", -1, "heavy-hitter slots for per-group accounting on /debug/hot (-1 = default 32, 0 disables)")
+		profDir  = flag.String("profile-dir", "", "directory for the continuous profiler's on-disk ring of CPU+heap profiles (empty disables)")
+		profIvl  = flag.Duration("profile-interval", time.Minute, "continuous profiler capture cadence")
+		profCPU  = flag.Duration("profile-cpu", 5*time.Second, "CPU profile duration per capture")
+		profRing = flag.Int64("profile-ring-kib", 32*1024, "profile ring disk budget in KiB; oldest capture pairs evicted beyond it")
+		noInReg  = flag.Bool("no-request-registry", false, "disable the live in-flight request registry (/debug/requests; watchdog falls back to heuristic stall detection)")
 	)
 	flag.Parse()
 
@@ -133,7 +145,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("admin listener on http://%s (/metrics, /debug/vars, /debug/traces, /debug/watchdog, /debug/pprof, /healthz, /readyz)\n", adminAddr)
+		fmt.Printf("admin listener on http://%s (/metrics, /healthz, /readyz, /debug/...)\n", adminAddr)
 	}
 
 	// Export pipeline: bounded async queue feeding every configured sink.
@@ -154,6 +166,23 @@ func run() error {
 	if len(sinks) > 0 {
 		exporter = obs.NewExporter(sinks, obs.ExporterOptions{Obs: reg})
 		defer exporter.Close()
+	}
+
+	// The continuous profiler outlives the server (create before, Stop
+	// after) so a capture in flight at shutdown still lands in the ring.
+	var profiler *obs.ContinuousProfiler
+	if *profDir != "" {
+		profiler, err = obs.NewContinuousProfiler(obs.ProfilerOptions{
+			Dir:         *profDir,
+			Interval:    *profIvl,
+			CPUDuration: *profCPU,
+			MaxBytes:    *profRing * 1024,
+			Obs:         reg,
+		})
+		if err != nil {
+			return fmt.Errorf("continuous profiler: %w", err)
+		}
+		defer profiler.Stop()
 	}
 
 	contentStore, err := segshare.NewDiskStore(filepath.Join(*dataDir, "content"))
@@ -191,6 +220,20 @@ func run() error {
 			RecoveryOverrun: *wdRecov,
 			ShardSkew:       *wdSkew,
 		},
+		HotGroups:              *hotK,
+		DisableRequestRegistry: *noInReg,
+		Profiler:               profiler,
+	}
+	if *sloOn {
+		perOp, err := parsePerOpLatency(*sloLatOp)
+		if err != nil {
+			return err
+		}
+		cfg.SLO = &obs.SLOConfig{
+			Objective:        *sloObj,
+			LatencyThreshold: *sloLat,
+			PerOpLatency:     perOp,
+		}
 	}
 	if features.Dedup {
 		dedupStore, err := segshare.NewDiskStore(filepath.Join(*dataDir, "dedup"))
@@ -249,6 +292,17 @@ func run() error {
 		if wd := server.Watchdog(); wd != nil {
 			opts = append(opts, obs.WithEndpoint("/debug/watchdog", wd.Handler()))
 		}
+		// These three answer 404 with a named reason when their feature is
+		// off, so operators can tell "disabled" from "wrong URL".
+		opts = append(opts,
+			obs.WithEndpoint("/debug/slo", server.SLOHandler()),
+			obs.WithEndpoint("/debug/requests", server.RequestsHandler()),
+			obs.WithEndpoint("/debug/hot", server.HotHandler()))
+		if profiler != nil {
+			opts = append(opts,
+				obs.WithEndpoint("/debug/profiles", profiler.Handler()),
+				obs.WithEndpoint("/debug/profiles/", profiler.Handler()))
+		}
 		adminHandler.Store(obs.Handler(server.Obs(), server.Traces(), opts...))
 	}
 
@@ -257,8 +311,8 @@ func run() error {
 		return err
 	}
 	health.SetReady(true)
-	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v wide-events=%v watchdog=%v)\n",
-		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal, *wideEv, *wdOn)
+	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v wide-events=%v watchdog=%v slo=%v hot-k=%d profiler=%v)\n",
+		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal, *wideEv, *wdOn, *sloOn, *hotK, *profDir != "")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -287,6 +341,27 @@ func serveAdmin(addr string, handler *atomic.Value) (net.Addr, error) {
 	})}
 	go srv.Serve(listener)
 	return listener.Addr(), nil
+}
+
+// parsePerOpLatency parses "-slo-latency-op" values of the form
+// "op=duration[,op=duration...]" into the SLO engine's override map.
+func parsePerOpLatency(s string) (map[string]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]time.Duration)
+	for _, pair := range strings.Split(s, ",") {
+		op, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("slo-latency-op: %q is not op=duration", pair)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return nil, fmt.Errorf("slo-latency-op %q: %w", op, err)
+		}
+		out[op] = d
+	}
+	return out, nil
 }
 
 // newLogger builds the request logger for the level name, or a

@@ -64,6 +64,11 @@ const (
 	// EventWatchdog: the stall watchdog detected a healthy→stalled
 	// transition on one of its checks and captured a profile snapshot.
 	EventWatchdog EventType = "watchdog"
+	// EventSLOBreach: a burn-rate window pair crossed its threshold —
+	// the service started consuming error budget fast enough to matter.
+	// Detail carries the breach speed ("fast_burn"/"slow_burn"), Op the
+	// affected operation class.
+	EventSLOBreach EventType = "slo_breach"
 )
 
 // Decisions recorded on authorization events.

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"segshare/internal/core"
+	"segshare/internal/obs"
+)
+
+// E13 — introspection overhead (DESIGN.md §13). The SLO engine, the
+// in-flight request registry, per-group heavy-hitter accounting, and
+// the continuous profiler all ride the request path added in this PR:
+// every request registers and deregisters itself, feeds the burn rings,
+// and charges the top-k sketch, while the profiler periodically stops
+// the world for a CPU sample. This experiment measures what the whole
+// introspection layer costs over the E12 wide-events baseline, with the
+// same corpus, measurement loop, and interleaved best-of-N methodology.
+// The budget is <= 2 % additional request CPU.
+
+// E13Config parameterizes the introspection-overhead experiment.
+type E13Config struct {
+	// Clients holds the concurrency levels to sweep.
+	Clients []int
+	// Ops is the number of operations each client performs per cell.
+	Ops int
+	// FileSize is the content size of every file in the corpus.
+	FileSize int
+	// Reps repeats each cell and keeps the best throughput (same
+	// rationale as E12Config.Reps). Default 5.
+	Reps int
+}
+
+// DefaultE13 returns the scaled-down default parameters.
+func DefaultE13() E13Config {
+	return E13Config{Clients: []int{1, 16}, Ops: 300, FileSize: 4 << 10, Reps: 5}
+}
+
+// E13Row is one measured cell.
+type E13Row struct {
+	Variant     string  // "introspect-off" or "introspect-on"
+	Workload    string  // "get-disjoint" or "mixed"
+	Clients     int     // concurrent sessions
+	Throughput  float64 // aggregate ops/second
+	OverheadPct float64 // throughput loss vs introspect-off at the same cell (negative = faster)
+}
+
+// E13IntrospectStats proves the introspection layer was actually live
+// during the "introspect-on" cells — the overhead number is meaningless
+// if the machinery it prices sat idle.
+type E13IntrospectStats struct {
+	SLOClasses      int    // op classes tracked by the burn-rate engine
+	HotGroups       int    // pseudonymized groups held by the top-k sketch
+	ProfileCaptures uint64 // profile pairs the continuous profiler captured
+}
+
+// e13VarEnv is one variant's live deployment during a workload sweep.
+type e13VarEnv struct {
+	name     string
+	env      *Env
+	sessions []*core.DirectSession
+	profiler *obs.ContinuousProfiler
+	profDir  string
+}
+
+func (ve *e13VarEnv) close() {
+	if ve.env != nil {
+		ve.env.Close()
+	}
+	if ve.profiler != nil {
+		ve.profiler.Stop()
+	}
+	if ve.profDir != "" {
+		os.RemoveAll(ve.profDir)
+	}
+}
+
+// newE13Variant builds one of the two configurations under comparison.
+// "introspect-off" is the PR-6 baseline: wide events and tail sampling
+// on, but no registry, SLO engine, sketch, or profiler. "introspect-on"
+// enables all four at production-shaped settings (default SLO windows,
+// default hot-k, 60s profile cadence with 1s CPU captures) — a cell
+// that overlaps a capture pays the capture, exactly as production
+// would.
+func newE13Variant(on bool) (*e13VarEnv, error) {
+	ve := &e13VarEnv{name: "introspect-off"}
+	envCfg := EnvConfig{DisableRequestRegistry: true}
+	if on {
+		ve.name = "introspect-on"
+		dir, err := os.MkdirTemp("", "segshare-e13-prof-")
+		if err != nil {
+			return nil, err
+		}
+		ve.profDir = dir
+		ve.profiler, err = obs.NewContinuousProfiler(obs.ProfilerOptions{
+			Dir:         dir,
+			Interval:    time.Minute,
+			CPUDuration: time.Second,
+			MaxBytes:    8 << 20,
+		})
+		if err != nil {
+			ve.close()
+			return nil, err
+		}
+		envCfg = EnvConfig{
+			SLO:       &obs.SLOConfig{},
+			HotGroups: -1,
+			Profiler:  ve.profiler,
+		}
+	}
+	env, err := NewEnv(envCfg)
+	if err != nil {
+		ve.close()
+		return nil, err
+	}
+	ve.env = env
+	return ve, nil
+}
+
+// RunE13 sweeps every (workload, clients, variant) cell. Both variants
+// stay alive per workload and each repetition measures them
+// back-to-back (introspect-off first) so machine drift hits both sides
+// of a comparison equally; best-of-Reps per variant then drops the
+// disturbed runs — the same discipline as RunE12.
+func RunE13(cfg E13Config) ([]E13Row, E13IntrospectStats, error) {
+	if len(cfg.Clients) == 0 || cfg.Ops <= 0 {
+		return nil, E13IntrospectStats{}, fmt.Errorf("bench: e13 config incomplete: %+v", cfg)
+	}
+	maxClients := 0
+	for _, n := range cfg.Clients {
+		if n > maxClients {
+			maxClients = n
+		}
+	}
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	var rows []E13Row
+	var stats E13IntrospectStats
+	for _, workload := range e12Workloads {
+		var vars []*e13VarEnv
+		fail := func(err error) ([]E13Row, E13IntrospectStats, error) {
+			for _, ve := range vars {
+				ve.close()
+			}
+			return nil, E13IntrospectStats{}, err
+		}
+		for _, on := range []bool{false, true} {
+			ve, err := newE13Variant(on)
+			if err != nil {
+				return fail(err)
+			}
+			vars = append(vars, ve)
+			if ve.sessions, err = e10Setup(ve.env, workload, maxClients, cfg.FileSize); err != nil {
+				return fail(err)
+			}
+		}
+		for _, n := range cfg.Clients {
+			best := make([]E13Row, len(vars))
+			for i, ve := range vars {
+				best[i] = E13Row{Variant: ve.name, Workload: workload, Clients: n}
+			}
+			for rep := 0; rep < reps; rep++ {
+				// Alternate measurement order between reps: on a drifting
+				// host, always measuring the same variant second would bias
+				// its best-of-N against it.
+				order := []int{0, 1}
+				if rep%2 == 1 {
+					order = []int{1, 0}
+				}
+				for _, i := range order {
+					ve := vars[i]
+					cell, err := e10Cell(ve.env, ve.sessions, ve.name, workload, n, cfg.Ops, cfg.FileSize)
+					if err != nil {
+						return fail(err)
+					}
+					if cell.Throughput > best[i].Throughput {
+						best[i].Throughput = cell.Throughput
+					}
+				}
+			}
+			base := best[0].Throughput // variant order pins introspect-off first
+			for i := range best {
+				if i > 0 && base > 0 {
+					best[i].OverheadPct = 100 * (base - best[i].Throughput) / base
+				}
+				rows = append(rows, best[i])
+			}
+		}
+		for _, ve := range vars {
+			if ve.profiler != nil {
+				if slo := ve.env.Server.SLO(); slo != nil {
+					if c := len(slo.Status().Classes); c > stats.SLOClasses {
+						stats.SLOClasses = c
+					}
+				}
+				if g := len(ve.env.Server.HotStatus().Entries); g > stats.HotGroups {
+					stats.HotGroups = g
+				}
+				stats.ProfileCaptures += uint64(len(ve.profiler.Index().Entries)) / 2
+			}
+			ve.close()
+		}
+	}
+	return rows, stats, nil
+}

@@ -95,6 +95,18 @@ type EnvConfig struct {
 	// nil and trace capture is enabled (EnableTraceCapture), the env
 	// creates its own exporter into the shared capture sink.
 	Exporter *obs.Exporter
+	// SLO enables burn-rate evaluation; E13 uses it in the
+	// after-configuration when measuring introspection overhead.
+	SLO *obs.SLOConfig
+	// HotGroups bounds per-group heavy-hitter accounting (0 disables,
+	// negative = default bound).
+	HotGroups int
+	// DisableRequestRegistry turns off the in-flight request registry;
+	// E13 uses it as the before-configuration.
+	DisableRequestRegistry bool
+	// Profiler, when non-nil, is attached to the deployment. The caller
+	// owns it (Stop after Env.Close).
+	Profiler *obs.ContinuousProfiler
 }
 
 // Env is a full in-process SeGShare deployment listening on loopback.
@@ -135,6 +147,11 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		DisableWideEvents: cfg.DisableWideEvents,
 		SamplePolicy:      cfg.SamplePolicy,
 		Exporter:          cfg.Exporter,
+		SLO:               cfg.SLO,
+		HotGroups:         cfg.HotGroups,
+
+		DisableRequestRegistry: cfg.DisableRequestRegistry,
+		Profiler:               cfg.Profiler,
 	}
 	var ownExporter *obs.Exporter
 	if serverCfg.Exporter == nil {

@@ -69,7 +69,8 @@ func (d *DirectSession) observeDirect(op string, bytesIn int64, fn func(rs *obs.
 		return err
 	}
 	rs := &obs.ReqStats{}
-	tr := d.s.obs.traces.Start(op)
+	tr := d.s.obs.beginRequest(op, rs)
+	d.s.obs.tagRequestGroup(tr, "user:"+string(d.u))
 	start := time.Now()
 	bytesOut, err := fn(rs, d.s.ac.withStats(rs))
 	d.s.obs.finishRequest(op, statusForErr(err), time.Since(start), bytesIn, bytesOut, tr, rs)

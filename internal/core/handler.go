@@ -115,6 +115,10 @@ func (s *Server) handler() http.Handler {
 			RequestID: tr.ID(),
 			User:      id.UserID,
 		})
+		// Charge the request to the caller's default group ("user:<id>")
+		// for heavy-hitter accounting; group-targeted API mutations
+		// retag with their target group below.
+		s.obs.tagRequestGroup(tr, "user:"+id.UserID)
 		u := acl.UserID(id.UserID)
 		defer tr.Span("dispatch")()
 		switch {
@@ -280,16 +284,16 @@ func (b *countingBody) Read(p []byte) (int, error) {
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		op := opClass(r)
-		tr := s.obs.traces.Start(op)
+		var rs *obs.ReqStats
+		if s.obs.wideEvents {
+			rs = &obs.ReqStats{}
+		}
+		tr := s.obs.beginRequest(op, rs)
 		// The trace id doubles as the request id in log lines and audit
 		// records, so all three can be joined after the fact.
 		id := tr.ID()
 		s.obs.inflight.Add(1)
 
-		var rs *obs.ReqStats
-		if s.obs.wideEvents {
-			rs = &obs.ReqStats{}
-		}
 		ecall0, ocall0 := bridgeCallCounts(r)
 
 		body := &countingBody{ReadCloser: r.Body}
@@ -675,6 +679,11 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, id ca.Identity
 
 	default:
 		err = fmt.Errorf("%w: unknown API %q", ErrBadRequest, route)
+	}
+	// Group-targeted mutations are charged to their target group in the
+	// heavy-hitter sketch, not the caller's default group.
+	if ev.Group != "" {
+		s.obs.tagRequestGroup(traceFrom(r), ev.Group)
 	}
 	s.auditAPIChange(r, u, ev, err)
 	if err != nil {

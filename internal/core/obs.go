@@ -54,6 +54,22 @@ type serverObs struct {
 	reqMetrics sync.Map // op string -> *opRequestMetrics
 	bodyIn     *obs.Counter
 	bodyOut    *obs.Counter
+
+	// requests is the live in-flight registry backing /debug/requests
+	// and the watchdog's exact over-deadline check; nil when
+	// Config.DisableRequestRegistry (bench baseline).
+	requests *requestRegistry
+	// slo evaluates burn rates over the request stream; nil when
+	// Config.SLO is nil.
+	slo *obs.SLOEngine
+	// hot is the per-group heavy-hitter sketch and pseud the keyed
+	// pseudonymizer feeding it; both nil when Config.HotGroups is 0.
+	hot   *obs.TopK
+	pseud *obs.Pseudonymizer
+	// profiler receives capture triggers on watchdog and SLO fast-burn
+	// transitions; nil when the deployment runs without the continuous
+	// profiler. The caller owns its lifecycle.
+	profiler *obs.ContinuousProfiler
 }
 
 // opRequestMetrics holds one op class's request instruments. Status-class
@@ -188,6 +204,12 @@ func (o *serverObs) finishRequest(op string, status int, dur time.Duration, byte
 		tr.SetStatus(status)
 		sampled = tr.End()
 	}
+	if o.requests != nil && traceID != 0 {
+		if a := o.requests.remove(traceID); a != nil && a.hotGroup != "" {
+			o.hot.Offer(a.hotGroup, 1, uint64(bytesIn+bytesOut))
+		}
+	}
+	o.slo.Record(op, status, dur)
 	o.observeRequest(op, status, dur, bytesIn, bytesOut, traceID)
 	if o.wideEvents {
 		ev := obs.NewWideEvent(op, statusClass(status), traceID, sampled, dur, bytesIn, bytesOut, rs)
@@ -197,6 +219,33 @@ func (o *serverObs) finishRequest(op string, status int, dur time.Duration, byte
 		}
 	}
 	return sampled
+}
+
+// beginRequest opens the per-request telemetry: the trace, and (when
+// the registry is on) the in-flight entry finishRequest later removes.
+// rs may be nil (wide events off); the registry tolerates it.
+func (o *serverObs) beginRequest(op string, rs *obs.ReqStats) *obs.Trace {
+	tr := o.traces.Start(op)
+	if o.requests != nil {
+		o.requests.add(&activeRequest{id: tr.ID(), op: op, start: tr.StartTime(), tr: tr, rs: rs})
+	}
+	return tr
+}
+
+// tagRequestGroup attributes the request's traffic to a group for the
+// heavy-hitter sketch. The group id is pseudonymized here, before it is
+// stored anywhere — the registry and sketch only ever see the keyed
+// pseudonym. Called from the request's own goroutine (handler after
+// authn, API group mutations, direct sessions); later calls overwrite,
+// so a group-management request is charged to its target group rather
+// than the caller's default group.
+func (o *serverObs) tagRequestGroup(tr *obs.Trace, groupID string) {
+	if o.hot == nil || o.requests == nil || groupID == "" {
+		return
+	}
+	if a := o.requests.lookup(tr.ID()); a != nil {
+		a.hotGroup = o.pseud.Pseudonym(groupID)
+	}
 }
 
 func statusClass(status int) string {

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"segshare/internal/obs"
+)
+
+var errRegistryDisabled = errors.New("request registry disabled")
+
+// requestRegistry tracks every request currently being handled — HTTP
+// and DirectSession alike — so "what is stuck in flight this second"
+// has an exact answer: /debug/requests lists live requests with op
+// class, age, innermost open span, and lock wait so far, and the
+// watchdog's over-deadline check reads the registry instead of
+// heuristics over the trace recorder's active set.
+//
+// Entries are registered in instrument()/observeDirect() and removed in
+// finishRequest, the same chokepoint that closes the trace — a request
+// cannot finish without leaving the registry.
+//
+// The map is sharded by trace id so the three per-request touches (add,
+// group tag lookup, remove) of concurrent requests don't serialize on
+// one mutex; snapshot/overDeadline walk all shards.
+type requestRegistry struct {
+	shards [requestRegistryShards]struct {
+		mu   sync.Mutex
+		reqs map[uint64]*activeRequest
+	}
+}
+
+const requestRegistryShards = 16
+
+// activeRequest is one live request. id, op, start, tr, and rs are set
+// before the entry is published and never change; hotGroup is written
+// only by the request's own goroutine (after authn identifies the
+// principal) and read only at finish on that same goroutine, so it
+// needs no lock.
+type activeRequest struct {
+	id    uint64
+	op    string
+	start time.Time
+	tr    *obs.Trace
+	rs    *obs.ReqStats
+
+	// hotGroup is the pseudonymized group the request's traffic is
+	// charged to in the top-k sketch ("" = unattributed). Identity is
+	// pseudonymized at tag time: the raw group id is never stored here.
+	hotGroup string
+}
+
+func newRequestRegistry() *requestRegistry {
+	r := &requestRegistry{}
+	for i := range r.shards {
+		r.shards[i].reqs = make(map[uint64]*activeRequest)
+	}
+	return r
+}
+
+func (r *requestRegistry) add(a *activeRequest) {
+	s := &r.shards[a.id%requestRegistryShards]
+	s.mu.Lock()
+	s.reqs[a.id] = a
+	s.mu.Unlock()
+}
+
+func (r *requestRegistry) remove(id uint64) *activeRequest {
+	s := &r.shards[id%requestRegistryShards]
+	s.mu.Lock()
+	a := s.reqs[id]
+	delete(s.reqs, id)
+	s.mu.Unlock()
+	return a
+}
+
+func (r *requestRegistry) lookup(id uint64) *activeRequest {
+	s := &r.shards[id%requestRegistryShards]
+	s.mu.Lock()
+	a := s.reqs[id]
+	s.mu.Unlock()
+	return a
+}
+
+// snapshot exports up to max live requests, oldest first, in the
+// leak-bounded wire form (ages and waits log2-bucketed, op and span
+// from closed sets).
+func (r *requestRegistry) snapshot(max int) []obs.InFlightRequest {
+	now := time.Now()
+	var active []*activeRequest
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, a := range s.reqs {
+			active = append(active, a)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].start.Before(active[j].start) })
+	if max > 0 && len(active) > max {
+		active = active[:max]
+	}
+	out := make([]obs.InFlightRequest, 0, len(active))
+	for _, a := range active {
+		out = append(out, obs.InFlightRequest{
+			TraceID:    a.id,
+			Op:         a.op,
+			Span:       a.tr.CurrentSpan(),
+			AgeNs:      obs.BucketCeil(now.Sub(a.start).Nanoseconds()),
+			LockWaitNs: obs.BucketCeil(a.rs.LockWaitNs()),
+		})
+	}
+	return out
+}
+
+// overDeadline reports how many live requests started more than
+// deadline ago, plus the oldest one's age, trace id, and op class — the
+// watchdog's request_deadline check and its profile-capture correlation
+// read it.
+func (r *requestRegistry) overDeadline(deadline time.Duration) (n int, oldest time.Duration, oldestID uint64, oldestOp string) {
+	now := time.Now()
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, a := range s.reqs {
+			age := now.Sub(a.start)
+			if age < deadline {
+				continue
+			}
+			n++
+			if age > oldest {
+				oldest, oldestID, oldestOp = age, a.id, a.op
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n, oldest, oldestID, oldestOp
+}
+
+// size returns the number of live requests.
+func (r *requestRegistry) size() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.reqs)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// inFlightStatus is the /debug/requests JSON body.
+type inFlightStatus struct {
+	Count    int                   `json:"count"`
+	Requests []obs.InFlightRequest `json:"requests"`
+}
+
+// InFlightRequests returns up to max live requests (0 = all), oldest
+// first. Empty when the registry is disabled.
+func (s *Server) InFlightRequests(max int) []obs.InFlightRequest {
+	if s.obs.requests == nil {
+		return nil
+	}
+	return s.obs.requests.snapshot(max)
+}
+
+// RequestsHandler serves GET /debug/requests: the live request set in
+// leak-bounded form. ?n= limits the listing (default 100, clamped to
+// 1000).
+func (s *Server) RequestsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.obs.requests == nil {
+			writeErr(w, http.StatusNotFound, errRegistryDisabled)
+			return
+		}
+		n := 100
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		if n > 1000 {
+			n = 1000
+		}
+		st := inFlightStatus{
+			Count:    s.obs.requests.size(),
+			Requests: s.obs.requests.snapshot(n),
+		}
+		if st.Requests == nil {
+			st.Requests = []obs.InFlightRequest{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}

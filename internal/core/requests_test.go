@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"segshare/internal/obs"
+)
+
+// newRegistryObs builds a serverObs with the in-flight registry and
+// heavy-hitter accounting wired, on a fresh metric registry — enough to
+// exercise beginRequest/finishRequest without a full server.
+func newRegistryObs(t *testing.T) *serverObs {
+	t.Helper()
+	o := newServerObs(obs.NewRegistry(), nil)
+	o.requests = newRequestRegistry()
+	p, err := obs.NewPseudonymizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.pseud = p
+	o.hot = obs.NewTopK(4)
+	return o
+}
+
+func TestRequestRegistryLifecycle(t *testing.T) {
+	o := newRegistryObs(t)
+	rs := &obs.ReqStats{}
+	tr := o.beginRequest("fs_get", rs)
+	if got := o.requests.size(); got != 1 {
+		t.Fatalf("size after begin = %d, want 1", got)
+	}
+
+	closeSpan := tr.Span("store_get")
+	snap := o.requests.snapshot(0)
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %d entries, want 1", len(snap))
+	}
+	e := snap[0]
+	if e.TraceID != tr.ID() || e.Op != "fs_get" || e.Span != "store_get" {
+		t.Fatalf("snapshot entry = %+v", e)
+	}
+	if err := obs.VerifyInFlightRequest(e); err != nil {
+		t.Fatalf("VerifyInFlightRequest: %v", err)
+	}
+	if !obs.IsBucketBound(e.AgeNs) {
+		t.Errorf("AgeNs = %d is not a bucket bound", e.AgeNs)
+	}
+	closeSpan()
+	if got := o.requests.snapshot(0)[0].Span; got != "" {
+		t.Errorf("span still open after close: %q", got)
+	}
+
+	// Group attribution pseudonymizes at tag time: the raw id is never
+	// stored, and a later tag (group-targeted mutation) overwrites.
+	o.tagRequestGroup(tr, "user:alice")
+	o.tagRequestGroup(tr, "group:finance-team")
+	a := o.requests.lookup(tr.ID())
+	if a == nil {
+		t.Fatal("request missing from registry")
+	}
+	if len(a.hotGroup) != obs.PseudonymLen || strings.Contains(a.hotGroup, "finance") {
+		t.Fatalf("stored group tag %q is not a pseudonym", a.hotGroup)
+	}
+	if a.hotGroup != o.pseud.Pseudonym("group:finance-team") {
+		t.Error("later tag did not overwrite the earlier one")
+	}
+
+	// finishRequest removes the entry and charges the sketch.
+	o.finishRequest("fs_get", 200, time.Millisecond, 10, 20, tr, rs)
+	if got := o.requests.size(); got != 0 {
+		t.Fatalf("size after finish = %d, want 0", got)
+	}
+	hot := o.hot.Snapshot()
+	if len(hot.Entries) != 1 {
+		t.Fatalf("hot entries = %d, want 1", len(hot.Entries))
+	}
+	if hot.Entries[0].BytesLe < 30 {
+		t.Errorf("BytesLe = %d, want >= 30 (10 in + 20 out)", hot.Entries[0].BytesLe)
+	}
+	if err := obs.VerifyHotStatus(hot); err != nil {
+		t.Fatalf("VerifyHotStatus: %v", err)
+	}
+
+	// An untagged request finishes without charging anyone.
+	tr2 := o.beginRequest("fs_get", rs)
+	o.finishRequest("fs_get", 200, time.Millisecond, 5, 5, tr2, rs)
+	if got := len(o.hot.Snapshot().Entries); got != 1 {
+		t.Fatalf("untagged request grew the sketch to %d entries", got)
+	}
+}
+
+func TestRequestRegistryOverDeadline(t *testing.T) {
+	o := newRegistryObs(t)
+	rs := &obs.ReqStats{}
+	tr := o.beginRequest("fs_move", rs)
+	time.Sleep(2 * time.Millisecond)
+
+	n, oldest, oldestID, op := o.requests.overDeadline(time.Millisecond)
+	if n != 1 || oldestID != tr.ID() || op != "fs_move" {
+		t.Fatalf("overDeadline = (%d, %v, %d, %q), want the live request", n, oldest, oldestID, op)
+	}
+	if oldest < time.Millisecond {
+		t.Errorf("oldest = %v, want >= 1ms", oldest)
+	}
+	if n, _, _, _ := o.requests.overDeadline(time.Hour); n != 0 {
+		t.Fatalf("hour deadline flagged %d requests", n)
+	}
+	o.finishRequest("fs_move", 200, time.Millisecond, 0, 0, tr, rs)
+	if n, _, _, _ := o.requests.overDeadline(time.Nanosecond); n != 0 {
+		t.Fatal("finished request still over deadline")
+	}
+}
+
+func TestRequestsHandler(t *testing.T) {
+	s := &Server{obs: newRegistryObs(t)}
+	rs := &obs.ReqStats{}
+	var open []*obs.Trace
+	for i := 0; i < 3; i++ {
+		open = append(open, s.obs.beginRequest("fs_get", rs))
+	}
+
+	rec := httptest.NewRecorder()
+	s.RequestsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/requests = %d: %s", rec.Code, rec.Body)
+	}
+	var st inFlightStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 3 || len(st.Requests) != 3 {
+		t.Fatalf("status = count %d / %d listed, want 3/3", st.Count, len(st.Requests))
+	}
+	for _, r := range st.Requests {
+		if err := obs.VerifyInFlightRequest(r); err != nil {
+			t.Fatalf("VerifyInFlightRequest over the wire: %v", err)
+		}
+	}
+
+	// ?n= limits the listing but the count stays total.
+	rec = httptest.NewRecorder()
+	s.RequestsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests?n=2", nil))
+	var limited inFlightStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &limited); err != nil {
+		t.Fatal(err)
+	}
+	if limited.Count != 3 || len(limited.Requests) != 2 {
+		t.Fatalf("limited = count %d / %d listed, want 3/2", limited.Count, len(limited.Requests))
+	}
+
+	for _, tr := range open {
+		s.obs.finishRequest("fs_get", 200, time.Millisecond, 0, 0, tr, rs)
+	}
+
+	// With the registry disabled the endpoint says so rather than lying
+	// with an empty list.
+	disabled := &Server{obs: newServerObs(obs.NewRegistry(), nil)}
+	rec = httptest.NewRecorder()
+	disabled.RequestsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled registry = %d, want 404", rec.Code)
+	}
+	if got := disabled.InFlightRequests(0); got != nil {
+		t.Fatalf("InFlightRequests on disabled registry = %v, want nil", got)
+	}
+}

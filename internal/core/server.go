@@ -13,6 +13,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"segshare/internal/audit"
@@ -125,6 +126,27 @@ type Config struct {
 	Exporter *obs.Exporter
 	// Watchdog configures the stall watchdog; the zero value disables it.
 	Watchdog WatchdogConfig
+	// SLO, when non-nil, enables per-op-class burn-rate evaluation over
+	// the request stream (objectives, windows, thresholds — see
+	// obs.SLOConfig). Breaches emit an audit event, force-sample traces
+	// of the offending op class, and (fast burns) trigger a profile
+	// capture. The engine's Obs and OnBreach fields are overwritten by
+	// the server during wiring.
+	SLO *obs.SLOConfig
+	// HotGroups bounds the per-group heavy-hitter sketch behind
+	// /debug/hot: the top-k tenant pseudonyms by request volume and
+	// bytes. 0 disables; negative means the default bound
+	// (obs.DefaultHotK).
+	HotGroups int
+	// DisableRequestRegistry turns off the live in-flight request
+	// registry (/debug/requests and the watchdog's exact over-deadline
+	// check fall back accordingly). Benchmarks use it as the
+	// before-configuration.
+	DisableRequestRegistry bool
+	// Profiler, when non-nil, receives capture triggers on watchdog
+	// stall transitions and SLO fast-burn breaches. The caller owns it
+	// (create before NewServer, Stop after Server.Close).
+	Profiler *obs.ContinuousProfiler
 	// Recovery, when non-nil, is the journal-recovery state the server
 	// publishes progress into. Journal replay runs synchronously inside
 	// NewServer, so a caller that wants /readyz to gate on it must create
@@ -151,6 +173,12 @@ type WatchdogConfig struct {
 	// shards (default 100ms).
 	ShardSkew time.Duration
 }
+
+// sloForceSampleNext is how many upcoming requests of a breached op
+// class the SLO engine force-samples (in addition to every request of
+// that class already in flight at breach time), so the trace ring holds
+// evidence from inside the bad period.
+const sloForceSampleNext = 25
 
 func (w WatchdogConfig) withDefaults() WatchdogConfig {
 	if w.Interval <= 0 {
@@ -267,6 +295,36 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 			sObs.exporter.EnqueueTrace(tr.Snapshot())
 		}
 	})
+	if !cfg.DisableRequestRegistry {
+		sObs.requests = newRequestRegistry()
+	}
+	if cfg.HotGroups != 0 && sObs.requests != nil {
+		// Heavy-hitter accounting rides on the registry (the group tag
+		// lives on the in-flight entry), so disabling the registry
+		// disables it too.
+		k := cfg.HotGroups
+		if k < 0 {
+			k = obs.DefaultHotK
+		}
+		pseud, err := obs.NewPseudonymizer()
+		if err != nil {
+			return nil, err
+		}
+		sObs.pseud = pseud
+		sObs.hot = obs.NewTopK(k)
+	}
+	sObs.profiler = cfg.Profiler
+	if cfg.Exporter != nil {
+		hot := sObs.hot
+		cfg.Exporter.SetMeta(func() obs.BatchMeta {
+			var m obs.BatchMeta // the exporter fills time/depth/drops
+			if hot != nil {
+				h := hot.Snapshot()
+				m.Hot = &h
+			}
+			return m
+		})
+	}
 	// All backend traffic is measured through store.Instrumented; the
 	// labels name the store role only. The bridge reports into the same
 	// registry.
@@ -422,16 +480,58 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 			"audit":    onOff(sObs.audit != nil),
 		}).Set(1)
 
+	// The SLO engine watches the request stream through finishRequest;
+	// a breach retains the evidence trail: force-sampled traces of the
+	// offending op class, an audit record, and (fast burns) a profile
+	// pair captured at the moment of breach, all joined by trace id.
+	if cfg.SLO != nil {
+		sloCfg := *cfg.SLO
+		sloCfg.Obs = sObs.reg
+		sloCfg.OnBreach = func(op, speed string, burnMilli int64) {
+			_, oldestID := sObs.traces.ForceSampleOp(op, sloForceSampleNext)
+			sObs.auditEmit(audit.Event{
+				Event:     audit.EventSLOBreach,
+				Op:        op,
+				Detail:    speed,
+				RequestID: oldestID,
+			})
+			if speed == obs.BreachFast {
+				sObs.profiler.Trigger("slo_"+speed, oldestID)
+			}
+		}
+		sObs.slo = obs.NewSLOEngine(sloCfg)
+		sObs.slo.Start()
+	}
+
 	if cfg.Watchdog.Enable {
 		wcfg := cfg.Watchdog.withDefaults()
+		// lastDeadlineID remembers the oldest over-deadline request's
+		// trace id so the triggered profile capture can name it.
+		var lastDeadlineID atomic.Uint64
 		wd := obs.NewWatchdog(obs.WatchdogOptions{
 			Interval: wcfg.Interval,
 			Obs:      sObs.reg,
 			OnTrigger: func(check string) {
 				sObs.auditEmit(audit.Event{Event: audit.EventWatchdog, Detail: check})
+				var tid uint64
+				if check == "request_deadline" {
+					tid = lastDeadlineID.Load()
+				}
+				sObs.profiler.Trigger("watchdog_"+check, tid)
 			},
 		})
 		_ = wd.AddCheck("request_deadline", func() error {
+			if sObs.requests != nil {
+				// The registry is exact: it knows each live request's op
+				// and id, not just counts and ages.
+				n, oldest, oldestID, op := sObs.requests.overDeadline(wcfg.RequestDeadline)
+				if n > 0 {
+					lastDeadlineID.Store(oldestID)
+					return fmt.Errorf("%d requests in flight past %v (oldest %v, op %s)",
+						n, wcfg.RequestDeadline, oldest.Round(time.Millisecond), op)
+				}
+				return nil
+			}
 			n, oldest := sObs.traces.OverDeadline(wcfg.RequestDeadline)
 			if n > 0 {
 				return fmt.Errorf("%d requests in flight past %v (oldest %v)",
@@ -439,6 +539,11 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 			}
 			return nil
 		})
+		if cfg.Exporter != nil {
+			// Sustained export drops become a stalled-state transition
+			// instead of only a counter quietly climbing.
+			_ = wd.AddCheck("export_saturation", cfg.Exporter.SaturationProbe(5))
+		}
 		if sObs.audit != nil {
 			_ = wd.AddCheck("audit_backlog", func() error {
 				queued, capacity := sObs.audit.Backlog()
@@ -580,6 +685,37 @@ func (s *Server) Obs() *obs.Registry { return s.obs.reg }
 // Traces returns the server's request trace recorder.
 func (s *Server) Traces() *obs.TraceRecorder { return s.obs.traces }
 
+// SLO returns the burn-rate engine, or nil when Config.SLO was not set.
+func (s *Server) SLO() *obs.SLOEngine { return s.obs.slo }
+
+// SLOHandler serves GET /debug/slo: per-op-class burn-rate status in
+// leak-bounded form (closed window names, log2-bucketed counts).
+func (s *Server) SLOHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.obs.slo == nil {
+			writeErr(w, http.StatusNotFound, errors.New("slo engine disabled"))
+			return
+		}
+		s.obs.slo.Handler().ServeHTTP(w, r)
+	})
+}
+
+// HotHandler serves GET /debug/hot: the per-group heavy-hitter sketch
+// (pseudonymized ids, log2-bucketed counts).
+func (s *Server) HotHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.obs.hot == nil {
+			writeErr(w, http.StatusNotFound, errors.New("heavy-hitter accounting disabled"))
+			return
+		}
+		s.obs.hot.Handler().ServeHTTP(w, r)
+	})
+}
+
+// HotStatus returns the per-group heavy-hitter snapshot, empty when
+// accounting is disabled.
+func (s *Server) HotStatus() obs.HotStatus { return s.obs.hot.Snapshot() }
+
 // Watchdog returns the stall watchdog, or nil when disabled. Mount its
 // Handler under /debug/watchdog on the admin listener.
 func (s *Server) Watchdog() *obs.Watchdog { return s.watchdog }
@@ -654,6 +790,9 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		if s.watchdog != nil {
 			s.watchdog.Stop()
+		}
+		if s.obs.slo != nil {
+			s.obs.slo.Stop()
 		}
 		if s.terminator != nil {
 			err = s.terminator.Close()

@@ -181,9 +181,10 @@ func TestWatchdogSyntheticStall(t *testing.T) {
 		t.Fatalf("idle server reports stalls: %v", got)
 	}
 
-	// Synthetic stall: a request-path trace that never finishes. With a
-	// 1ns deadline the next sweep must flag it.
-	tr := f.server.Traces().Start("fs_get")
+	// Synthetic stall: a request that never finishes (entered through the
+	// same beginRequest chokepoint real requests use, so the in-flight
+	// registry sees it). With a 1ns deadline the next sweep must flag it.
+	tr := f.server.obs.beginRequest("fs_get", &obs.ReqStats{})
 	time.Sleep(time.Microsecond)
 	wd.Sweep()
 	stalled := wd.Stalled()
@@ -209,8 +210,7 @@ func TestWatchdogSyntheticStall(t *testing.T) {
 	}
 
 	// Finish the request; the check recovers on the next sweep.
-	tr.SetStatus(200)
-	tr.End()
+	f.server.obs.finishRequest("fs_get", 200, time.Microsecond, 0, 0, tr, &obs.ReqStats{})
 	wd.Sweep()
 	for _, name := range wd.Stalled() {
 		if name == "request_deadline" {

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Burn-rate bookkeeping for the SLO engine (slo.go). A burnRing is a
+// circular array of fixed-width time buckets holding (total, bad)
+// request counts; sliding-window sums over the last N buckets
+// approximate the Google-SRE burn-rate windows. Two rings per op class
+// cover the four windows: a fine ring whose span is the fast long
+// window (1h by default, minute-grain buckets serves both 5m and 1h)
+// and a coarse ring whose span is the slow long window (3d, hour-grain
+// buckets serves both 6h and 3d).
+//
+// Only counts live here — no identity, no durations, no request data —
+// so nothing in this file touches the leak budget beyond what the
+// request counters already export.
+
+type burnBucket struct {
+	total uint64
+	bad   uint64
+}
+
+// burnRing is a mutex-guarded circular counter array. Buckets are
+// addressed by absolute index (unix-nanos / width), so a quiet period
+// self-heals: advancing over skipped buckets zeroes them.
+type burnRing struct {
+	mu      sync.Mutex
+	width   time.Duration
+	buckets []burnBucket
+	abs     int64 // absolute index of the bucket currently being filled
+}
+
+// newBurnRing sizes a ring to cover span with ceil(span/width)+1
+// buckets; the extra bucket absorbs the partially-filled current one so
+// a window sum never under-counts right after a bucket boundary.
+func newBurnRing(width, span time.Duration) *burnRing {
+	if width <= 0 {
+		width = time.Second
+	}
+	n := int((span + width - 1) / width)
+	if n < 1 {
+		n = 1
+	}
+	return &burnRing{width: width, buckets: make([]burnBucket, n+1)}
+}
+
+// advanceLocked moves the ring to the bucket holding now, zeroing every
+// bucket skipped since the last write. Caller holds r.mu.
+func (r *burnRing) advanceLocked(now time.Time) int64 {
+	abs := now.UnixNano() / int64(r.width)
+	if abs <= r.abs {
+		return r.abs // same bucket, or clock went backwards: keep writing here
+	}
+	gap := abs - r.abs
+	if gap >= int64(len(r.buckets)) || r.abs == 0 {
+		for i := range r.buckets {
+			r.buckets[i] = burnBucket{}
+		}
+	} else {
+		for i := r.abs + 1; i <= abs; i++ {
+			r.buckets[i%int64(len(r.buckets))] = burnBucket{}
+		}
+	}
+	r.abs = abs
+	return abs
+}
+
+// add records one request outcome at time now.
+func (r *burnRing) add(now time.Time, bad bool) {
+	r.mu.Lock()
+	abs := r.advanceLocked(now)
+	b := &r.buckets[abs%int64(len(r.buckets))]
+	b.total++
+	if bad {
+		b.bad++
+	}
+	r.mu.Unlock()
+}
+
+// sums returns the (total, bad) counts over the trailing window ending
+// at now, including the current partial bucket.
+func (r *burnRing) sums(now time.Time, window time.Duration) (total, bad uint64) {
+	n := int64((window + r.width - 1) / r.width)
+	if n < 1 {
+		n = 1
+	}
+	if n > int64(len(r.buckets)) {
+		n = int64(len(r.buckets))
+	}
+	r.mu.Lock()
+	abs := r.advanceLocked(now)
+	for i := int64(0); i < n; i++ {
+		b := r.buckets[(abs-i+n*int64(len(r.buckets)))%int64(len(r.buckets))]
+		total += b.total
+		bad += b.bad
+	}
+	r.mu.Unlock()
+	return total, bad
+}
+
+// burnRateMilli computes the burn rate over a window, scaled by 1000:
+// (bad/total) / (1 - objective) * 1000. A burn of 1000 means the error
+// budget is being consumed exactly at the rate that exhausts it by the
+// end of the SLO period; 14400 is the canonical page-level fast burn.
+// Zero total means zero burn (an idle window consumes no budget).
+func burnRateMilli(total, bad uint64, objective float64) int64 {
+	if total == 0 || bad == 0 {
+		return 0
+	}
+	budget := 1 - objective
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	rate := float64(bad) / float64(total) / budget
+	return int64(rate*1000 + 0.5)
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -13,12 +14,54 @@ import (
 	"time"
 )
 
-// ExportRecord is one item on the export pipeline: a wide event or a
-// sampled trace. Exactly one of the payload fields is set.
+// ExportRecord is one item on the export pipeline: a wide event, a
+// sampled trace, or per-batch metadata. Exactly one of the payload
+// fields is set.
 type ExportRecord struct {
-	Kind  string         `json:"kind"` // "wide_event" | "trace"
+	Kind  string         `json:"kind"` // "wide_event" | "trace" | "batch_meta"
 	Event *WideEvent     `json:"event,omitempty"`
 	Trace *TraceSnapshot `json:"trace,omitempty"`
+	Meta  *BatchMeta     `json:"meta,omitempty"`
+}
+
+// BatchMeta is the metadata record the exporter prepends to each flushed
+// batch when a meta source is installed (SetMeta): pipeline state plus
+// the heavy-hitter snapshot, so a collector sees which tenants were hot
+// around the events in the batch without any extra query.
+type BatchMeta struct {
+	// TimeUnixMs is the flush time (class: time).
+	TimeUnixMs int64 `json:"ts"`
+	// QueueDepthLe is the export queue depth at flush (class: bucketed).
+	QueueDepthLe uint64 `json:"queueDepthLe"`
+	// DroppedLe is the cumulative drop count (class: bucketed).
+	DroppedLe uint64 `json:"droppedLe"`
+	// Hot is the current top-k snapshot, nil when the deployment runs
+	// without heavy-hitter accounting (class: nested, see HotStatusFields).
+	Hot *HotStatus `json:"hot,omitempty"`
+}
+
+// BatchMetaFields classifies the exported fields for the leak-budget
+// meta-test.
+var BatchMetaFields = map[string]FieldClass{
+	"TimeUnixMs":   FieldTime,
+	"QueueDepthLe": FieldBucketed,
+	"DroppedLe":    FieldBucketed,
+	"Hot":          FieldNested,
+}
+
+// VerifyBatchMeta checks one batch-metadata record against the leak
+// budget.
+func VerifyBatchMeta(m BatchMeta) error {
+	if !IsBucketBound(m.QueueDepthLe) {
+		return &wideFieldError{field: "QueueDepthLe"}
+	}
+	if !IsBucketBound(m.DroppedLe) {
+		return &wideFieldError{field: "DroppedLe"}
+	}
+	if m.Hot != nil {
+		return VerifyHotStatus(*m.Hot)
+	}
+	return nil
 }
 
 // ExportSink receives marshaled export batches off the request path.
@@ -42,7 +85,13 @@ type ExporterOptions struct {
 	// FlushInterval bounds how long a partial batch may wait.
 	// Default 1s.
 	FlushInterval time.Duration
-	// Obs, when set, registers drop/sent counters on the registry.
+	// CloseTimeout bounds how long Close waits for the drain flush. Past
+	// it the exporter's context is canceled, aborting retry backoffs in
+	// sinks that honor it (HTTPSink), so shutdown cannot hang on a dead
+	// collector. Default 5s.
+	CloseTimeout time.Duration
+	// Obs, when set, registers drop/sent counters and the queue-depth
+	// gauge on the registry.
 	Obs *Registry
 }
 
@@ -54,14 +103,27 @@ type Exporter struct {
 	sink ExportSink
 	ch   chan ExportRecord
 
-	batchSize int
-	flushIvl  time.Duration
+	batchSize    int
+	flushIvl     time.Duration
+	closeTimeout time.Duration
 
 	dropped atomic.Uint64
 	sent    atomic.Uint64
 
 	droppedCtr *Counter
 	sentCtr    *Counter
+	depthGauge *Gauge
+
+	// meta, when set (SetMeta), produces the batch-metadata record
+	// prepended to each flush. Stored atomically: wiring happens after
+	// the run goroutine is already live.
+	meta atomic.Pointer[func() BatchMeta]
+
+	// ctx is canceled CloseTimeout after Close begins (and finally when
+	// the drain completes), so sink retry backoffs abort instead of
+	// stalling shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -80,22 +142,49 @@ func NewExporter(sink ExportSink, opt ExporterOptions) *Exporter {
 	if opt.FlushInterval <= 0 {
 		opt.FlushInterval = time.Second
 	}
+	if opt.CloseTimeout <= 0 {
+		opt.CloseTimeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	e := &Exporter{
-		sink:      sink,
-		ch:        make(chan ExportRecord, opt.QueueSize),
-		batchSize: opt.BatchSize,
-		flushIvl:  opt.FlushInterval,
-		done:      make(chan struct{}),
-		drained:   make(chan struct{}),
+		sink:         sink,
+		ch:           make(chan ExportRecord, opt.QueueSize),
+		batchSize:    opt.BatchSize,
+		flushIvl:     opt.FlushInterval,
+		closeTimeout: opt.CloseTimeout,
+		ctx:          ctx,
+		cancel:       cancel,
+		done:         make(chan struct{}),
+		drained:      make(chan struct{}),
 	}
 	if opt.Obs != nil {
 		e.droppedCtr = opt.Obs.Counter("segshare_export_dropped_total",
 			"Telemetry records dropped because the export queue was full.", nil)
 		e.sentCtr = opt.Obs.Counter("segshare_export_sent_total",
 			"Telemetry records delivered to the export sink.", nil)
+		e.depthGauge = opt.Obs.Gauge("segshare_export_queue_depth",
+			"Telemetry records currently queued for export.", nil)
 	}
 	go e.run()
 	return e
+}
+
+// SetMeta installs the batch-metadata source: fn runs on the exporter
+// goroutine at each flush and its record is prepended to the batch.
+// Safe to call while the exporter is running.
+func (e *Exporter) SetMeta(fn func() BatchMeta) {
+	if e == nil {
+		return
+	}
+	e.meta.Store(&fn)
+}
+
+// QueueDepth returns the number of records currently queued.
+func (e *Exporter) QueueDepth() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.ch)
 }
 
 // Enqueue offers one record to the pipeline without blocking. It reports
@@ -106,6 +195,9 @@ func (e *Exporter) Enqueue(rec ExportRecord) bool {
 	}
 	select {
 	case e.ch <- rec:
+		if e.depthGauge != nil {
+			e.depthGauge.Set(int64(len(e.ch)))
+		}
 		return true
 	default:
 		e.dropped.Add(1)
@@ -151,7 +243,19 @@ func (e *Exporter) run() {
 		if len(batch) == 0 {
 			return
 		}
-		if err := e.sink.Write(context.Background(), batch); err == nil {
+		if fn := e.meta.Load(); fn != nil {
+			m := (*fn)()
+			m.TimeUnixMs = time.Now().UnixMilli()
+			m.QueueDepthLe = BucketCeil(int64(len(e.ch)))
+			m.DroppedLe = BucketCeil(int64(e.dropped.Load()))
+			batch = append(batch, ExportRecord{})
+			copy(batch[1:], batch)
+			batch[0] = ExportRecord{Kind: "batch_meta", Meta: &m}
+		}
+		if e.depthGauge != nil {
+			e.depthGauge.Set(int64(len(e.ch)))
+		}
+		if err := e.sink.Write(e.ctx, batch); err == nil {
 			e.sent.Add(uint64(len(batch)))
 			if e.sentCtr != nil {
 				e.sentCtr.Add(uint64(len(batch)))
@@ -193,18 +297,54 @@ func (e *Exporter) run() {
 	}
 }
 
-// Close stops the exporter, flushes the queue, and closes the sink.
+// Close stops the exporter, flushes the queue (bounded by
+// CloseTimeout — past it the exporter context is canceled so sink
+// retries abort), and closes the sink.
 func (e *Exporter) Close() error {
 	if e == nil {
 		return nil
 	}
 	var err error
 	e.closeOnce.Do(func() {
+		timer := time.AfterFunc(e.closeTimeout, e.cancel)
 		close(e.done)
 		<-e.drained
+		timer.Stop()
+		e.cancel()
 		err = e.sink.Close()
 	})
 	return err
+}
+
+// SaturationProbe returns a watchdog check that reports a stall when
+// the queue has dropped records in each of the last `window` probe
+// sweeps — sustained telemetry loss, as opposed to a one-off burst the
+// drop counter already records. window <= 0 defaults to 5 sweeps.
+func (e *Exporter) SaturationProbe(window int) func() error {
+	if window <= 0 {
+		window = 5
+	}
+	var last uint64
+	streak := 0
+	first := true
+	return func() error {
+		cur := e.Dropped()
+		grew := cur > last
+		if first {
+			// The first sweep has no delta to judge; establish the base.
+			grew, first = false, false
+		}
+		last = cur
+		if grew {
+			streak++
+		} else {
+			streak = 0
+		}
+		if streak >= window {
+			return fmt.Errorf("export queue dropped records in %d consecutive sweeps (%d total drops)", streak, cur)
+		}
+		return nil
+	}
 }
 
 // JSONLSink appends one JSON object per record to a file. Lines are
@@ -250,10 +390,12 @@ func (s *JSONLSink) Close() error {
 	return s.f.Close()
 }
 
-// HTTPSink POSTs batches as JSONL to a collector endpoint, retrying with
-// exponential backoff. Retries happen on the exporter goroutine and are
-// bounded, so a dead collector costs queued records (counted drops), not
-// request latency or unbounded memory.
+// HTTPSink POSTs batches as a JSON array to a collector endpoint,
+// retrying with exponential backoff. Retries happen on the exporter
+// goroutine and are bounded, and backoff sleeps honor context
+// cancellation (the exporter cancels on Close timeout), so a dead
+// collector costs queued records (counted drops), not request latency,
+// unbounded memory, or a hung shutdown.
 type HTTPSink struct {
 	url     string
 	client  *http.Client
@@ -283,14 +425,10 @@ var errSinkStatus = errors.New("obs: export sink returned non-2xx status")
 
 // Write POSTs the batch, retrying transient failures.
 func (s *HTTPSink) Write(ctx context.Context, recs []ExportRecord) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, r := range recs {
-		if err := enc.Encode(r); err != nil {
-			return err
-		}
+	body, err := json.Marshal(recs)
+	if err != nil {
+		return err
 	}
-	body := buf.Bytes()
 	delay := s.backoff
 	var lastErr error
 	for attempt := 0; attempt <= s.retries; attempt++ {
@@ -306,7 +444,7 @@ func (s *HTTPSink) Write(ctx context.Context, recs []ExportRecord) error {
 		if err != nil {
 			return err
 		}
-		req.Header.Set("Content-Type", "application/jsonl")
+		req.Header.Set("Content-Type", "application/json")
 		resp, err := s.client.Do(req)
 		if err != nil {
 			lastErr = err

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitRecords polls the sink until it holds at least n records.
+func waitRecords(t *testing.T, sink *MemorySink, n int) []ExportRecord {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		recs := sink.Records()
+		if len(recs) >= n {
+			return recs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink holds %d records, want >= %d", len(recs), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestExporterPrependsBatchMeta(t *testing.T) {
+	sink := NewMemorySink()
+	e := NewExporter(sink, ExporterOptions{FlushInterval: 5 * time.Millisecond})
+	defer e.Close()
+
+	p, _ := NewPseudonymizer()
+	hot := NewTopK(4)
+	hot.Offer(p.Pseudonym("group:eng"), 3, 100)
+	e.SetMeta(func() BatchMeta {
+		h := hot.Snapshot()
+		return BatchMeta{Hot: &h}
+	})
+
+	e.EnqueueEvent(NewWideEvent("fs_get", "2xx", 1, false, time.Millisecond, 0, 0, nil))
+	recs := waitRecords(t, sink, 2)
+
+	if recs[0].Kind != "batch_meta" || recs[0].Meta == nil {
+		t.Fatalf("batch does not lead with metadata: %+v", recs[0])
+	}
+	m := *recs[0].Meta
+	if m.TimeUnixMs == 0 {
+		t.Error("exporter did not stamp the flush time")
+	}
+	if err := VerifyBatchMeta(m); err != nil {
+		t.Fatalf("VerifyBatchMeta: %v", err)
+	}
+	if m.Hot == nil || len(m.Hot.Entries) != 1 {
+		t.Fatalf("batch meta hot snapshot = %+v, want the offered entry", m.Hot)
+	}
+	if recs[1].Kind != "wide_event" {
+		t.Fatalf("record after meta = %q, want the enqueued event", recs[1].Kind)
+	}
+}
+
+func TestExporterNoMetaWithoutSource(t *testing.T) {
+	sink := NewMemorySink()
+	e := NewExporter(sink, ExporterOptions{FlushInterval: 5 * time.Millisecond})
+	defer e.Close()
+	e.EnqueueEvent(NewWideEvent("fs_get", "2xx", 1, false, time.Millisecond, 0, 0, nil))
+	recs := waitRecords(t, sink, 1)
+	for _, r := range recs {
+		if r.Kind == "batch_meta" {
+			t.Fatal("meta record emitted with no SetMeta source installed")
+		}
+	}
+}
+
+func TestExporterQueueDepthGauge(t *testing.T) {
+	reg := NewRegistry()
+	sink := NewMemorySink()
+	e := NewExporter(sink, ExporterOptions{Obs: reg, FlushInterval: 5 * time.Millisecond})
+	e.EnqueueEvent(NewWideEvent("fs_get", "2xx", 1, false, time.Millisecond, 0, 0, nil))
+	e.Close()
+
+	found := false
+	for _, m := range reg.Snapshot() {
+		if m.Name == "segshare_export_queue_depth" {
+			found = true
+			if m.Value < 0 {
+				t.Errorf("queue depth gauge = %v", m.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("segshare_export_queue_depth not registered")
+	}
+	if errs := reg.VerifyAll(); len(errs) != 0 {
+		t.Fatalf("VerifyAll: %v", errs)
+	}
+}
+
+func TestSaturationProbeFlagsSustainedDrops(t *testing.T) {
+	sink := &blockingSink{release: make(chan struct{})} // shared with exporter_test.go
+	e := NewExporter(sink, ExporterOptions{QueueSize: 1, BatchSize: 1, FlushInterval: time.Hour})
+	defer func() {
+		close(sink.release)
+		e.Close()
+	}()
+
+	ev := NewWideEvent("fs_get", "2xx", 1, false, time.Millisecond, 0, 0, nil)
+	// First record reaches the sink and parks there; the exporter
+	// goroutine is now stuck mid-flush.
+	e.EnqueueEvent(ev)
+	for sink.writes.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// One record fits the queue; everything further drops.
+	e.EnqueueEvent(ev)
+
+	probe := e.SaturationProbe(2)
+	if err := probe(); err != nil {
+		t.Fatalf("first sweep must only establish the baseline: %v", err)
+	}
+	if e.EnqueueEvent(ev) {
+		t.Fatal("enqueue into a full queue did not drop")
+	}
+	if err := probe(); err != nil {
+		t.Fatalf("one dropping sweep is below the window: %v", err)
+	}
+	e.EnqueueEvent(ev)
+	if err := probe(); err == nil {
+		t.Fatal("two consecutive dropping sweeps did not trip the probe")
+	}
+	// A quiet sweep resets the streak.
+	if err := probe(); err != nil {
+		t.Fatalf("probe did not recover after drops stopped: %v", err)
+	}
+}
+
+func TestHTTPSinkPostsJSONArray(t *testing.T) {
+	var mu sync.Mutex
+	var gotCT string
+	var gotBody []byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		gotCT = r.Header.Get("Content-Type")
+		gotBody, _ = io.ReadAll(r.Body)
+	}))
+	defer srv.Close()
+
+	sink := NewHTTPSink(srv.URL, 1, time.Millisecond)
+	recs := []ExportRecord{
+		{Kind: "wide_event", Event: &WideEvent{Op: "fs_get"}},
+		{Kind: "trace", Trace: &TraceSnapshot{ID: 7, Op: "fs_get"}},
+	}
+	if err := sink.Write(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotCT != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", gotCT)
+	}
+	var decoded []ExportRecord
+	if err := json.Unmarshal(gotBody, &decoded); err != nil {
+		t.Fatalf("body is not a JSON array: %v (%s)", err, gotBody)
+	}
+	if len(decoded) != 2 || decoded[0].Kind != "wide_event" || decoded[1].Kind != "trace" {
+		t.Fatalf("decoded batch = %+v", decoded)
+	}
+}
+
+func TestHTTPSinkBackoffHonorsContext(t *testing.T) {
+	// A collector that always fails with a retryable status.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	sink := NewHTTPSink(srv.URL, 3, time.Hour) // hour-long backoff: only cancellation can end this
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sink.Write(ctx, []ExportRecord{{Kind: "wide_event", Event: &WideEvent{Op: "fs_get"}}})
+	if err != context.Canceled {
+		t.Fatalf("Write under canceled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Write took %v; backoff ignored cancellation", elapsed)
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExportFieldClasses is the leak-budget meta-test for every exported
+// telemetry struct beyond WideEvent (which has its own): each struct
+// field must be classified in its field map, no stale classifications
+// may remain, and each class must match the Go type that makes its
+// guarantee enforceable. Adding a field without classifying it — the
+// easy way to leak — fails here.
+func TestExportFieldClasses(t *testing.T) {
+	cases := []struct {
+		name   string
+		typ    reflect.Type
+		fields map[string]FieldClass
+	}{
+		{"SLOWindowStatus", reflect.TypeOf(SLOWindowStatus{}), SLOWindowStatusFields},
+		{"SLOClassStatus", reflect.TypeOf(SLOClassStatus{}), SLOClassStatusFields},
+		{"HotEntry", reflect.TypeOf(HotEntry{}), HotEntryFields},
+		{"HotStatus", reflect.TypeOf(HotStatus{}), HotStatusFields},
+		{"InFlightRequest", reflect.TypeOf(InFlightRequest{}), InFlightRequestFields},
+		{"ProfileInfo", reflect.TypeOf(ProfileInfo{}), ProfileInfoFields},
+		{"ProfileIndex", reflect.TypeOf(ProfileIndex{}), ProfileIndexFields},
+		{"BatchMeta", reflect.TypeOf(BatchMeta{}), BatchMetaFields},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.typ.NumField() != len(c.fields) {
+				t.Errorf("%s has %d fields but the field map classifies %d", c.name, c.typ.NumField(), len(c.fields))
+			}
+			for i := 0; i < c.typ.NumField(); i++ {
+				f := c.typ.Field(i)
+				class, ok := c.fields[f.Name]
+				if !ok {
+					t.Errorf("field %s.%s is not classified", c.name, f.Name)
+					continue
+				}
+				kind := f.Type.Kind()
+				var ok2 bool
+				switch class {
+				case FieldEnum, FieldPseudonym:
+					ok2 = kind == reflect.String
+				case FieldBucketed, FieldID:
+					ok2 = kind == reflect.Uint64
+				case FieldTime, FieldRate:
+					ok2 = kind == reflect.Int64
+				case FieldFlag:
+					ok2 = kind == reflect.Bool
+				case FieldConfig:
+					// Deployment constants: any integer width is fine, the
+					// value never derives from request data.
+					ok2 = kind == reflect.Int || kind == reflect.Int64 || kind == reflect.Uint64
+				case FieldNested:
+					// Nested exports carry their own field map; the container
+					// is a slice or optional pointer.
+					ok2 = kind == reflect.Slice || kind == reflect.Ptr
+				default:
+					t.Errorf("field %s.%s has unknown class %q", c.name, f.Name, class)
+					continue
+				}
+				if !ok2 {
+					t.Errorf("field %s.%s: class %q does not permit kind %v", c.name, f.Name, class, kind)
+				}
+				if f.Tag.Get("json") == "" {
+					t.Errorf("field %s.%s has no json tag; these structs are export records", c.name, f.Name)
+				}
+			}
+			for name := range c.fields {
+				if _, ok := c.typ.FieldByName(name); !ok {
+					t.Errorf("field map classifies %s.%s, which does not exist", c.name, name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+// InFlightRequest is one live request as exported by /debug/requests.
+// The registry itself lives in internal/core (it holds core types);
+// this is the leak-bounded wire form: op class and current span come
+// from closed compile-time sets, ages and waits are log2 bucket bounds,
+// and the trace id is a server-assigned sequence number.
+type InFlightRequest struct {
+	// TraceID joins the live request to /debug/traces, log lines, and
+	// audit records (class: id).
+	TraceID uint64 `json:"traceId"`
+	// Op is the operation class (class: enum).
+	Op string `json:"op"`
+	// Span names the request's currently-open innermost span, or "" when
+	// none is open (class: enum).
+	Span string `json:"span,omitempty"`
+	// AgeNs is how long the request has been in flight (class: bucketed).
+	AgeNs uint64 `json:"ageNsLe"`
+	// LockWaitNs is the lock wait accumulated so far (class: bucketed).
+	LockWaitNs uint64 `json:"lockWaitNsLe"`
+}
+
+// InFlightRequestFields classifies the exported fields for the
+// leak-budget meta-test.
+var InFlightRequestFields = map[string]FieldClass{
+	"TraceID":    FieldID,
+	"Op":         FieldEnum,
+	"Span":       FieldEnum,
+	"AgeNs":      FieldBucketed,
+	"LockWaitNs": FieldBucketed,
+}
+
+// VerifyInFlightRequest checks one registry snapshot entry against the
+// leak budget.
+func VerifyInFlightRequest(r InFlightRequest) error {
+	if err := verifyLabelValue(r.Op); err != nil {
+		return err
+	}
+	if r.Span != "" {
+		if err := verifyLabelValue(r.Span); err != nil {
+			return err
+		}
+	}
+	if !IsBucketBound(r.AgeNs) {
+		return &wideFieldError{field: "AgeNs"}
+	}
+	if !IsBucketBound(r.LockWaitNs) {
+		return &wideFieldError{field: "LockWaitNs"}
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ContinuousProfiler captures CPU + heap profile pairs on a cadence
+// into a size-bounded on-disk ring, so "what was the CPU doing when it
+// got slow" has an answer after the fact without an operator attached.
+// Besides the interval, trigger hooks let the watchdog (stall
+// transitions) and the SLO engine (fast-burn breaches) capture an extra
+// pair at the interesting moment, tagged with the reason and optionally
+// a trace id for correlation with /debug/traces and the audit trail.
+//
+// Leak budget: profiles describe the host Go runtime (function names,
+// allocation sites), the same surface /debug/pprof already serves.
+// Index metadata is reason (closed set, leak-budget name rules), seq,
+// timestamp, trace id, and log2-bucketed sizes.
+
+// TriggerReasonInterval tags cadence-driven captures; triggered
+// captures carry the caller's reason (watchdog check name, SLO breach
+// speed) which must pass the leak-budget name rules.
+const TriggerReasonInterval = "interval"
+
+// ProfilerOptions configures a ContinuousProfiler.
+type ProfilerOptions struct {
+	// Dir is the ring directory; it is created if missing. Required.
+	Dir string
+	// Interval is the capture cadence (default 60s).
+	Interval time.Duration
+	// CPUDuration is how long each CPU profile samples (default 5s,
+	// clamped to Interval/2).
+	CPUDuration time.Duration
+	// MaxBytes bounds the ring's total on-disk size; oldest pairs are
+	// evicted past it (default 32 MiB).
+	MaxBytes int64
+	// Obs, when set, registers capture/eviction counters and the ring
+	// size gauge.
+	Obs *Registry
+}
+
+// ProfileInfo is one ring entry in the /debug/profiles index.
+type ProfileInfo struct {
+	// Name is the on-disk file name, "<kind>-<seq>.pprof" (class: enum +
+	// id composite; the shape is fixed and carries no request data).
+	Name string `json:"name"`
+	// Kind is "cpu" or "heap" (class: enum).
+	Kind string `json:"kind"`
+	// Seq is the capture sequence number (class: id).
+	Seq uint64 `json:"seq"`
+	// TimeUnixMs is the capture time (class: time).
+	TimeUnixMs int64 `json:"ts"`
+	// SizeLe is the file size (class: bucketed).
+	SizeLe uint64 `json:"sizeLe"`
+	// Reason says why the capture ran (class: enum — "interval",
+	// "slo_fast_burn", "slo_slow_burn", "watchdog_<check>").
+	Reason string `json:"reason"`
+	// TraceID correlates a triggered capture with a trace (class: id;
+	// 0 when the trigger had none).
+	TraceID uint64 `json:"traceId,omitempty"`
+}
+
+// ProfileInfoFields classifies the index fields for the leak-budget
+// meta-test.
+var ProfileInfoFields = map[string]FieldClass{
+	"Name":       FieldEnum,
+	"Kind":       FieldEnum,
+	"Seq":        FieldID,
+	"TimeUnixMs": FieldTime,
+	"SizeLe":     FieldBucketed,
+	"Reason":     FieldEnum,
+	"TraceID":    FieldID,
+}
+
+// ProfileIndex is the /debug/profiles JSON body.
+type ProfileIndex struct {
+	// MaxBytes is the configured ring bound (class: config).
+	MaxBytes int64 `json:"maxBytes"`
+	// TotalSizeLe is the ring's current on-disk size (class: bucketed).
+	TotalSizeLe uint64 `json:"totalSizeLe"`
+	// Entries lists the retained profiles, oldest first.
+	Entries []ProfileInfo `json:"entries"`
+}
+
+// ProfileIndexFields classifies the index envelope.
+var ProfileIndexFields = map[string]FieldClass{
+	"MaxBytes":    FieldConfig,
+	"TotalSizeLe": FieldBucketed,
+	"Entries":     FieldNested,
+}
+
+var profileNameRe = regexp.MustCompile(`^(cpu|heap)-(\d+)\.pprof$`)
+
+// VerifyProfileInfo checks one index entry against the leak budget.
+func VerifyProfileInfo(p ProfileInfo) error {
+	if !profileNameRe.MatchString(p.Name) {
+		return &wideFieldError{field: "Name"}
+	}
+	if p.Kind != "cpu" && p.Kind != "heap" {
+		return &wideFieldError{field: "Kind"}
+	}
+	if err := verifyName(p.Reason, "profile trigger reason"); err != nil {
+		return err
+	}
+	if !IsBucketBound(p.SizeLe) {
+		return &wideFieldError{field: "SizeLe"}
+	}
+	return nil
+}
+
+type profileTrigger struct {
+	reason  string
+	traceID uint64
+}
+
+// ContinuousProfiler runs one capture goroutine; see ProfilerOptions.
+type ContinuousProfiler struct {
+	dir      string
+	interval time.Duration
+	cpuDur   time.Duration
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries []ProfileInfo // oldest first
+	size    int64
+	seq     uint64
+
+	trig    chan profileTrigger
+	stop    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+
+	captures  *Counter
+	evictions *Counter
+	dropped   *Counter
+	ringBytes *Gauge
+}
+
+// NewContinuousProfiler prepares the ring directory (adopting any
+// profiles a previous run left there, so the size bound holds across
+// restarts) and starts the capture goroutine. Call Stop to halt it.
+func NewContinuousProfiler(opt ProfilerOptions) (*ContinuousProfiler, error) {
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("obs: profiler needs a directory")
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 60 * time.Second
+	}
+	if opt.CPUDuration <= 0 {
+		opt.CPUDuration = 5 * time.Second
+	}
+	if opt.CPUDuration > opt.Interval/2 {
+		opt.CPUDuration = opt.Interval / 2
+	}
+	if opt.MaxBytes <= 0 {
+		opt.MaxBytes = 32 << 20
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	p := &ContinuousProfiler{
+		dir:      opt.Dir,
+		interval: opt.Interval,
+		cpuDur:   opt.CPUDuration,
+		maxBytes: opt.MaxBytes,
+		trig:     make(chan profileTrigger, 4),
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	if opt.Obs != nil {
+		p.captures = opt.Obs.Counter("segshare_profiler_captures_total",
+			"Profile pairs captured into the on-disk ring.", nil)
+		p.evictions = opt.Obs.Counter("segshare_profiler_evictions_total",
+			"Profiles evicted from the ring to hold the size bound.", nil)
+		p.dropped = opt.Obs.Counter("segshare_profiler_triggers_dropped_total",
+			"Capture triggers dropped because one was already pending.", nil)
+		p.ringBytes = opt.Obs.Gauge("segshare_profiler_ring_bytes",
+			"Current on-disk size of the profile ring.", nil)
+	}
+	if err := p.adoptExisting(); err != nil {
+		return nil, err
+	}
+	go p.run()
+	return p, nil
+}
+
+// adoptExisting indexes profiles left by a previous run, so eviction
+// accounts for them. Metadata beyond name/size/mtime is gone; reason
+// "interval" is assumed.
+func (p *ContinuousProfiler) adoptExisting() error {
+	des, err := os.ReadDir(p.dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range des {
+		m := profileNameRe.FindStringSubmatch(de.Name())
+		if m == nil {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		var seq uint64
+		fmt.Sscanf(m[2], "%d", &seq)
+		p.entries = append(p.entries, ProfileInfo{
+			Name:       de.Name(),
+			Kind:       m[1],
+			Seq:        seq,
+			TimeUnixMs: info.ModTime().UnixMilli(),
+			SizeLe:     BucketCeil(info.Size()),
+			Reason:     TriggerReasonInterval,
+		})
+		p.size += info.Size()
+		if seq >= p.seq {
+			p.seq = seq + 1
+		}
+	}
+	sort.Slice(p.entries, func(i, j int) bool { return p.entries[i].Seq < p.entries[j].Seq })
+	p.evictLocked()
+	if p.ringBytes != nil {
+		p.ringBytes.Set(p.size)
+	}
+	return nil
+}
+
+// Trigger requests an extra capture pair. Non-blocking: when a capture
+// is already pending the trigger is dropped and counted. reason must
+// pass the leak-budget name rules (closed caller vocabulary).
+func (p *ContinuousProfiler) Trigger(reason string, traceID uint64) {
+	if p == nil {
+		return
+	}
+	if verifyName(reason, "profile trigger reason") != nil {
+		return
+	}
+	select {
+	case p.trig <- profileTrigger{reason: reason, traceID: traceID}:
+	default:
+		if p.dropped != nil {
+			p.dropped.Inc()
+		}
+	}
+}
+
+// Stop halts the capture goroutine, waiting for an in-progress capture
+// to finish.
+func (p *ContinuousProfiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		close(p.stop)
+		<-p.stopped
+	})
+}
+
+func (p *ContinuousProfiler) run() {
+	defer close(p.stopped)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			p.capturePair(TriggerReasonInterval, 0)
+		case t := <-p.trig:
+			p.capturePair(t.reason, t.traceID)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// capturePair writes one CPU profile (sampling for cpuDur, or until
+// Stop) and one heap profile, then enforces the ring bound.
+func (p *ContinuousProfiler) capturePair(reason string, traceID uint64) {
+	seq := p.seq
+	p.seq++
+	cpuName := fmt.Sprintf("cpu-%d.pprof", seq)
+	if f, err := os.Create(filepath.Join(p.dir, cpuName)); err == nil {
+		// StartCPUProfile fails if another CPU profile is running (e.g. an
+		// operator hitting /debug/pprof/profile); skip the CPU half then.
+		if err := pprof.StartCPUProfile(f); err == nil {
+			select {
+			case <-time.After(p.cpuDur):
+			case <-p.stop:
+			}
+			pprof.StopCPUProfile()
+			f.Close()
+			p.record(cpuName, "cpu", seq, reason, traceID)
+		} else {
+			f.Close()
+			os.Remove(filepath.Join(p.dir, cpuName))
+		}
+	}
+	heapName := fmt.Sprintf("heap-%d.pprof", seq)
+	if f, err := os.Create(filepath.Join(p.dir, heapName)); err == nil {
+		err := pprof.Lookup("heap").WriteTo(f, 0)
+		f.Close()
+		if err == nil {
+			p.record(heapName, "heap", seq, reason, traceID)
+		} else {
+			os.Remove(filepath.Join(p.dir, heapName))
+		}
+	}
+	if p.captures != nil {
+		p.captures.Inc()
+	}
+}
+
+// record indexes one written profile and enforces the size bound.
+func (p *ContinuousProfiler) record(name, kind string, seq uint64, reason string, traceID uint64) {
+	info, err := os.Stat(filepath.Join(p.dir, name))
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.entries = append(p.entries, ProfileInfo{
+		Name:       name,
+		Kind:       kind,
+		Seq:        seq,
+		TimeUnixMs: time.Now().UnixMilli(),
+		SizeLe:     BucketCeil(info.Size()),
+		Reason:     reason,
+		TraceID:    traceID,
+	})
+	p.size += info.Size()
+	p.evictLocked()
+	size := p.size
+	p.mu.Unlock()
+	if p.ringBytes != nil {
+		p.ringBytes.Set(size)
+	}
+}
+
+// evictLocked removes oldest entries (and their files) until the ring
+// fits MaxBytes, always keeping the newest pair. Caller holds p.mu (or
+// runs before the goroutine starts).
+func (p *ContinuousProfiler) evictLocked() {
+	for len(p.entries) > 2 && p.size > p.maxBytes {
+		victim := p.entries[0]
+		p.entries = p.entries[1:]
+		path := filepath.Join(p.dir, victim.Name)
+		if info, err := os.Stat(path); err == nil {
+			p.size -= info.Size()
+		}
+		os.Remove(path)
+		if p.evictions != nil {
+			p.evictions.Inc()
+		}
+	}
+}
+
+// Index snapshots the ring's metadata, oldest first.
+func (p *ContinuousProfiler) Index() ProfileIndex {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := ProfileIndex{
+		MaxBytes:    p.maxBytes,
+		TotalSizeLe: BucketCeil(p.size),
+		Entries:     make([]ProfileInfo, len(p.entries)),
+	}
+	copy(idx.Entries, p.entries)
+	return idx
+}
+
+// Handler serves the ring under a prefix (mount at /debug/profiles and
+// /debug/profiles/): the bare prefix returns the JSON index, and
+// /<name> streams one profile. Only names present in the index are
+// served — the path never reaches the filesystem unchecked.
+func (p *ContinuousProfiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Path
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		if name == "" || name == "profiles" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(p.Index())
+			return
+		}
+		p.mu.Lock()
+		known := false
+		for _, e := range p.entries {
+			if e.Name == name {
+				known = true
+				break
+			}
+		}
+		p.mu.Unlock()
+		if !known {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeFile(w, r, filepath.Join(p.dir, name))
+	})
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// newTestProfiler builds a profiler whose cadence never fires (hour-long
+// interval); tests drive captures through Trigger.
+func newTestProfiler(t *testing.T, dir string, maxBytes int64, reg *Registry) *ContinuousProfiler {
+	t.Helper()
+	p, err := NewContinuousProfiler(ProfilerOptions{
+		Dir:         dir,
+		Interval:    time.Hour,
+		CPUDuration: 20 * time.Millisecond,
+		MaxBytes:    maxBytes,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	return p
+}
+
+// waitEntries polls until the ring index holds at least n entries.
+func waitEntries(t *testing.T, p *ContinuousProfiler, n int) ProfileIndex {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		idx := p.Index()
+		if len(idx.Entries) >= n {
+			return idx
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring holds %d entries, want >= %d", len(idx.Entries), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestProfilerTriggerCapturesPair(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	p := newTestProfiler(t, dir, 32<<20, reg)
+
+	p.Trigger("slo_fast_burn", 42)
+	idx := waitEntries(t, p, 2)
+
+	kinds := map[string]bool{}
+	for _, e := range idx.Entries {
+		kinds[e.Kind] = true
+		if err := VerifyProfileInfo(e); err != nil {
+			t.Errorf("VerifyProfileInfo(%+v): %v", e, err)
+		}
+		if e.Reason != "slo_fast_burn" {
+			t.Errorf("entry reason = %q, want the trigger reason", e.Reason)
+		}
+		if e.TraceID != 42 {
+			t.Errorf("entry trace id = %d, want 42", e.TraceID)
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.Name)); err != nil {
+			t.Errorf("indexed profile %s missing on disk: %v", e.Name, err)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Fatalf("capture kinds = %v, want cpu and heap", kinds)
+	}
+	if !IsBucketBound(idx.TotalSizeLe) {
+		t.Errorf("TotalSizeLe = %d is not a bucket bound", idx.TotalSizeLe)
+	}
+}
+
+func TestProfilerRejectsLeakyTriggerReason(t *testing.T) {
+	dir := t.TempDir()
+	p := newTestProfiler(t, dir, 32<<20, nil)
+	p.Trigger("user/alice-payroll", 1) // fails the name rules: never queued
+	p.Trigger("watchdog_request_deadline", 0)
+	idx := waitEntries(t, p, 2)
+	for _, e := range idx.Entries {
+		if e.Reason != "watchdog_request_deadline" {
+			t.Errorf("capture with reason %q; the leaky trigger must have been dropped", e.Reason)
+		}
+	}
+}
+
+func TestProfilerRingEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	// MaxBytes 1: every capture overflows the ring, so only the newest
+	// pair may remain.
+	p := newTestProfiler(t, dir, 1, reg)
+
+	p.Trigger("interval", 0)
+	waitEntries(t, p, 2)
+	p.Trigger("interval", 0)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		idx := p.Index()
+		if len(idx.Entries) == 2 && idx.Entries[0].Seq == 1 {
+			// Seq 0's pair evicted, seq 1's pair retained.
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring did not converge to the newest pair: %+v", idx.Entries)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// On-disk state matches the index: evicted files are gone.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 2 {
+		names := []string{}
+		for _, d := range des {
+			names = append(names, d.Name())
+		}
+		t.Fatalf("dir holds %v, want exactly the indexed pair", names)
+	}
+}
+
+func TestProfilerAdoptsExistingFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "heap-7.pprof"), []byte("leftover"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "not-a-profile.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := newTestProfiler(t, dir, 32<<20, nil)
+	idx := p.Index()
+	if len(idx.Entries) != 1 || idx.Entries[0].Name != "heap-7.pprof" {
+		t.Fatalf("adopted entries = %+v, want exactly heap-7.pprof", idx.Entries)
+	}
+	// New captures number past the adopted sequence.
+	p.Trigger("interval", 0)
+	idx = waitEntries(t, p, 3)
+	for _, e := range idx.Entries[1:] {
+		if e.Seq <= 7 {
+			t.Errorf("new capture seq %d collides with adopted seq 7", e.Seq)
+		}
+	}
+}
+
+func TestProfilerHandler(t *testing.T) {
+	dir := t.TempDir()
+	p := newTestProfiler(t, dir, 32<<20, nil)
+	p.Trigger("interval", 0)
+	idx := waitEntries(t, p, 2)
+
+	// Bare prefix: the JSON index.
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	var got ProfileIndex
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("index body: %v", err)
+	}
+	if len(got.Entries) != len(idx.Entries) {
+		t.Fatalf("served index has %d entries, want %d", len(got.Entries), len(idx.Entries))
+	}
+
+	// A named profile streams its bytes.
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/"+idx.Entries[0].Name, nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("profile fetch = %d (%d bytes)", rec.Code, rec.Body.Len())
+	}
+
+	// Unknown names 404 — only indexed names ever reach the filesystem.
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/cpu-999.pprof", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown profile = %d, want 404", rec.Code)
+	}
+}

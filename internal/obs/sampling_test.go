@@ -172,3 +172,94 @@ func TestDefaultSamplePolicy(t *testing.T) {
 		t.Errorf("KeepOneIn = %d", p.KeepOneIn)
 	}
 }
+
+// TestKeepOneInFloorConcurrent drives the 1-in-N floor from many
+// goroutines under the race detector: examined counts are atomic, so
+// exactly one in every KeepOneIn finished traces must be retained — no
+// double-counting, no lost floor samples.
+func TestKeepOneInFloorConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		each    = 250
+		n       = 10
+	)
+	r := NewTraceRecorder(workers * each)
+	p := strictPolicy()
+	p.KeepOneIn = n
+	r.SetPolicy(p)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr := r.Start("fs_get")
+				tr.SetStatus(200)
+				tr.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := uint64(workers * each)
+	if r.Examined() != total {
+		t.Fatalf("examined = %d, want %d", r.Examined(), total)
+	}
+	if want := total / n; r.Sampled() != want {
+		t.Fatalf("sampled = %d, want exactly the %d floor keeps", r.Sampled(), want)
+	}
+}
+
+// TestForceSampleOpConcurrent arms force-sampling while traces start and
+// end concurrently: the credit counter is atomic, so exactly the armed
+// number of subsequent starts must be retained under a keep-nothing
+// policy.
+func TestForceSampleOpConcurrent(t *testing.T) {
+	const (
+		workers = 4
+		each    = 100
+		armed   = 50
+	)
+	r := NewTraceRecorder(workers * each)
+	r.SetPolicy(strictPolicy())
+
+	// An in-flight trace of the class is forced immediately and reported
+	// as the oldest.
+	live := r.Start("fs_get")
+	inFlight, oldestID := r.ForceSampleOp("fs_get", armed)
+	if inFlight != 1 || oldestID != live.ID() {
+		t.Fatalf("ForceSampleOp = (%d, %d), want (1, %d)", inFlight, oldestID, live.ID())
+	}
+	live.SetStatus(200)
+	if !live.End() {
+		t.Fatal("in-flight trace was not force-sampled")
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr := r.Start("fs_get")
+				tr.SetStatus(200)
+				tr.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The live trace plus exactly the armed credits, no matter how the
+	// workers interleaved.
+	if got := r.Sampled(); got != armed+1 {
+		t.Fatalf("sampled = %d, want %d", got, armed+1)
+	}
+
+	// Other op classes are unaffected by the arming.
+	other := r.Start("fs_put")
+	other.SetStatus(200)
+	if other.End() {
+		t.Fatal("arming fs_get force-sampled an fs_put trace")
+	}
+}

@@ -36,6 +36,12 @@ type TraceRecorder struct {
 	examined atomic.Uint64
 	sampled  atomic.Uint64
 
+	// armed maps op class -> *atomic.Int64 remaining force-sample
+	// credits (see ForceSampleOp). armedAny short-circuits the map probe
+	// on the Start hot path while no arming is outstanding.
+	armed    sync.Map
+	armedAny atomic.Bool
+
 	// onEnd, when set, observes every finished trace with its sampling
 	// decision — the export pipeline and sampling metrics hang off it.
 	// It receives the live *Trace so discarded traces (the overwhelming
@@ -120,6 +126,10 @@ type Trace struct {
 	status int
 	forced bool
 	spans  []span
+	// open is the stack of currently-open span names, innermost last —
+	// the in-flight registry reads its top to say where a live request
+	// is right now.
+	open   []string
 	annots []annotation
 	// annotsBuf backs annots for the first few annotations so the common
 	// request (a handful of numeric fields) never grows a heap slice.
@@ -145,6 +155,15 @@ type annotation struct {
 func (r *TraceRecorder) Start(op string) *Trace {
 	t := &Trace{op: op, start: time.Now(), status: 0, rec: r}
 	t.annots = t.annotsBuf[:0]
+	if r.armedAny.Load() {
+		if v, ok := r.armed.Load(op); ok {
+			if v.(*atomic.Int64).Add(-1) >= 0 {
+				t.forced = true // t is not shared yet; no lock needed
+			} else {
+				r.armed.Delete(op)
+			}
+		}
+	}
 	r.mu.Lock()
 	r.seq++
 	t.id = r.seq
@@ -152,6 +171,40 @@ func (r *TraceRecorder) Start(op string) *Trace {
 	r.mu.Unlock()
 	r.active.Add(1)
 	return t
+}
+
+// ForceSampleOp force-samples every in-flight trace of the given op
+// class and arms the recorder to force-sample the next n starts of it —
+// the SLO engine calls this on a burn-rate breach so the traces of the
+// offending class are retained while the incident is live. It returns
+// how many in-flight traces were forced and the id of the oldest one
+// (0 when none), for correlating a triggered profile capture.
+func (r *TraceRecorder) ForceSampleOp(op string, n int64) (inFlight int, oldestID uint64) {
+	r.mu.Lock()
+	var oldest *Trace
+	for _, t := range r.inFlight {
+		if t.op != op {
+			continue
+		}
+		inFlight++
+		if oldest == nil || t.start.Before(oldest.start) {
+			oldest = t
+		}
+		t.mu.Lock()
+		t.forced = true
+		t.mu.Unlock()
+	}
+	r.mu.Unlock()
+	if oldest != nil {
+		oldestID = oldest.ID()
+	}
+	if n > 0 {
+		c := &atomic.Int64{}
+		c.Store(n)
+		r.armed.Store(op, c)
+		r.armedAny.Store(true)
+	}
+	return inFlight, oldestID
 }
 
 // retain inserts a finished trace into the ring, evicting the oldest
@@ -219,6 +272,15 @@ func (t *Trace) ID() uint64 {
 	return t.id
 }
 
+// StartTime returns when the trace was opened. The field is written
+// once at construction, so no lock is needed.
+func (t *Trace) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
 // SetStatus records the response status code.
 func (t *Trace) SetStatus(code int) {
 	if t == nil {
@@ -254,7 +316,9 @@ func (t *Trace) Annotate(key string, value int64) {
 	t.mu.Unlock()
 }
 
-// Span times a sub-operation: call the returned func to close it.
+// Span times a sub-operation: call the returned func to close it. While
+// open, the span is visible to CurrentSpan (and through it the
+// in-flight registry).
 func (t *Trace) Span(name string) func() {
 	if t == nil {
 		return func() {}
@@ -263,12 +327,37 @@ func (t *Trace) Span(name string) func() {
 		return func() {}
 	}
 	start := time.Now()
+	t.mu.Lock()
+	t.open = append(t.open, name)
+	t.mu.Unlock()
 	return func() {
 		end := time.Now()
 		t.mu.Lock()
+		// Spans close LIFO in practice (defer), but tolerate out-of-order
+		// closes: remove the last open entry with this name.
+		for i := len(t.open) - 1; i >= 0; i-- {
+			if t.open[i] == name {
+				t.open = append(t.open[:i], t.open[i+1:]...)
+				break
+			}
+		}
 		t.spans = append(t.spans, span{name: name, start: start, end: end})
 		t.mu.Unlock()
 	}
+}
+
+// CurrentSpan returns the innermost currently-open span name, or ""
+// when none is open (or the trace is nil).
+func (t *Trace) CurrentSpan() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.open) == 0 {
+		return ""
+	}
+	return t.open[len(t.open)-1]
 }
 
 // LockWaitAnnotation is the annotation key the sampling policy's

@@ -57,13 +57,30 @@ type WideEvent struct {
 // FieldClass is the leak-budget class of one WideEvent field.
 type FieldClass string
 
-// The closed set of wide-event field classes.
+// The closed set of wide-event field classes. The introspection
+// surfaces added on top of wide events (SLO status, in-flight registry,
+// top-k export, profiler index) reuse this vocabulary and extend it
+// with four classes that carry no more than the originals:
+//
+//   - config: a deployment-time constant (objective, threshold, k) —
+//     operator-chosen, never derived from request data.
+//   - rate: a milli-scaled ratio of two already-exported aggregate
+//     counts; it reveals nothing the counts do not.
+//   - pseudonym: a fixed-length keyed pseudonym (per-process random
+//     HMAC key, truncated) — stable within one boot for joining, but
+//     unlinkable to the underlying identity and across restarts.
+//   - nested: a slice/struct whose own fields are classified in their
+//     own field map.
 const (
-	FieldEnum     FieldClass = "enum"
-	FieldBucketed FieldClass = "bucketed"
-	FieldID       FieldClass = "id"
-	FieldTime     FieldClass = "time"
-	FieldFlag     FieldClass = "flag"
+	FieldEnum      FieldClass = "enum"
+	FieldBucketed  FieldClass = "bucketed"
+	FieldID        FieldClass = "id"
+	FieldTime      FieldClass = "time"
+	FieldFlag      FieldClass = "flag"
+	FieldConfig    FieldClass = "config"
+	FieldRate      FieldClass = "rate"
+	FieldPseudonym FieldClass = "pseudonym"
+	FieldNested    FieldClass = "nested"
 )
 
 // WideEventFields maps every WideEvent struct field name to its class.
