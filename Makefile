@@ -3,7 +3,7 @@
 
 RACE_PKGS := ./internal/obs ./internal/enclave ./internal/store ./internal/audit ./internal/core ./internal/cache ./internal/journal
 
-.PHONY: verify build test vet race bench advisory
+.PHONY: verify build test vet race bench bench-smoke advisory
 
 verify: build test vet race
 
@@ -22,6 +22,12 @@ race:
 # Scaled-down benchmark sweep (see EXPERIMENTS.md for full commands).
 bench:
 	go run ./cmd/segshare-bench -exp all
+
+# One iteration of every data-path benchmark — compile-and-run coverage
+# for the crypto pipeline, not a measurement. Mirrors the bench-smoke CI
+# job.
+bench-smoke:
+	go test -bench=. -benchtime=1x ./internal/pfs ./internal/pae ./internal/bench
 
 # Advisory static analysis — mirrors the non-blocking CI job. Needs
 # network access to fetch the tools; failures here never gate a merge.

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|e13|all")
+		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|e13|e14|all")
 		full       = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		runs       = flag.Int("runs", 0, "override runs per data point")
 		maxExp     = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
@@ -131,6 +131,12 @@ func run(exp string, full bool, runs, maxExp int, wan bool) error {
 	if all || exp == "e13" {
 		ran = true
 		if err := runE13(full, runs); err != nil {
+			return err
+		}
+	}
+	if all || exp == "e14" {
+		ran = true
+		if err := runE14(full, runs); err != nil {
 			return err
 		}
 	}
@@ -417,6 +423,28 @@ func runE13(full bool, runs int) error {
 	fmt.Printf("introspection live: %d SLO classes, %d hot groups, %d profile pairs captured\n",
 		stats.SLOClasses, stats.HotGroups, stats.ProfileCaptures)
 	return nil
+}
+
+func runE14(full bool, runs int) error {
+	cfg := bench.DefaultE14()
+	if full {
+		cfg.Ops = 20
+		cfg.Reps = 5
+	}
+	if runs > 0 {
+		cfg.Ops = runs
+	}
+	rows, err := bench.RunE14(cfg)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("E14 — chunk-crypto worker sweep, single-stream %dMiB, %d ops/cell", cfg.FileMiB, cfg.Ops),
+		"workers", "op", "throughput", "allocs/op", "speedup vs w1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%.0f MiB/s\t%.0f\t%.2fx\n",
+			r.Workers, r.Op, r.MiBPerSec, r.AllocsPerOp, r.Speedup)
+	}
+	return w.Flush()
 }
 
 func sizeLabel(size int) string {

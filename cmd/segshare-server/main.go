@@ -53,6 +53,7 @@ func run() error {
 		auditOfl = flag.String("audit-overflow", "drop", "audit queue overflow policy: drop (count and continue) | block (complete trail, couples request latency to audit I/O)")
 		shards   = flag.Int("lock-shards", 0, "per-path lock shards in the request path (0 = default 64, 1 ~= one global lock)")
 		cacheKiB = flag.Int64("cache-kib", 0, "in-enclave relation cache budget in KiB (0 = default 8 MiB, negative disables)")
+		cryptoW  = flag.Int("crypto-workers", 0, "chunk-crypto workers on the content data path (0 = default min(GOMAXPROCS, 8), 1 or negative = serial)")
 		profMtx  = flag.Int("profile-mutex", 0, "mutex contention sampling for /debug/pprof/mutex: 1 = every event, n = 1/n, 0 = off")
 		profBlk  = flag.Int("profile-block", 0, "block profiling for /debug/pprof/block: record events blocking >= this many ns, 0 = off")
 		journal  = flag.Bool("journal", true, "crash-consistent mutations via the sealed intent journal (disable only for benchmarking)")
@@ -202,6 +203,7 @@ func run() error {
 		Logger:            logger,
 		LockShards:        *shards,
 		CacheBytes:        *cacheKiB * 1024,
+		CryptoWorkers:     *cryptoW,
 		DisableJournal:    !*journal,
 		Obs:               reg,
 		Recovery:          recovery,
@@ -311,8 +313,8 @@ func run() error {
 		return err
 	}
 	health.SetReady(true)
-	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v wide-events=%v watchdog=%v slo=%v hot-k=%d profiler=%v)\n",
-		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal, *wideEv, *wdOn, *sloOn, *hotK, *profDir != "")
+	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v wide-events=%v watchdog=%v slo=%v hot-k=%d profiler=%v crypto-workers=%d)\n",
+		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal, *wideEv, *wdOn, *sloOn, *hotK, *profDir != "", *cryptoW)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

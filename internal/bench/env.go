@@ -81,6 +81,10 @@ type EnvConfig struct {
 	// cache-free baseline.
 	LockShards int
 	CacheBytes int64
+	// CryptoWorkers passes through to the server's chunk-crypto worker
+	// pool; zero keeps the server default and E14 sweeps it explicitly
+	// (1 = the serial before-configuration).
+	CryptoWorkers int
 	// DisableJournal turns off the crash-consistency intent journal; E11
 	// uses it to measure the journal's write-path overhead.
 	DisableJournal bool
@@ -143,6 +147,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Bridge:            cfg.Bridge,
 		LockShards:        cfg.LockShards,
 		CacheBytes:        cfg.CacheBytes,
+		CryptoWorkers:     cfg.CryptoWorkers,
 		DisableJournal:    cfg.DisableJournal,
 		DisableWideEvents: cfg.DisableWideEvents,
 		SamplePolicy:      cfg.SamplePolicy,

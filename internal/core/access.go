@@ -285,6 +285,29 @@ func (ac *accessControl) GetFile(u acl.UserID, path fspath.Path) ([]byte, error)
 	return ac.fm.readContent(path)
 }
 
+// GetFileRange is GetFile for a byte range: same authorization, but the
+// read decrypts only the chunks the range touches when the stored format
+// allows it (see fileManager.readContentRange).
+func (ac *accessControl) GetFileRange(u acl.UserID, path fspath.Path, br ByteRange) (RangeResult, error) {
+	ml, err := ac.memberListOrEmpty(u)
+	if err != nil {
+		return RangeResult{}, err
+	}
+	if ok, err := ac.fm.pathExists(path); err != nil {
+		return RangeResult{}, err
+	} else if !ok {
+		return RangeResult{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	ok, err := ac.authFile(ml, path, acl.PermRead)
+	if err != nil {
+		return RangeResult{}, err
+	}
+	if !ok {
+		return RangeResult{}, fmt.Errorf("%w: read %s", ErrPermissionDenied, path)
+	}
+	return ac.fm.readContentRange(path, br)
+}
+
 // ListedEntry is a directory child with the requesting user's effective
 // permission.
 type ListedEntry struct {

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// flightGroup is a minimal singleflight: concurrent do calls with the
+// same key run fn once and share its result. It exists so N concurrent
+// GETs of the same hot object decrypt the blob once instead of N times
+// (DESIGN §14). The stdlib has no singleflight and the module is
+// dependency-free, so this is hand-rolled; the semantics match
+// x/sync/singleflight.Do with forget-on-completion.
+//
+// Correctness in SeGShare's request path rests on the sharded lock
+// manager: every coalesced caller holds the path's read lock for the
+// duration of do, so a writer can never interleave with a flight — all
+// callers in a flight would read identical bytes, making the shared
+// result exact, not approximate. Results are handed to multiple
+// goroutines and must be treated as read-only by every caller.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// errFlightAbandoned surfaces to followers when the leader's fn panicked
+// before producing a result; the panic itself propagates on the leader's
+// goroutine.
+var errFlightAbandoned = errors.New("segshare: coalesced read abandoned")
+
+// do runs fn once per key among concurrent callers, returning fn's
+// result and whether this caller shared another caller's flight (true)
+// or led its own (false).
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{}), err: errFlightAbandoned}
+	g.m[key] = c
+	g.mu.Unlock()
+	defer func() {
+		// Flights are forgotten immediately on completion: the next call
+		// after close(done) leads its own read, so a result can never be
+		// served after the path's lock coverage ended.
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"segshare/internal/ca"
+	"segshare/internal/enclave"
+	"segshare/internal/store"
+)
+
+// TestFlightGroupCoalesces pins the singleflight contract with a gated
+// leader: followers that arrive while the leader's fn runs share its
+// result and never run their own fn; once the flight completes, the next
+// caller leads a fresh one.
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+
+	type result struct {
+		val    []byte
+		shared bool
+		err    error
+	}
+	leaderCh := make(chan result, 1)
+	go func() {
+		val, shared, err := g.do("k", func() ([]byte, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return []byte("payload"), nil
+		})
+		leaderCh <- result{val, shared, err}
+	}()
+	<-started
+
+	const followers = 4
+	followerCh := make(chan result, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			val, shared, err := g.do("k", func() ([]byte, error) {
+				t.Error("follower fn ran despite an in-flight leader")
+				return nil, nil
+			})
+			followerCh <- result{val, shared, err}
+		}()
+	}
+	// The leader is parked on release with its flight registered, so the
+	// followers join it as soon as they are scheduled; the pause lets them
+	// all reach do before the flight completes.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	lead := <-leaderCh
+	if lead.shared || lead.err != nil || string(lead.val) != "payload" {
+		t.Fatalf("leader got (%q, shared=%t, %v)", lead.val, lead.shared, lead.err)
+	}
+	for i := 0; i < followers; i++ {
+		r := <-followerCh
+		if !r.shared || r.err != nil || string(r.val) != "payload" {
+			t.Fatalf("follower got (%q, shared=%t, %v)", r.val, r.shared, r.err)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("leader fn ran %d times, want 1", n)
+	}
+
+	// Forget-on-completion: the next call leads its own flight.
+	val, shared, err := g.do("k", func() ([]byte, error) {
+		calls.Add(1)
+		return []byte("second"), nil
+	})
+	if shared || err != nil || string(val) != "second" {
+		t.Fatalf("post-flight call got (%q, shared=%t, %v)", val, shared, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fn ran %d times total, want 2", n)
+	}
+}
+
+// TestFlightGroupLeaderPanic checks panic safety: a follower of a flight
+// whose leader panicked receives errFlightAbandoned instead of hanging or
+// observing a zero-value success. A follower that misses the flight
+// (scheduled only after the panic unwound) legitimately leads its own —
+// the loop retries until one actually joins.
+func TestFlightGroupLeaderPanic(t *testing.T) {
+	var g flightGroup
+	for attempt := 0; attempt < 20; attempt++ {
+		started := make(chan struct{})
+		release := make(chan struct{})
+		go func() {
+			defer func() { recover() }()
+			_, _, _ = g.do("k", func() ([]byte, error) {
+				close(started)
+				<-release
+				panic("leader died")
+			})
+		}()
+		<-started
+		var ownRan atomic.Bool
+		followerErr := make(chan error, 1)
+		go func() {
+			_, _, err := g.do("k", func() ([]byte, error) {
+				ownRan.Store(true)
+				return []byte("own"), nil
+			})
+			followerErr <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+		err := <-followerErr
+		if ownRan.Load() {
+			continue // missed the flight; retry
+		}
+		if !errors.Is(err, errFlightAbandoned) {
+			t.Fatalf("follower of panicked flight got err = %v, want errFlightAbandoned", err)
+		}
+		return
+	}
+	t.Fatal("follower never joined the leader's flight in 20 attempts")
+}
+
+// TestCoalescedReadStress hammers one hot path with concurrent readers
+// while a writer overwrites it and the owner toggles another user's
+// permission — the revocation race the coalescing layer must stay exact
+// under. Run with -race: the detector checks the flight result sharing,
+// and the content assertions check that no reader ever observes a torn
+// or never-written value through a shared flight.
+func TestCoalescedReadStress(t *testing.T) {
+	authority, err := ca.New("coalesce CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := enclave.NewPlatform(enclave.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServer(platform, Config{
+		CACertPEM:    authority.CertificatePEM(),
+		ContentStore: store.NewMemory(),
+		GroupStore:   store.NewMemory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+
+	alice := server.Direct("alice")
+	bob := server.Direct("bob")
+	if err := alice.Mkdir("/shared/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Upload("/shared/hot", []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.AddUser("bob", "team"); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 60
+	legal := sync.Map{}
+	legal.Store("seed", true)
+
+	var wg sync.WaitGroup
+	fail := make(chan error, 16)
+	report := func(format string, args ...any) {
+		select {
+		case fail <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Writer: overwrites the hot file with distinct values.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < iters; j++ {
+			v := fmt.Sprintf("v-%d", j)
+			legal.Store(v, true)
+			if err := alice.Upload("/shared/hot", []byte(v)); err != nil {
+				report("upload: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Permission toggler: grants and revokes bob's read access.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < iters; j++ {
+			spec := PermissionSpec("r")
+			if j%2 == 1 {
+				spec = "none"
+			}
+			if err := alice.SetPermission("/shared/hot", "team", spec); err != nil {
+				report("set permission: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Coalescing readers: concurrent GETs of the same path. Any value
+	// ever written is legal; anything else means a flight leaked bytes
+	// across a write.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters*2; j++ {
+				got, err := alice.Download("/shared/hot")
+				if err != nil {
+					report("alice download: %v", err)
+					return
+				}
+				if _, ok := legal.Load(string(got)); !ok {
+					report("alice read torn content %q", got)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters*2; j++ {
+				got, err := bob.Download("/shared/hot")
+				switch {
+				case err == nil:
+					if _, ok := legal.Load(string(got)); !ok {
+						report("bob read torn content %q", got)
+						return
+					}
+				case errors.Is(err, ErrPermissionDenied):
+				default:
+					report("bob download: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The final value is one that was actually written.
+	got, err := alice.Download("/shared/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := legal.Load(string(got)); !ok {
+		t.Fatalf("final content %q was never written", got)
+	}
+	// Every uncoalesced read leads a flight, so the leader counter proves
+	// the coalescing layer was actually on this code path.
+	if n := server.obs.coalesceLeader.Value(); n == 0 {
+		t.Fatal("coalesce leader counter is zero: reads bypassed the flight group")
+	}
+	if n := server.obs.coalesceInflight.Value(); n != 0 {
+		t.Fatalf("coalesce inflight gauge = %d after quiesce, want 0", n)
+	}
+}

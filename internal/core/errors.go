@@ -25,6 +25,9 @@ var (
 	ErrRollback = errors.New("segshare: rollback detected")
 	// ErrBadRequest is returned for malformed requests.
 	ErrBadRequest = errors.New("segshare: bad request")
+	// ErrRangeNotSatisfiable is returned when a byte range lies entirely
+	// outside the file (HTTP 416).
+	ErrRangeNotSatisfiable = errors.New("segshare: range not satisfiable")
 	// ErrGroupNotFound is returned for operations on unknown groups.
 	ErrGroupNotFound = errors.New("segshare: group not found")
 )

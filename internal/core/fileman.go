@@ -90,6 +90,11 @@ type fileManager struct {
 	// is nil-safe, so non-request paths pay one predicted branch.
 	rs *obs.ReqStats
 
+	// cryptoWorkers bounds the chunk-crypto worker pool used on the
+	// content data path (DESIGN §14); 1 means strictly serial. Resolved
+	// in NewServer, never zero.
+	cryptoWorkers int
+
 	obs *serverObs
 }
 
@@ -103,6 +108,9 @@ type fmShared struct {
 	// recovery publishes journal-recovery progress for /readyz and the
 	// watchdog; may be nil.
 	recovery *RecoveryState
+	// reads coalesces concurrent content reads of the same path so a hot
+	// object is decrypted once per flight (see coalesce.go).
+	reads flightGroup
 }
 
 // withStats returns a shallow view of fm that attributes store, cache,
@@ -138,7 +146,10 @@ type fmConfig struct {
 	journal *journal.Journal
 	// recovery publishes journal-recovery progress; may be nil.
 	recovery *RecoveryState
-	obs      *serverObs
+	// cryptoWorkers bounds the chunk-crypto worker pool (resolved value;
+	// < 1 is clamped to serial).
+	cryptoWorkers int
+	obs           *serverObs
 }
 
 func newFileManager(cfg fmConfig) (*fileManager, error) {
@@ -159,17 +170,22 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 	if cfg.obs == nil {
 		cfg.obs = newServerObs(nil, nil)
 	}
+	workers := cfg.cryptoWorkers
+	if workers < 1 {
+		workers = 1
+	}
 	fm := &fileManager{
-		rootKey:    cfg.rootKey,
-		hideKey:    hideKey,
-		hasher:     rollback.NewHasher(treeKey),
-		hidePaths:  cfg.hidePaths,
-		rollbackOn: cfg.rollbackOn,
-		validate:   cfg.rollbackOn,
-		caches:     newRelCaches(cfg.cacheBytes, cfg.obs),
-		journal:    cfg.journal,
-		shared:     &fmShared{recovery: cfg.recovery},
-		obs:        cfg.obs,
+		rootKey:       cfg.rootKey,
+		hideKey:       hideKey,
+		hasher:        rollback.NewHasher(treeKey),
+		hidePaths:     cfg.hidePaths,
+		rollbackOn:    cfg.rollbackOn,
+		validate:      cfg.rollbackOn,
+		caches:        newRelCaches(cfg.cacheBytes, cfg.obs),
+		journal:       cfg.journal,
+		shared:        &fmShared{recovery: cfg.recovery},
+		cryptoWorkers: workers,
+		obs:           cfg.obs,
 	}
 	fm.content = &namespace{
 		kind:     contentRootKey,
@@ -193,7 +209,7 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 		isInner: func(name string) bool { return name == groupRootName },
 	}
 	if cfg.dedupEnabled {
-		ds, err := dedup.New(cfg.dedupStore, cfg.rootKey, dedup.WithObs(cfg.obs.reg))
+		ds, err := dedup.New(cfg.dedupStore, cfg.rootKey, dedup.WithObs(cfg.obs.reg), dedup.WithWorkers(workers))
 		if err != nil {
 			return nil, err
 		}
@@ -326,10 +342,11 @@ func (fm *fileManager) putBlobRaw(ns *namespace, name string, hdr *rollback.Head
 	if err != nil {
 		return err
 	}
-	blob, err := pfs.Encrypt(key, fm.fileID(ns, name), plain)
+	blob, err := pfs.EncryptWorkers(key, fm.fileID(ns, name), plain, fm.cryptoWorkers)
 	if err != nil {
 		return err
 	}
+	fm.obs.observeCryptoSeal(pfs.UsesParallel(int64(len(plain)), fm.cryptoWorkers))
 	fm.rs.AddStoreOps(1)
 	if err := ns.backend.Put(fm.storageName(ns, name), blob); err != nil {
 		return fmt.Errorf("segshare: store %q: %w", name, err)
@@ -370,13 +387,14 @@ func (fm *fileManager) getBlob(ns *namespace, name string) (*rollback.Header, []
 	if err != nil {
 		return nil, nil, err
 	}
-	plain, err := pfs.Decrypt(key, fm.fileID(ns, name), raw)
+	plain, err := pfs.DecryptWorkers(key, fm.fileID(ns, name), raw, fm.cryptoWorkers)
 	if errors.Is(err, pfs.ErrCorrupt) {
 		return nil, nil, fmt.Errorf("%w: %s", ErrIntegrity, name)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
+	fm.obs.observeCryptoOpen(pfs.UsesParallel(int64(len(plain)), fm.cryptoWorkers))
 	if !fm.rollbackOn {
 		return nil, plain, nil
 	}

@@ -409,6 +409,34 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			writeJSON(w, http.StatusOK, listing)
 			return
 		}
+		// A valid single-range GET is served as 206 through the random-
+		// access read path; malformed or multi-range specs fall through to
+		// the full representation (RFC 9110 permits ignoring Range), as
+		// does HEAD.
+		if br, ok := parseRangeHeader(r.Header.Get("Range")); ok && r.Method == http.MethodGet {
+			unlock := s.locks.fsRead(rs, path)
+			res, err := ac.GetFileRange(u, path, br)
+			unlock()
+			s.auditAuthz(r, u, path.String(), err)
+			if errors.Is(err, ErrRangeNotSatisfiable) {
+				w.Header().Set("Accept-Ranges", "bytes")
+				w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", res.Total))
+				writeErr(w, http.StatusRequestedRangeNotSatisfiable, err)
+				return
+			}
+			if err != nil {
+				writeMappedErr(w, err)
+				return
+			}
+			w.Header().Set("Accept-Ranges", "bytes")
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Range",
+				fmt.Sprintf("bytes %d-%d/%d", res.Off, res.Off+int64(len(res.Data))-1, res.Total))
+			w.Header().Set("Content-Length", strconv.Itoa(len(res.Data)))
+			w.WriteHeader(http.StatusPartialContent)
+			_, _ = w.Write(res.Data)
+			return
+		}
 		unlock := s.locks.fsRead(rs, path)
 		content, err := ac.GetFile(u, path)
 		unlock()
@@ -417,6 +445,7 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 			writeMappedErr(w, err)
 			return
 		}
+		w.Header().Set("Accept-Ranges", "bytes")
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", strconv.Itoa(len(content)))
 		w.WriteHeader(http.StatusOK)
@@ -715,6 +744,44 @@ func (s *Server) auditAPIChange(r *http.Request, u acl.UserID, ev audit.Event, e
 	s.obs.auditEmit(ev)
 }
 
+// parseRangeHeader parses a single-range "bytes=a-b" / "bytes=a-" /
+// "bytes=-n" header. Multi-range and malformed specs return ok=false so
+// the caller serves the full representation instead.
+func parseRangeHeader(h string) (ByteRange, bool) {
+	const pfx = "bytes="
+	if !strings.HasPrefix(h, pfx) {
+		return ByteRange{}, false
+	}
+	spec := strings.TrimSpace(strings.TrimPrefix(h, pfx))
+	if spec == "" || strings.Contains(spec, ",") {
+		return ByteRange{}, false
+	}
+	dash := strings.Index(spec, "-")
+	if dash < 0 {
+		return ByteRange{}, false
+	}
+	first, last := strings.TrimSpace(spec[:dash]), strings.TrimSpace(spec[dash+1:])
+	if first == "" {
+		n, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || n <= 0 {
+			return ByteRange{}, false
+		}
+		return ByteRange{Start: -1, End: -1, SuffixLen: n}, true
+	}
+	start, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || start < 0 {
+		return ByteRange{}, false
+	}
+	if last == "" {
+		return ByteRange{Start: start, End: -1}, true
+	}
+	end, err := strconv.ParseInt(last, 10, 64)
+	if err != nil || end < start {
+		return ByteRange{}, false
+	}
+	return ByteRange{Start: start, End: end}, true
+}
+
 func parseAPIPath(raw string) (fspath.Path, error) {
 	p, err := fspath.Parse(raw)
 	if err != nil {
@@ -753,6 +820,8 @@ func writeMappedErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusConflict, err)
 	case errors.Is(err, ErrBadRequest):
 		writeErr(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrRangeNotSatisfiable):
+		writeErr(w, http.StatusRequestedRangeNotSatisfiable, err)
 	case errors.Is(err, ErrIntegrity), errors.Is(err, ErrRollback):
 		writeErr(w, http.StatusInternalServerError, err)
 	default:

@@ -70,6 +70,18 @@ type serverObs struct {
 	// transitions; nil when the deployment runs without the continuous
 	// profiler. The caller owns its lifecycle.
 	profiler *obs.ContinuousProfiler
+
+	// Parallel chunk-crypto pipeline instruments (DESIGN §14):
+	// worker-pool size, one-shot seal/open counts by execution mode, and
+	// read-coalescing outcomes. Aggregate-only — no path or size labels.
+	cryptoWorkers      *obs.Gauge
+	cryptoSealSerial   *obs.Counter
+	cryptoSealParallel *obs.Counter
+	cryptoOpenSerial   *obs.Counter
+	cryptoOpenParallel *obs.Counter
+	coalesceLeader     *obs.Counter
+	coalesceShared     *obs.Counter
+	coalesceInflight   *obs.Gauge
 }
 
 // opRequestMetrics holds one op class's request instruments. Status-class
@@ -116,6 +128,40 @@ func newServerObs(reg *obs.Registry, logger *slog.Logger) *serverObs {
 		lockWaits:         lockWaits,
 		bodyIn:            reg.Counter("segshare_request_body_bytes_total", "Request body bytes received.", nil),
 		bodyOut:           reg.Counter("segshare_response_body_bytes_total", "Response body bytes sent.", nil),
+		cryptoWorkers: reg.Gauge("segshare_crypto_workers",
+			"Configured chunk-crypto worker-pool size.", nil),
+		cryptoSealSerial: reg.Counter("segshare_crypto_ops_total",
+			"One-shot chunk-crypto operations by direction and execution mode.", obs.Labels{"op": "seal", "mode": "serial"}),
+		cryptoSealParallel: reg.Counter("segshare_crypto_ops_total",
+			"One-shot chunk-crypto operations by direction and execution mode.", obs.Labels{"op": "seal", "mode": "parallel"}),
+		cryptoOpenSerial: reg.Counter("segshare_crypto_ops_total",
+			"One-shot chunk-crypto operations by direction and execution mode.", obs.Labels{"op": "open", "mode": "serial"}),
+		cryptoOpenParallel: reg.Counter("segshare_crypto_ops_total",
+			"One-shot chunk-crypto operations by direction and execution mode.", obs.Labels{"op": "open", "mode": "parallel"}),
+		coalesceLeader: reg.Counter("segshare_crypto_coalesce_total",
+			"Coalesced content reads by role: the leader decrypts, shared callers ride its flight.", obs.Labels{"role": "leader"}),
+		coalesceShared: reg.Counter("segshare_crypto_coalesce_total",
+			"Coalesced content reads by role: the leader decrypts, shared callers ride its flight.", obs.Labels{"role": "shared"}),
+		coalesceInflight: reg.Gauge("segshare_crypto_coalesce_inflight",
+			"Content reads currently inside a coalescing flight.", nil),
+	}
+}
+
+// observeCryptoSeal/observeCryptoOpen record one one-shot chunk-crypto
+// operation by execution mode, called from the fileman chokepoints.
+func (o *serverObs) observeCryptoSeal(parallel bool) {
+	if parallel {
+		o.cryptoSealParallel.Inc()
+	} else {
+		o.cryptoSealSerial.Inc()
+	}
+}
+
+func (o *serverObs) observeCryptoOpen(parallel bool) {
+	if parallel {
+		o.cryptoOpenParallel.Inc()
+	} else {
+		o.cryptoOpenSerial.Inc()
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"segshare/internal/enctls"
 	"segshare/internal/journal"
 	"segshare/internal/obs"
+	"segshare/internal/pfs"
 	"segshare/internal/rollback"
 	"segshare/internal/store"
 )
@@ -86,6 +87,11 @@ type Config struct {
 	// member lists, group list, directory bodies, derived file keys).
 	// Zero means the default (8 MiB); negative disables caching.
 	CacheBytes int64
+	// CryptoWorkers bounds the chunk-crypto worker pool on the content
+	// data path (DESIGN §14). Zero means the default,
+	// min(GOMAXPROCS, 8); negative (or 1) forces strictly serial
+	// sealing/opening, which benchmarks use as the before-configuration.
+	CryptoWorkers int
 	// Bridge tunes the switchless call bridge.
 	Bridge enclave.BridgeConfig
 	// Logger receives structured request logs (request id, operation
@@ -426,20 +432,29 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 	case cacheBytes < 0:
 		cacheBytes = 0 // disabled
 	}
+	cryptoWorkers := cfg.CryptoWorkers
+	switch {
+	case cryptoWorkers == 0:
+		cryptoWorkers = pfs.DefaultWorkers()
+	case cryptoWorkers < 0:
+		cryptoWorkers = 1
+	}
+	sObs.cryptoWorkers.Set(int64(cryptoWorkers))
 	fm, err := newFileManager(fmConfig{
-		rootKey:      rootKey,
-		contentStore: cfg.ContentStore,
-		groupStore:   cfg.GroupStore,
-		dedupStore:   cfg.DedupStore,
-		hidePaths:    cfg.Features.HidePaths,
-		rollbackOn:   cfg.Features.RollbackProtection,
-		dedupEnabled: cfg.Features.Dedup,
-		contentGuard: contentGuard,
-		groupGuard:   groupGuard,
-		cacheBytes:   cacheBytes,
-		journal:      jl,
-		recovery:     recovery,
-		obs:          sObs,
+		rootKey:       rootKey,
+		contentStore:  cfg.ContentStore,
+		groupStore:    cfg.GroupStore,
+		dedupStore:    cfg.DedupStore,
+		hidePaths:     cfg.Features.HidePaths,
+		rollbackOn:    cfg.Features.RollbackProtection,
+		dedupEnabled:  cfg.Features.Dedup,
+		contentGuard:  contentGuard,
+		groupGuard:    groupGuard,
+		cacheBytes:    cacheBytes,
+		cryptoWorkers: cryptoWorkers,
+		journal:       jl,
+		recovery:      recovery,
+		obs:           sObs,
 	})
 	if err != nil {
 		return nil, err

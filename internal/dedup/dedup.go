@@ -59,6 +59,10 @@ type Store struct {
 	wrapKey pae.Key // key-encryption key for per-object keys
 	refsKey pae.Key // key for the reference index
 
+	// workers bounds the chunk-crypto worker pool used when sealing and
+	// opening object blobs; 1 (the default) is strictly serial.
+	workers int
+
 	mu sync.Mutex
 
 	hits         *obs.Counter // Put of already-stored content
@@ -76,6 +80,17 @@ type Option func(*Store)
 // totals are exported — never content addresses, which are key-derived.
 func WithObs(reg *obs.Registry) Option {
 	return func(s *Store) { s.initMetrics(reg) }
+}
+
+// WithWorkers sets the chunk-crypto worker count for object blobs;
+// values below 1 are clamped to serial.
+func WithWorkers(n int) Option {
+	return func(s *Store) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
 }
 
 func (s *Store) initMetrics(reg *obs.Registry) {
@@ -101,7 +116,7 @@ func New(backend store.Backend, rootKey []byte, opts ...Option) (*Store, error) 
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{backend: backend, nameKey: nameKey, wrapKey: wrapKey, refsKey: refsKey}
+	s := &Store{backend: backend, nameKey: nameKey, wrapKey: wrapKey, refsKey: refsKey, workers: 1}
 	s.initMetrics(obs.Default())
 	for _, opt := range opts {
 		opt(s)
@@ -142,7 +157,10 @@ func (h *hashingReader) Read(p []byte) (int, error) {
 }
 
 // encodeObject encrypts content under a fresh random key and returns the
-// stored object bytes: wrapped key ‖ protected blob.
+// stored object bytes: wrapped key ‖ protected blob. The blob is sealed
+// directly into the object buffer (pfs.AppendEncrypt), so the content is
+// copied once into ciphertext slots rather than through an intermediate
+// full-size blob.
 func (s *Store) encodeObject(content []byte) ([]byte, error) {
 	fileKey, err := pae.NewRandomKey()
 	if err != nil {
@@ -152,15 +170,11 @@ func (s *Store) encodeObject(content []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	blob, err := pfs.Encrypt(fileKey, nil, content)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, 0, 4+len(wrapped)+len(blob))
+	size := int64(len(content))
+	out := make([]byte, 0, 4+len(wrapped)+int(size+pfs.Overhead(size)))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(wrapped)))
 	out = append(out, wrapped...)
-	out = append(out, blob...)
-	return out, nil
+	return pfs.AppendEncrypt(out, fileKey, nil, content, s.workers)
 }
 
 func (s *Store) decodeObject(raw []byte) ([]byte, error) {
@@ -179,7 +193,7 @@ func (s *Store) decodeObject(raw []byte) ([]byte, error) {
 	if err != nil {
 		return nil, ErrCorrupt
 	}
-	content, err := pfs.Decrypt(fileKey, nil, raw[4+n:])
+	content, err := pfs.DecryptWorkers(fileKey, nil, raw[4+n:], s.workers)
 	if err != nil {
 		return nil, ErrCorrupt
 	}

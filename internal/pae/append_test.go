@@ -1,0 +1,97 @@
+package pae
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendRoundTrip checks the Append variants against the plain
+// Seal/Open pair: same wire format, prefix preserved, in-place reuse.
+func TestAppendRoundTrip(t *testing.T) {
+	key, err := NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("the quick brown fox")
+	aad := []byte("context")
+
+	prefix := []byte("hdr:")
+	dst := append(make([]byte, 0, len(prefix)+len(pt)+Overhead), prefix...)
+	out, err := c.AppendSeal(dst, pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:len(prefix)], prefix) {
+		t.Fatal("AppendSeal clobbered the prefix")
+	}
+	ct := out[len(prefix):]
+	if len(ct) != len(pt)+Overhead {
+		t.Fatalf("ciphertext length = %d, want %d", len(ct), len(pt)+Overhead)
+	}
+	// Open accepts what AppendSeal produced.
+	got, err := c.Open(ct, aad)
+	if err != nil || !bytes.Equal(got, pt) {
+		t.Fatalf("Open(AppendSeal(...)) = %q, %v", got, err)
+	}
+	// AppendOpen accepts what Seal produced, preserving its own prefix.
+	sealed, err := c.Seal(pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst2 := append(make([]byte, 0, len(prefix)+len(pt)), prefix...)
+	out2, err := c.AppendOpen(dst2, sealed, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out2, append(append([]byte(nil), prefix...), pt...)) {
+		t.Fatalf("AppendOpen = %q", out2)
+	}
+	// Wrong AAD still fails through the append path.
+	if _, err := c.AppendOpen(nil, ct, []byte("other")); err != ErrDecrypt {
+		t.Fatalf("AppendOpen with wrong AAD = %v, want ErrDecrypt", err)
+	}
+	// Undersized input is rejected, not sliced out of range.
+	if _, err := c.AppendOpen(nil, ct[:Overhead-1], aad); err != ErrDecrypt {
+		t.Fatalf("AppendOpen on short input = %v, want ErrDecrypt", err)
+	}
+}
+
+// TestAppendSealNoAlloc pins the zero-allocation contract the chunk
+// pipeline depends on: with sufficient capacity, neither variant
+// allocates.
+func TestAppendSealNoAlloc(t *testing.T) {
+	key, err := NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, 4096)
+	aad := make([]byte, 10)
+	dst := make([]byte, 0, len(pt)+Overhead)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := c.AppendSeal(dst[:0], pt, aad); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("AppendSeal allocs/op = %v, want 0", n)
+	}
+	ct, err := c.Seal(pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptBuf := make([]byte, 0, len(pt))
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := c.AppendOpen(ptBuf[:0], ct, aad); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("AppendOpen allocs/op = %v, want 0", n)
+	}
+}

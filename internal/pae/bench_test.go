@@ -52,6 +52,60 @@ func BenchmarkOpen(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendSeal measures the zero-alloc variant against pooled
+// destination buffers — the configuration the pfs chunk pipeline runs.
+func BenchmarkAppendSeal(b *testing.B) {
+	key, err := NewRandomKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{4 << 10, 64 << 10} {
+		pt := make([]byte, size)
+		dst := make([]byte, 0, size+Overhead)
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AppendSeal(dst[:0], pt, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppendOpen measures the zero-alloc open path.
+func BenchmarkAppendOpen(b *testing.B) {
+	key, err := NewRandomKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{4 << 10, 64 << 10} {
+		ct, err := c.Seal(make([]byte, size), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]byte, 0, size)
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AppendOpen(dst[:0], ct, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkDeriveKey(b *testing.B) {
 	secret := make([]byte, 32)
 	for i := 0; i < b.N; i++ {

@@ -87,25 +87,50 @@ func NewCipher(key Key) (*Cipher, error) {
 // Seal encrypts plaintext with a fresh random IV, binding the optional
 // associated data. The returned ciphertext layout is nonce ‖ sealed.
 func (c *Cipher) Seal(plaintext, associatedData []byte) ([]byte, error) {
-	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
-	if _, err := io.ReadFull(rand.Reader, out[:NonceSize]); err != nil {
+	return c.AppendSeal(make([]byte, 0, NonceSize+len(plaintext)+TagSize), plaintext, associatedData)
+}
+
+// AppendSeal encrypts plaintext with a fresh random IV and appends
+// nonce ‖ sealed to dst, returning the extended slice. When dst has at
+// least Overhead+len(plaintext) spare capacity the call performs no
+// allocation, which lets callers seal into pooled or exactly-sized
+// buffers. dst and plaintext must not overlap.
+func (c *Cipher) AppendSeal(dst, plaintext, associatedData []byte) ([]byte, error) {
+	n := len(dst)
+	if cap(dst)-n < NonceSize {
+		grown := make([]byte, n, n+NonceSize+len(plaintext)+TagSize)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:n+NonceSize]
+	nonce := dst[n:]
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
 		return nil, fmt.Errorf("pae: nonce: %w", err)
 	}
-	return c.aead.Seal(out, out[:NonceSize], plaintext, associatedData), nil
+	return c.aead.Seal(dst, nonce, plaintext, associatedData), nil
 }
 
 // Open authenticates and decrypts a ciphertext produced by Seal under the
 // same associated data. It returns ErrDecrypt on any authentication
 // failure.
 func (c *Cipher) Open(ciphertext, associatedData []byte) ([]byte, error) {
+	return c.AppendOpen(nil, ciphertext, associatedData)
+}
+
+// AppendOpen authenticates and decrypts a ciphertext produced by Seal,
+// appending the plaintext to dst and returning the extended slice. When
+// dst has len(ciphertext)-Overhead spare capacity the call performs no
+// allocation. dst and ciphertext must not overlap. It returns ErrDecrypt
+// on any authentication failure.
+func (c *Cipher) AppendOpen(dst, ciphertext, associatedData []byte) ([]byte, error) {
 	if len(ciphertext) < Overhead {
 		return nil, ErrDecrypt
 	}
-	pt, err := c.aead.Open(nil, ciphertext[:NonceSize], ciphertext[NonceSize:], associatedData)
+	out, err := c.aead.Open(dst, ciphertext[:NonceSize], ciphertext[NonceSize:], associatedData)
 	if err != nil {
 		return nil, ErrDecrypt
 	}
-	return pt, nil
+	return out, nil
 }
 
 // Encrypt is a convenience wrapper that creates a one-shot cipher for key.

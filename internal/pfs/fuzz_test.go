@@ -39,6 +39,45 @@ func FuzzDecrypt(f *testing.F) {
 	})
 }
 
+// FuzzDecryptParallel feeds arbitrary blobs to the parallel reader. It
+// must never panic (in any worker goroutine), must agree with the serial
+// reader on accept/reject, and must return identical plaintext when both
+// accept. Corrupted chunk boundaries are the interesting region: the
+// parallel path slices chunk extents straight out of the blob, so the
+// seeds bias mutations there.
+func FuzzDecryptParallel(f *testing.F) {
+	key, err := pae.KeyFromBytes(bytes.Repeat([]byte{7}, pae.KeySize))
+	if err != nil {
+		f.Fatal(err)
+	}
+	// 5 full chunks plus a partial tail: enough leaves for two tree
+	// levels and a promoted odd node.
+	valid, err := Encrypt(key, []byte("/f"), bytes.Repeat([]byte("y"), 5*ChunkSize+100))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:ChunkSize+pae.Overhead]) // exactly one chunk, no tree/footer
+	boundary := append([]byte(nil), valid...)
+	boundary[ChunkSize+pae.Overhead] ^= 0xFF // first byte of chunk 1
+	f.Add(boundary)
+	tail := append([]byte(nil), valid...)
+	tail[5*(ChunkSize+pae.Overhead)+10] ^= 0x01 // inside the partial tail chunk
+	f.Add(tail)
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		serialPt, serialErr := Decrypt(key, []byte("/f"), blob)
+		parPt, parErr := DecryptWorkers(key, []byte("/f"), blob, 4)
+		if (serialErr == nil) != (parErr == nil) {
+			t.Fatalf("serial/parallel disagree: serial err=%v, parallel err=%v", serialErr, parErr)
+		}
+		if serialErr == nil && !bytes.Equal(serialPt, parPt) {
+			t.Fatal("serial and parallel readers accepted the blob with different plaintexts")
+		}
+	})
+}
+
 // FuzzMutateValid flips fuzz-chosen bytes of a valid blob; decryption
 // must either return the original plaintext (no effective change) or an
 // error — never wrong data.

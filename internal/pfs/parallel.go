@@ -1,0 +1,247 @@
+package pfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"segshare/internal/pae"
+)
+
+// Per-chunk AES-GCM with independent nonces and per-chunk associated
+// data is embarrassingly parallel, and the encoded layout is fully
+// deterministic: chunk i's ciphertext occupies exactly
+// [i*(ChunkSize+pae.Overhead), ...) of the blob. The one-shot paths here
+// exploit both: a bounded pool of workers seals/opens chunks directly
+// into their final slots of an exactly-sized buffer (no per-chunk
+// allocation, no reassembly pass), then a single goroutine builds the
+// Merkle tree and footer. The bytes produced are identical to the serial
+// Writer's modulo the random nonces, and every integrity guarantee of
+// the serial Reader (chunk auth, rebuilt-tree root check, stored
+// inner-node comparison) is preserved on the parallel open path.
+
+// maxDefaultWorkers caps the default pool: past ~8 workers AES-GCM on a
+// single stream is memory-bandwidth-bound and more goroutines only add
+// scheduling noise.
+const maxDefaultWorkers = 8
+
+// minParallelChunks is the small-file cutoff: below it the pool's
+// startup cost exceeds the sealing work and the serial path wins.
+const minParallelChunks = 4
+
+// DefaultWorkers returns the default crypto worker-pool size,
+// min(GOMAXPROCS, 8).
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxDefaultWorkers {
+		n = maxDefaultWorkers
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// UsesParallel reports whether a one-shot Encrypt/Decrypt of a plaintext
+// of the given size actually fans out to the pool under the given worker
+// count, or takes the serial fallback. Exported so callers can label
+// their metrics without duplicating the cutoff policy.
+func UsesParallel(plainSize int64, workers int) bool {
+	return workers > 1 && numChunks(plainSize) >= minParallelChunks
+}
+
+// EncryptWorkers is Encrypt with a bounded worker pool sealing chunks
+// concurrently. workers <= 1 (or a file below the parallel cutoff) falls
+// back to the serial path; the encoded blob is byte-compatible either
+// way.
+func EncryptWorkers(fileKey pae.Key, fileID, plaintext []byte, workers int) ([]byte, error) {
+	return AppendEncrypt(nil, fileKey, fileID, plaintext, workers)
+}
+
+// AppendEncrypt appends the encoded blob for plaintext to dst and
+// returns the extended slice. When dst has len(plaintext)+Overhead spare
+// capacity no further allocation happens, which lets callers embed a
+// protected blob directly inside a larger object (see internal/dedup)
+// without an intermediate copy.
+func AppendEncrypt(dst []byte, fileKey pae.Key, fileID, plaintext []byte, workers int) ([]byte, error) {
+	plainSize := int64(len(plaintext))
+	need := len(dst) + int(plainSize+Overhead(plainSize))
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	if !UsesParallel(plainSize, workers) {
+		buf := sliceWriter{data: dst}
+		w, err := NewWriter(fileKey, fileID, &buf)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(plaintext); err != nil {
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		return buf.data, nil
+	}
+
+	ck, err := chunkKey(fileKey)
+	if err != nil {
+		return nil, err
+	}
+	cipher, err := pae.NewCipher(ck)
+	if err != nil {
+		return nil, err
+	}
+	mk, err := macKey(fileKey)
+	if err != nil {
+		return nil, err
+	}
+
+	nc := numChunks(plainSize)
+	if int64(workers) > nc {
+		workers = int(nc)
+	}
+	out := dst[:need]
+	body := out[len(dst):]
+	leaves := make([][hashSize]byte, nc)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			aad := make([]byte, 8+len(fileID))
+			copy(aad[8:], fileID)
+			for {
+				i := next.Add(1) - 1
+				if i >= nc || failed.Load() {
+					return
+				}
+				ptOff := i * ChunkSize
+				ptEnd := min(ptOff+ChunkSize, plainSize)
+				ctOff := i * (ChunkSize + pae.Overhead)
+				ctLen := (ptEnd - ptOff) + pae.Overhead
+				binary.BigEndian.PutUint64(aad, uint64(i))
+				// Seal directly into the chunk's final slot; the
+				// three-index slice pins capacity so AEAD output cannot
+				// bleed into the next chunk's region.
+				ct, err := cipher.AppendSeal(body[ctOff:ctOff:ctOff+ctLen], plaintext[ptOff:ptEnd], aad)
+				if err != nil {
+					errs[wi] = fmt.Errorf("pfs: seal chunk %d: %w", i, err)
+					failed.Store(true)
+					return
+				}
+				leaves[i] = leafHash(ct)
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	levels := buildTree(leaves)
+	pos := (nc-1)*(ChunkSize+pae.Overhead) + (plainSize - (nc-1)*ChunkSize) + pae.Overhead
+	for _, level := range levels[1:] {
+		for _, node := range level {
+			copy(body[pos:], node[:])
+			pos += hashSize
+		}
+	}
+	f := footer{plainSize: plainSize, numChunks: nc, root: levels[len(levels)-1][0]}
+	copy(body[pos:], f.encode(mk))
+	return out, nil
+}
+
+// DecryptWorkers is Decrypt with a bounded worker pool opening chunks
+// concurrently into their exact offsets of the output buffer. It
+// provides the same guarantees as the serial path: every chunk is
+// authenticated, the Merkle tree is rebuilt from the chunk ciphertexts
+// and checked against the authenticated root, and the stored inner-node
+// region is compared against the rebuilt tree.
+func DecryptWorkers(fileKey pae.Key, fileID, blob []byte, workers int) ([]byte, error) {
+	r, err := Open(fileKey, fileID, bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		return nil, err
+	}
+	if !UsesParallel(r.ftr.plainSize, workers) {
+		var out bytes.Buffer
+		out.Grow(int(r.Size()))
+		if _, err := r.WriteTo(&out); err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	}
+
+	nc := r.ftr.numChunks
+	if int64(workers) > nc {
+		workers = int(nc)
+	}
+	out := make([]byte, r.ftr.plainSize)
+	leaves := make([][hashSize]byte, nc)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			aad := make([]byte, 8+len(fileID))
+			copy(aad[8:], fileID)
+			for {
+				i := next.Add(1) - 1
+				if i >= nc || failed.Load() {
+					return
+				}
+				// Open validated the blob's structure, so the chunk
+				// extents index it in bounds by construction.
+				off, ctLen := r.chunkExtent(i)
+				ct := blob[off : off+ctLen]
+				leaves[i] = leafHash(ct)
+				binary.BigEndian.PutUint64(aad, uint64(i))
+				ptOff := i * ChunkSize
+				ptLen := ctLen - pae.Overhead
+				if _, err := r.cipher.AppendOpen(out[ptOff:ptOff:ptOff+ptLen], ct, aad); err != nil {
+					errs[wi] = ErrCorrupt
+					failed.Store(true)
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	levels := buildTree(leaves)
+	if levels[len(levels)-1][0] != r.ftr.root {
+		return nil, ErrCorrupt
+	}
+	off := r.chunksEnd
+	for _, level := range levels[1:] {
+		for _, node := range level {
+			if !bytes.Equal(blob[off:off+hashSize], node[:]) {
+				return nil, ErrCorrupt
+			}
+			off += hashSize
+		}
+	}
+	return out, nil
+}

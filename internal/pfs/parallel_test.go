@@ -1,0 +1,301 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"segshare/internal/pae"
+)
+
+// compatSizes covers the structural corner cases of the format: the
+// empty file (single empty chunk), sub-chunk, exact single chunk, a
+// one-byte tail, a multi-chunk file with a partial tail (odd leaf count
+// exercising node promotion), and a larger power-of-two chunk count.
+var compatSizes = []int{
+	0,
+	1,
+	ChunkSize - 1,
+	ChunkSize,
+	ChunkSize + 1,
+	3*ChunkSize + 7,
+	16 * ChunkSize,
+}
+
+func compatKeyID(t *testing.T) (pae.Key, []byte) {
+	t.Helper()
+	key, err := pae.KeyFromBytes(bytes.Repeat([]byte{0x42}, pae.KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, []byte("compat/file")
+}
+
+func compatPlain(n int) []byte {
+	p := make([]byte, n)
+	rnd := rand.New(rand.NewSource(int64(n) + 1))
+	rnd.Read(p)
+	return p
+}
+
+// TestCrossCompatibilityMatrix proves the on-disk format is unchanged by
+// the parallel pipeline: every (writer, reader) pairing of the serial
+// and parallel paths round-trips every corner-case size, and the
+// deterministic regions of the blob (everything but the random nonces
+// and the ciphertext bytes they induce) have identical shape.
+func TestCrossCompatibilityMatrix(t *testing.T) {
+	key, fileID := compatKeyID(t)
+	type codec struct {
+		name    string
+		encrypt func([]byte) ([]byte, error)
+		decrypt func([]byte) ([]byte, error)
+	}
+	codecs := []codec{
+		{
+			name:    "serial",
+			encrypt: func(p []byte) ([]byte, error) { return Encrypt(key, fileID, p) },
+			decrypt: func(b []byte) ([]byte, error) { return Decrypt(key, fileID, b) },
+		},
+	}
+	for _, workers := range []int{2, 3, 8} {
+		w := workers
+		codecs = append(codecs, codec{
+			name:    fmt.Sprintf("parallel-%d", w),
+			encrypt: func(p []byte) ([]byte, error) { return EncryptWorkers(key, fileID, p, w) },
+			decrypt: func(b []byte) ([]byte, error) { return DecryptWorkers(key, fileID, b, w) },
+		})
+	}
+	for _, size := range compatSizes {
+		plain := compatPlain(size)
+		for _, enc := range codecs {
+			blob, err := enc.encrypt(plain)
+			if err != nil {
+				t.Fatalf("size %d %s encrypt: %v", size, enc.name, err)
+			}
+			if want := int64(size) + Overhead(int64(size)); int64(len(blob)) != want {
+				t.Fatalf("size %d %s blob length = %d, want %d", size, enc.name, len(blob), want)
+			}
+			for _, dec := range codecs {
+				got, err := dec.decrypt(blob)
+				if err != nil {
+					t.Fatalf("size %d %s->%s decrypt: %v", size, enc.name, dec.name, err)
+				}
+				if !bytes.Equal(got, plain) {
+					t.Fatalf("size %d %s->%s plaintext mismatch", size, enc.name, dec.name)
+				}
+				// The random-access Reader must accept the blob too.
+				r, err := Open(key, fileID, bytes.NewReader(blob), int64(len(blob)))
+				if err != nil {
+					t.Fatalf("size %d %s open: %v", size, enc.name, err)
+				}
+				if r.Size() != int64(size) {
+					t.Fatalf("size %d %s reader size = %d", size, enc.name, r.Size())
+				}
+			}
+		}
+	}
+}
+
+// TestParallelFooterMatchesSerial checks the deterministic trailer
+// structure byte by byte: for the same plaintext, serial and parallel
+// writers must produce a footer with the same plainSize and numChunks
+// (the roots differ because nonces differ, but both must parse under the
+// same MAC key).
+func TestParallelFooterMatchesSerial(t *testing.T) {
+	key, fileID := compatKeyID(t)
+	mk, err := macKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range compatSizes {
+		plain := compatPlain(size)
+		serial, err := Encrypt(key, fileID, plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := EncryptWorkers(key, fileID, plain, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) != len(par) {
+			t.Fatalf("size %d: blob lengths differ: %d vs %d", size, len(serial), len(par))
+		}
+		fs, err := parseFooter(mk, serial[len(serial)-footerSize:])
+		if err != nil {
+			t.Fatalf("size %d serial footer: %v", size, err)
+		}
+		fp, err := parseFooter(mk, par[len(par)-footerSize:])
+		if err != nil {
+			t.Fatalf("size %d parallel footer: %v", size, err)
+		}
+		if fs.plainSize != fp.plainSize || fs.numChunks != fp.numChunks {
+			t.Fatalf("size %d footer metadata differs: %+v vs %+v", size, fs, fp)
+		}
+	}
+}
+
+// TestWriterWorkersStreaming drives the parallel streaming Writer with
+// odd-sized writes (so chunk boundaries never align with Write calls)
+// and verifies serial and parallel readers both accept the result.
+func TestWriterWorkersStreaming(t *testing.T) {
+	key, fileID := compatKeyID(t)
+	for _, size := range compatSizes {
+		plain := compatPlain(size)
+		for _, workers := range []int{1, 2, 8} {
+			var buf sliceWriter
+			w, err := NewWriterWorkers(key, fileID, &buf, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for off := 0; off < len(plain); {
+				n := min(1237, len(plain)-off)
+				if _, err := w.Write(plain[off : off+n]); err != nil {
+					t.Fatalf("size %d workers %d write: %v", size, workers, err)
+				}
+				off += n
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("size %d workers %d close: %v", size, workers, err)
+			}
+			if _, err := w.Write([]byte("x")); err != ErrWriterClosed {
+				t.Fatalf("write after close = %v", err)
+			}
+			got, err := Decrypt(key, fileID, buf.data)
+			if err != nil {
+				t.Fatalf("size %d workers %d serial decrypt: %v", size, workers, err)
+			}
+			if !bytes.Equal(got, plain) {
+				t.Fatalf("size %d workers %d plaintext mismatch", size, workers)
+			}
+			got, err = DecryptWorkers(key, fileID, buf.data, 4)
+			if err != nil {
+				t.Fatalf("size %d workers %d parallel decrypt: %v", size, workers, err)
+			}
+			if !bytes.Equal(got, plain) {
+				t.Fatalf("size %d workers %d parallel plaintext mismatch", size, workers)
+			}
+		}
+	}
+}
+
+// TestParallelDetectsTampering flips one bit at every structurally
+// interesting offset — chunk boundaries, chunk interiors, the stored
+// tree region, the footer — and requires the parallel reader to reject
+// each mutation, exactly like the serial one.
+func TestParallelDetectsTampering(t *testing.T) {
+	key, fileID := compatKeyID(t)
+	size := 5*ChunkSize + 123
+	plain := compatPlain(size)
+	blob, err := EncryptWorkers(key, fileID, plain, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctChunk := ChunkSize + pae.Overhead
+	offsets := []int{
+		0,                          // first byte of chunk 0's nonce
+		ctChunk - 1,                // last byte of chunk 0 (tag)
+		ctChunk,                    // first byte of chunk 1
+		2*ctChunk + 100,            // interior of chunk 2
+		5 * ctChunk,                // tail chunk
+		len(blob) - footerSize - 1, // stored tree node
+		len(blob) - 1,              // footer MAC
+	}
+	for _, off := range offsets {
+		mutated := append([]byte(nil), blob...)
+		mutated[off] ^= 0x01
+		if _, err := DecryptWorkers(key, fileID, mutated, 4); err == nil {
+			t.Fatalf("bit flip at %d not detected by parallel reader", off)
+		}
+		if _, err := Decrypt(key, fileID, mutated); err == nil {
+			t.Fatalf("bit flip at %d not detected by serial reader", off)
+		}
+	}
+	// Cross-chunk ciphertext swap: chunk auth passes per-chunk AAD
+	// binding must catch reordering.
+	swapped := append([]byte(nil), blob...)
+	copy(swapped[0:ctChunk], blob[ctChunk:2*ctChunk])
+	copy(swapped[ctChunk:2*ctChunk], blob[0:ctChunk])
+	if _, err := DecryptWorkers(key, fileID, swapped, 4); err == nil {
+		t.Fatal("chunk swap not detected by parallel reader")
+	}
+	// Truncation and extension.
+	if _, err := DecryptWorkers(key, fileID, blob[:len(blob)-1], 4); err == nil {
+		t.Fatal("truncation not detected")
+	}
+	if _, err := DecryptWorkers(key, fileID, append(append([]byte(nil), blob...), 0x00), 4); err == nil {
+		t.Fatal("extension not detected")
+	}
+}
+
+// TestAppendEncryptIntoPrefix verifies AppendEncrypt leaves an existing
+// prefix untouched and appends a valid blob after it — the contract
+// internal/dedup relies on to avoid a whole-blob copy.
+func TestAppendEncryptIntoPrefix(t *testing.T) {
+	key, fileID := compatKeyID(t)
+	plain := compatPlain(6*ChunkSize + 17)
+	prefix := []byte("object-header")
+	for _, workers := range []int{1, 4} {
+		dst := make([]byte, 0, len(prefix)+len(plain)+int(Overhead(int64(len(plain)))))
+		dst = append(dst, prefix...)
+		out, err := AppendEncrypt(dst, key, fileID, plain, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out[:len(prefix)], prefix) {
+			t.Fatalf("workers %d: prefix clobbered", workers)
+		}
+		got, err := Decrypt(key, fileID, out[len(prefix):])
+		if err != nil {
+			t.Fatalf("workers %d: decrypt appended blob: %v", workers, err)
+		}
+		if !bytes.Equal(got, plain) {
+			t.Fatalf("workers %d: plaintext mismatch", workers)
+		}
+	}
+}
+
+func TestDefaultWorkersBounds(t *testing.T) {
+	n := DefaultWorkers()
+	if n < 1 || n > maxDefaultWorkers {
+		t.Fatalf("DefaultWorkers() = %d", n)
+	}
+}
+
+func BenchmarkEncryptWorkers(b *testing.B) {
+	key, _ := pae.NewRandomKey()
+	fileID := []byte("bench/file")
+	plain := compatPlain(8 << 20)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("8MiB-w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(plain)))
+			for i := 0; i < b.N; i++ {
+				if _, err := EncryptWorkers(key, fileID, plain, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecryptWorkers(b *testing.B) {
+	key, _ := pae.NewRandomKey()
+	fileID := []byte("bench/file")
+	plain := compatPlain(8 << 20)
+	blob, err := Encrypt(key, fileID, plain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("8MiB-w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(plain)))
+			for i := 0; i < b.N; i++ {
+				if _, err := DecryptWorkers(key, fileID, blob, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"sync"
 
 	"segshare/internal/pae"
 )
@@ -92,23 +93,30 @@ func chunkAAD(fileID []byte, index int64) []byte {
 	return aad
 }
 
+// hashScratchPool holds prefix‖data scratch buffers for leafHash. Going
+// through hash.Hash would cost heap allocations per call (the interface
+// defeats escape analysis); concatenating into pooled scratch and using
+// sha256.Sum256 keeps the per-chunk hot path allocation-free.
+var hashScratchPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1+ChunkSize+pae.Overhead)
+	return &b
+}}
+
 func leafHash(chunkCiphertext []byte) [hashSize]byte {
-	h := sha256.New()
-	h.Write([]byte{0x00}) // leaf domain separator
-	h.Write(chunkCiphertext)
-	var out [hashSize]byte
-	copy(out[:], h.Sum(nil))
+	sp := hashScratchPool.Get().(*[]byte)
+	s := append(append((*sp)[:0], 0x00), chunkCiphertext...) // leaf domain separator
+	out := sha256.Sum256(s)
+	*sp = s[:0]
+	hashScratchPool.Put(sp)
 	return out
 }
 
 func innerHash(left, right [hashSize]byte) [hashSize]byte {
-	h := sha256.New()
-	h.Write([]byte{0x01}) // inner-node domain separator
-	h.Write(left[:])
-	h.Write(right[:])
-	var out [hashSize]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	var b [1 + 2*hashSize]byte
+	b[0] = 0x01 // inner-node domain separator
+	copy(b[1:], left[:])
+	copy(b[1+hashSize:], right[:])
+	return sha256.Sum256(b[:])
 }
 
 // buildTree builds a Merkle tree bottom-up over the leaf hashes. The

@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -195,20 +196,27 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteTo streams the whole verified plaintext to w, one chunk at a time,
 // rebuilding the full Merkle tree from the chunk ciphertexts so integrity
-// does not rest on the stored inner nodes.
+// does not rest on the stored inner nodes. The chunk, plaintext, and AAD
+// buffers are reused across chunks (w must not retain what it is handed,
+// per the io.Writer contract), so the loop itself does not allocate.
 func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 	var (
 		total  int64
 		leaves = make([][hashSize]byte, 0, r.ftr.numChunks)
+		ct     = make([]byte, 0, ChunkSize+pae.Overhead)
+		ptBuf  = make([]byte, 0, ChunkSize)
+		aad    = make([]byte, 8+len(r.fileID))
 	)
+	copy(aad[8:], r.fileID)
 	for idx := int64(0); idx < r.ftr.numChunks; idx++ {
 		off, ctLen := r.chunkExtent(idx)
-		ct := make([]byte, ctLen)
+		ct = ct[:ctLen]
 		if _, err := r.src.ReadAt(ct, off); err != nil {
 			return total, fmt.Errorf("%w: chunk %d unreadable", ErrCorrupt, idx)
 		}
 		leaves = append(leaves, leafHash(ct))
-		pt, err := r.cipher.Open(ct, chunkAAD(r.fileID, idx))
+		binary.BigEndian.PutUint64(aad, uint64(idx))
+		pt, err := r.cipher.AppendOpen(ptBuf[:0], ct, aad)
 		if err != nil {
 			return total, ErrCorrupt
 		}
@@ -226,13 +234,13 @@ func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 	// a full read detects tampering anywhere in the blob, not only in the
 	// chunks.
 	off := r.chunksEnd
+	stored := make([]byte, hashSize)
 	for _, level := range levels[1:] {
-		for _, node := range level {
-			var stored [hashSize]byte
-			if _, err := r.src.ReadAt(stored[:], off); err != nil {
+		for i := range level {
+			if _, err := r.src.ReadAt(stored, off); err != nil {
 				return total, fmt.Errorf("%w: stored tree unreadable", ErrCorrupt)
 			}
-			if stored != node {
+			if !bytes.Equal(stored, level[i][:]) {
 				return total, ErrCorrupt
 			}
 			off += hashSize

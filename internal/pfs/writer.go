@@ -1,18 +1,28 @@
 package pfs
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"segshare/internal/pae"
 )
 
-// Writer encrypts a protected file in one streaming pass. Only one chunk
-// of plaintext is buffered at a time; leaf hashes (32 bytes per 4 KiB
-// chunk) accumulate until Close writes the Merkle tree and footer.
+// Writer encrypts a protected file in one streaming pass. Leaf hashes
+// (32 bytes per 4 KiB chunk) accumulate until Close writes the Merkle
+// tree and footer.
+//
+// In serial mode (NewWriter, or NewWriterWorkers with workers <= 1) only
+// one chunk of plaintext is buffered at a time and one goroutine does
+// all the sealing. With workers > 1 chunks are sealed concurrently by a
+// bounded pool; a FIFO drain emits ciphertexts to dst strictly in chunk
+// order, so the encoded output is identical to serial mode (modulo the
+// random nonces) and at most 2×workers chunks are in flight — the
+// enclave's memory footprint stays bounded regardless of file size.
 //
 // Writer mirrors the library's single-writer discipline: it is not safe
-// for concurrent use.
+// for concurrent use by multiple callers (the worker pool is internal).
 type Writer struct {
 	cipher *pae.Cipher
 	macKey []byte
@@ -25,14 +35,57 @@ type Writer struct {
 	leaves [][hashSize]byte
 	closed bool
 	err    error
+
+	// Serial-mode scratch, reused across chunks: aad is
+	// BE64(index) ‖ fileID with the index rewritten in place, ct is the
+	// sealed-chunk buffer (dst must not retain what Write hands it, per
+	// the io.Writer contract).
+	aad []byte
+	ct  []byte
+
+	// Parallel pipeline state; jobs is nil in serial mode.
+	workers int
+	jobs    chan *sealJob
+	pending []*sealJob
+	wg      sync.WaitGroup
+	bufPtr  *[]byte // pool token for buf, handed to the job on submit
 }
 
 var _ io.WriteCloser = (*Writer)(nil)
+
+// sealJob carries one chunk through the worker pool. The shell and its
+// ciphertext buffer are pooled; the plaintext buffer travels from the
+// writer's fill loop into the job and back to chunkBufPool on drain.
+type sealJob struct {
+	index    int64
+	plain    []byte
+	plainPtr *[]byte
+	ct       []byte
+	err      error
+	done     sync.WaitGroup
+}
+
+var (
+	chunkBufPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, ChunkSize)
+		return &b
+	}}
+	sealJobPool = sync.Pool{New: func() any {
+		return &sealJob{ct: make([]byte, 0, ChunkSize+pae.Overhead)}
+	}}
+)
 
 // NewWriter starts writing a protected file identified by fileID (the
 // associated data binding chunks to this file, e.g. its path) to dst
 // under fileKey.
 func NewWriter(fileKey pae.Key, fileID []byte, dst io.Writer) (*Writer, error) {
+	return NewWriterWorkers(fileKey, fileID, dst, 1)
+}
+
+// NewWriterWorkers is NewWriter with a bounded pool of workers sealing
+// chunks concurrently. workers <= 1 selects the serial path; the encoded
+// output is byte-compatible either way.
+func NewWriterWorkers(fileKey pae.Key, fileID []byte, dst io.Writer, workers int) (*Writer, error) {
 	ck, err := chunkKey(fileKey)
 	if err != nil {
 		return nil, err
@@ -47,13 +100,27 @@ func NewWriter(fileKey pae.Key, fileID []byte, dst io.Writer) (*Writer, error) {
 	}
 	id := make([]byte, len(fileID))
 	copy(id, fileID)
-	return &Writer{
+	w := &Writer{
 		cipher: cipher,
 		macKey: mk,
 		fileID: id,
 		dst:    dst,
-		buf:    make([]byte, 0, ChunkSize),
-	}, nil
+	}
+	if workers > 1 {
+		w.workers = workers
+		// Channel capacity matches the drain window, so submits never
+		// block on the channel itself — only on draining the oldest job.
+		w.jobs = make(chan *sealJob, 2*workers)
+		w.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go w.worker()
+		}
+		w.bufPtr = chunkBufPool.Get().(*[]byte)
+		w.buf = (*w.bufPtr)[:0]
+	} else {
+		w.buf = make([]byte, 0, ChunkSize)
+	}
+	return w, nil
 }
 
 // Write implements io.Writer.
@@ -82,10 +149,19 @@ func (w *Writer) Write(p []byte) (int, error) {
 }
 
 func (w *Writer) flushChunk() error {
-	ct, err := w.cipher.Seal(w.buf, chunkAAD(w.fileID, w.index))
+	if w.jobs != nil {
+		return w.submitChunk()
+	}
+	if w.aad == nil {
+		w.aad = make([]byte, 8+len(w.fileID))
+		copy(w.aad[8:], w.fileID)
+	}
+	binary.BigEndian.PutUint64(w.aad, uint64(w.index))
+	ct, err := w.cipher.AppendSeal(w.ct[:0], w.buf, w.aad)
 	if err != nil {
 		return fmt.Errorf("pfs: seal chunk %d: %w", w.index, err)
 	}
+	w.ct = ct
 	if _, err := w.dst.Write(ct); err != nil {
 		return fmt.Errorf("pfs: write chunk %d: %w", w.index, err)
 	}
@@ -94,6 +170,101 @@ func (w *Writer) flushChunk() error {
 	w.index++
 	w.buf = w.buf[:0]
 	return nil
+}
+
+// worker seals jobs until the channel closes. Each worker keeps its own
+// AAD buffer; ciphertexts land in the job's pooled buffer.
+func (w *Writer) worker() {
+	defer w.wg.Done()
+	aad := make([]byte, 8+len(w.fileID))
+	copy(aad[8:], w.fileID)
+	for j := range w.jobs {
+		binary.BigEndian.PutUint64(aad, uint64(j.index))
+		j.ct, j.err = w.cipher.AppendSeal(j.ct[:0], j.plain, aad)
+		j.done.Done()
+	}
+}
+
+// submitChunk hands the current chunk buffer to the pool and takes a
+// fresh one. The drain window (2×workers) bounds in-flight chunks:
+// beyond it the oldest job is drained first, providing backpressure.
+func (w *Writer) submitChunk() error {
+	j := sealJobPool.Get().(*sealJob)
+	j.index = w.index
+	j.plain = w.buf
+	j.plainPtr = w.bufPtr
+	j.err = nil
+	j.done.Add(1)
+	w.plain += int64(len(w.buf))
+	w.index++
+	w.bufPtr = chunkBufPool.Get().(*[]byte)
+	w.buf = (*w.bufPtr)[:0]
+	w.pending = append(w.pending, j)
+	w.jobs <- j
+	if len(w.pending) >= 2*w.workers {
+		return w.drainOldest()
+	}
+	return nil
+}
+
+// drainOldest waits for the oldest in-flight job and emits its
+// ciphertext. Jobs complete out of order but drain strictly FIFO, which
+// is what keeps the on-disk chunk order identical to serial mode.
+func (w *Writer) drainOldest() error {
+	j := w.pending[0]
+	copy(w.pending, w.pending[1:])
+	w.pending = w.pending[:len(w.pending)-1]
+	j.done.Wait()
+	err := j.err
+	if err == nil {
+		if _, werr := w.dst.Write(j.ct); werr != nil {
+			err = fmt.Errorf("pfs: write chunk %d: %w", j.index, werr)
+		} else {
+			w.leaves = append(w.leaves, leafHash(j.ct))
+		}
+	} else {
+		err = fmt.Errorf("pfs: seal chunk %d: %w", j.index, err)
+	}
+	w.recycle(j)
+	return err
+}
+
+func (w *Writer) recycle(j *sealJob) {
+	if j.plainPtr != nil {
+		*j.plainPtr = j.plain[:0]
+		chunkBufPool.Put(j.plainPtr)
+	}
+	j.plain, j.plainPtr = nil, nil
+	sealJobPool.Put(j)
+}
+
+// shutdown drains every outstanding job (discarding results when the
+// writer already failed) and stops the worker pool. Idempotent.
+func (w *Writer) shutdown(emit bool) error {
+	if w.jobs == nil {
+		return nil
+	}
+	var err error
+	for len(w.pending) > 0 {
+		if emit && err == nil {
+			err = w.drainOldest()
+			continue
+		}
+		j := w.pending[0]
+		copy(w.pending, w.pending[1:])
+		w.pending = w.pending[:len(w.pending)-1]
+		j.done.Wait()
+		w.recycle(j)
+	}
+	close(w.jobs)
+	w.wg.Wait()
+	w.jobs = nil
+	if w.bufPtr != nil {
+		*w.bufPtr = (*w.bufPtr)[:0]
+		chunkBufPool.Put(w.bufPtr)
+		w.bufPtr, w.buf = nil, nil
+	}
+	return err
 }
 
 // Close flushes the final chunk, writes the Merkle tree and the
@@ -105,21 +276,29 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	if w.err != nil {
+		w.shutdown(false)
 		return w.err
 	}
 	// An empty file is stored as a single empty chunk so that the format
 	// (and the integrity protection) is uniform.
 	if len(w.buf) > 0 || w.index == 0 {
 		if err := w.flushChunk(); err != nil {
+			w.shutdown(false)
 			return err
 		}
+	}
+	if err := w.shutdown(true); err != nil {
+		return err
 	}
 	levels := buildTree(w.leaves)
 	// The leaf level is recomputable from the chunk ciphertexts and is not
 	// stored; everything above it is.
+	// Index into the level slice rather than ranging by value: slicing a
+	// copied [32]byte loop variable would heap-allocate per node at the
+	// interface call.
 	for _, level := range levels[1:] {
-		for _, node := range level {
-			if _, err := w.dst.Write(node[:]); err != nil {
+		for i := range level {
+			if _, err := w.dst.Write(level[i][:]); err != nil {
 				return fmt.Errorf("pfs: write tree: %w", err)
 			}
 		}
@@ -132,9 +311,11 @@ func (w *Writer) Close() error {
 }
 
 // Encrypt is the one-shot convenience: it protects plaintext and returns
-// the encoded blob.
+// the encoded blob. The output buffer is preallocated at its exact final
+// size (Overhead is deterministic), so encoding never reallocates
+// mid-stream.
 func Encrypt(fileKey pae.Key, fileID, plaintext []byte) ([]byte, error) {
-	var buf sliceWriter
+	buf := sliceWriter{data: make([]byte, 0, int64(len(plaintext))+Overhead(int64(len(plaintext))))}
 	w, err := NewWriter(fileKey, fileID, &buf)
 	if err != nil {
 		return nil, err
