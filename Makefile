@@ -3,7 +3,7 @@
 
 RACE_PKGS := ./internal/obs ./internal/enclave ./internal/store ./internal/audit ./internal/core ./internal/cache ./internal/journal
 
-.PHONY: verify build test vet race bench bench-smoke advisory
+.PHONY: verify build test vet race bench bench-smoke chaos-smoke advisory
 
 verify: build test vet race
 
@@ -28,6 +28,12 @@ bench:
 # job.
 bench-smoke:
 	go test -bench=. -benchtime=1x ./internal/pfs ./internal/pae ./internal/bench
+
+# Deterministic chaos pass under -race: the brownout recovery contract
+# (degraded read-only mode, breaker lifecycle, audit evidence) and the
+# resilient-wrapper unit suite. Mirrors the chaos-smoke CI job.
+chaos-smoke:
+	go test -race -run 'TestBrownout|TestResilient|TestBackendConformance' ./internal/core ./internal/store
 
 # Advisory static analysis — mirrors the non-blocking CI job. Needs
 # network access to fetch the tools; failures here never gate a merge.

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|e13|e14|all")
+		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|e13|e14|e15|all")
 		full       = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		runs       = flag.Int("runs", 0, "override runs per data point")
 		maxExp     = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
@@ -137,6 +137,12 @@ func run(exp string, full bool, runs, maxExp int, wan bool) error {
 	if all || exp == "e14" {
 		ran = true
 		if err := runE14(full, runs); err != nil {
+			return err
+		}
+	}
+	if all || exp == "e15" {
+		ran = true
+		if err := runE15(full, runs); err != nil {
 			return err
 		}
 	}
@@ -443,6 +449,34 @@ func runE14(full bool, runs int) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%s\t%.0f MiB/s\t%.0f\t%.2fx\n",
 			r.Workers, r.Op, r.MiBPerSec, r.AllocsPerOp, r.Speedup)
+	}
+	return w.Flush()
+}
+
+func runE15(full bool, runs int) error {
+	cfg := bench.DefaultE15()
+	if full {
+		cfg.Ops = 20
+		cfg.Reps = 5
+		cfg.FailFastOps = 512
+	}
+	if runs > 0 {
+		cfg.Ops = runs
+	}
+	rows, err := bench.RunE15(cfg)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("E15 — resilient store wrapper, single-stream %dMiB, %d ops/cell", cfg.FileMiB, cfg.Ops),
+		"cell", "baseline", "resilient", "overhead", "fail-fast", "recovery")
+	for _, r := range rows {
+		if r.Op == "brownout" {
+			fmt.Fprintf(w, "%s\t-\t-\t-\t%v/op\t%v\n",
+				r.Op, r.FailFast.Round(time.Microsecond), r.Recovery.Round(time.Millisecond))
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.0f MiB/s\t%.0f MiB/s\t%.2f%%\t-\t-\n",
+			r.Op, r.Baseline, r.Resilient, r.OverheadPct)
 	}
 	return w.Flush()
 }

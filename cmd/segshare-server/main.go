@@ -58,6 +58,14 @@ func run() error {
 		profBlk  = flag.Int("profile-block", 0, "block profiling for /debug/pprof/block: record events blocking >= this many ns, 0 = off")
 		journal  = flag.Bool("journal", true, "crash-consistent mutations via the sealed intent journal (disable only for benchmarking)")
 
+		resilOn  = flag.Bool("store-resilience", true, "wrap the untrusted stores in the resilient I/O layer: deadlines, retry with backoff, circuit breaker, degraded read-only mode")
+		sDeadl   = flag.Duration("store-deadline", 0, "deadline per store mutation (Put/Delete/Rename); 0 = default 15s, negative disables")
+		sRDeadl  = flag.Duration("store-read-deadline", 0, "deadline per store read (Get/Exists/List); 0 = default 5s, negative disables")
+		sRetries = flag.Int("store-retries", 0, "retries per store op after a transient failure; 0 = default 2, negative disables retries")
+		brkThr   = flag.Int("breaker-threshold", 0, "consecutive store failures that open the circuit breaker (0 = default 5)")
+		brkCool  = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before half-open probes (0 = default 3s)")
+		brkProbe = flag.Int("breaker-probes", 0, "consecutive half-open probe successes that close the breaker (0 = default 2)")
+
 		wideEv    = flag.Bool("wide-events", true, "emit one canonical wide event per request (disable only when measuring telemetry overhead)")
 		exportOut = flag.String("export-out", "", "append wide events and sampled traces as JSONL to this file")
 		exportURL = flag.String("export-url", "", "POST wide-event/trace batches as JSON to this URL (retried with backoff, dropped when the bounded queue fills)")
@@ -226,6 +234,16 @@ func run() error {
 		DisableRequestRegistry: *noInReg,
 		Profiler:               profiler,
 	}
+	if *resilOn {
+		cfg.Resilience = &segshare.ResilientOptions{
+			MutationDeadline: *sDeadl,
+			ReadDeadline:     *sRDeadl,
+			Retries:          *sRetries,
+			BreakerThreshold: *brkThr,
+			BreakerCooldown:  *brkCool,
+			BreakerProbes:    *brkProbe,
+		}
+	}
 	if *sloOn {
 		perOp, err := parsePerOpLatency(*sloLatOp)
 		if err != nil {
@@ -286,6 +304,11 @@ func run() error {
 	if err := health.AddCheck("enclave", server.CheckEnclave); err != nil {
 		return err
 	}
+	// Degraded read-only mode fails readiness so load balancers drain
+	// mutating traffic; the server itself keeps answering reads.
+	if err := health.AddCheck("store_degraded", server.CheckDegraded); err != nil {
+		return err
+	}
 	if *admin != "" {
 		opts := []obs.HandlerOption{obs.WithHealth(health)}
 		if server.AuditLog() != nil {
@@ -313,8 +336,8 @@ func run() error {
 		return err
 	}
 	health.SetReady(true)
-	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v wide-events=%v watchdog=%v slo=%v hot-k=%d profiler=%v crypto-workers=%d)\n",
-		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal, *wideEv, *wdOn, *sloOn, *hotK, *profDir != "", *cryptoW)
+	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v wide-events=%v watchdog=%v slo=%v hot-k=%d profiler=%v crypto-workers=%d resilience=%v)\n",
+		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal, *wideEv, *wdOn, *sloOn, *hotK, *profDir != "", *cryptoW, *resilOn)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -338,9 +361,18 @@ func serveAdmin(addr string, handler *atomic.Value) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("admin listener: %w", err)
 	}
-	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		handler.Load().(http.Handler).ServeHTTP(w, r)
-	})}
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// WriteTimeout must outlast the longest debug capture this
+		// listener can stream: a /debug/pprof/profile CPU capture defaults
+		// to 30s and callers may ask for more.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
 	go srv.Serve(listener)
 	return listener.Addr(), nil
 }

@@ -64,6 +64,10 @@ const (
 	// EventWatchdog: the stall watchdog detected a healthy→stalled
 	// transition on one of its checks and captured a profile snapshot.
 	EventWatchdog EventType = "watchdog"
+	// EventDegraded: a store circuit breaker changed state — the server
+	// entered, probed, or left degraded read-only mode. Detail names the
+	// store role and the transition (e.g. "content closed->open").
+	EventDegraded EventType = "degraded"
 	// EventSLOBreach: a burn-rate window pair crossed its threshold —
 	// the service started consuming error budget fast enough to matter.
 	// Detail carries the breach speed ("fast_burn"/"slow_burn"), Op the

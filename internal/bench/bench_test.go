@@ -176,6 +176,37 @@ func TestMeasureStats(t *testing.T) {
 	}
 }
 
+func TestRunE15Tiny(t *testing.T) {
+	rows, err := RunE15(E15Config{FileMiB: 1, Ops: 1, Reps: 1, FailFastOps: 4, Cooldown: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("RunE15: %v", err)
+	}
+	if len(rows) != 3 { // put, get, brownout
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:2] {
+		if r.Baseline <= 0 || r.Resilient <= 0 {
+			t.Fatalf("non-positive throughput in %+v", r)
+		}
+	}
+	brown := rows[2]
+	if brown.Op != "brownout" {
+		t.Fatalf("last row op = %q", brown.Op)
+	}
+	if brown.FailFast <= 0 || brown.Recovery <= 0 {
+		t.Fatalf("brownout timings not measured: %+v", brown)
+	}
+	// Recovery is cooldown-dominated; fail-fast rejections never touch
+	// the backend and must be orders of magnitude quicker than a
+	// cooldown. Generous bounds keep this stable on loaded CI machines.
+	if brown.Recovery < 25*time.Millisecond {
+		t.Fatalf("recovery %v beat the breaker cooldown", brown.Recovery)
+	}
+	if brown.FailFast > 10*time.Millisecond {
+		t.Fatalf("fail-fast %v is not fast", brown.FailFast)
+	}
+}
+
 func TestRunE14Tiny(t *testing.T) {
 	rows, err := RunE14(E14Config{Workers: []int{1, 2}, FileMiB: 1, Ops: 1, Reps: 1})
 	if err != nil {

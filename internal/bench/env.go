@@ -111,6 +111,14 @@ type EnvConfig struct {
 	// Profiler, when non-nil, is attached to the deployment. The caller
 	// owns it (Stop after Env.Close).
 	Profiler *obs.ContinuousProfiler
+	// Resilience, when non-nil, wraps the untrusted stores in the
+	// resilient I/O layer (deadlines, retries, circuit breaker); E15 uses
+	// it to price the healthy-path overhead and drive brownout recovery.
+	Resilience *store.ResilientOptions
+	// FaultPlan, when non-nil, interposes store.Faulty between the raw
+	// memory backends and the server so experiments can inject failures
+	// and latency (E15 brownouts).
+	FaultPlan *store.FaultPlan
 }
 
 // Env is a full in-process SeGShare deployment listening on loopback.
@@ -139,10 +147,17 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		return nil, err
 	}
 	features := cfg.Features
+	newStore := func() segshare.Backend {
+		b := segshare.NewMemoryStore()
+		if cfg.FaultPlan != nil {
+			return store.NewFaultyWithPlan(b, cfg.FaultPlan)
+		}
+		return b
+	}
 	serverCfg := segshare.ServerConfig{
 		CACertPEM:         authority.CertificatePEM(),
-		ContentStore:      segshare.NewMemoryStore(),
-		GroupStore:        segshare.NewMemoryStore(),
+		ContentStore:      newStore(),
+		GroupStore:        newStore(),
 		Features:          features,
 		Bridge:            cfg.Bridge,
 		LockShards:        cfg.LockShards,
@@ -157,6 +172,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 
 		DisableRequestRegistry: cfg.DisableRequestRegistry,
 		Profiler:               cfg.Profiler,
+		Resilience:             cfg.Resilience,
 	}
 	var ownExporter *obs.Exporter
 	if serverCfg.Exporter == nil {
@@ -166,7 +182,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		}
 	}
 	if features.Dedup {
-		serverCfg.DedupStore = segshare.NewMemoryStore()
+		serverCfg.DedupStore = newStore()
 	}
 	if cfg.Audit {
 		serverCfg.AuditStore = segshare.NewMemoryStore()

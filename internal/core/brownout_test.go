@@ -1,0 +1,350 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"segshare/internal/audit"
+	"segshare/internal/ca"
+	"segshare/internal/enclave"
+	"segshare/internal/obs"
+	"segshare/internal/store"
+)
+
+var errBrownout = errors.New("injected backend brownout")
+
+// brownoutClock is the injected breaker clock: cooldowns elapse only
+// when the test says so, which makes every transition deterministic.
+type brownoutClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *brownoutClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *brownoutClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// brownoutMetric reads one exported metric value by name and exact
+// label subset, so the test asserts what an operator's scrape would see.
+func brownoutMetric(t *testing.T, reg *obs.Registry, name string, labels map[string]string) int64 {
+	t.Helper()
+	for _, m := range reg.Snapshot() {
+		if m.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			found := false
+			for _, l := range m.Labels {
+				if l.Key == k && l.Value == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %s%v not found", name, labels)
+	return 0
+}
+
+// TestBrownoutDegradedReadOnly drives a full store brownout through a
+// journaled server and checks the degraded read-only contract end to
+// end: mutations fail fast with ErrDegraded once the breaker opens
+// (without reaching the backend), reads keep flowing, the episode is
+// visible to /readyz, the breaker metrics, and the wide-event flag, and
+// recovery happens through half-open probes after Revive — with one
+// sealed audit record per breaker transition, verified offline.
+func TestBrownoutDegradedReadOnly(t *testing.T) {
+	reg := obs.NewRegistry()
+	authority, err := ca.New("brownout test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := enclave.NewPlatform(enclave.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := store.NewFaultPlan()
+	clock := &brownoutClock{t: time.Unix(1700000000, 0)}
+	auditStore := store.NewMemory()
+
+	server, err := NewServer(platform, Config{
+		CACertPEM:    authority.CertificatePEM(),
+		ContentStore: store.NewFaultyWithPlan(store.NewMemory(), plan),
+		GroupStore:   store.NewFaultyWithPlan(store.NewMemory(), plan),
+		Obs:          reg,
+		AuditStore:   auditStore,
+		Audit:        audit.Options{Overflow: audit.OverflowBlock},
+		Resilience: &store.ResilientOptions{
+			// One attempt per op makes the failure count per upload
+			// deterministic; retry behavior has its own tests in
+			// internal/store.
+			Retries:          -1,
+			BreakerThreshold: 3,
+			BreakerCooldown:  time.Second,
+			BreakerProbes:    1,
+			Now:              clock.now,
+			Sleep:            func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+
+	payload := []byte("quarterly numbers")
+	d := server.Direct("alice")
+	if err := d.Mkdir("/docs/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Upload("/docs/a.txt", payload); err != nil {
+		t.Fatal(err)
+	}
+	if server.CheckDegraded() != nil {
+		t.Fatal("degraded before any fault was injected")
+	}
+
+	// Brownout: every backend mutation now fails persistently. Each
+	// upload's first mutation is the journal intent Put on the group
+	// store, so each failed upload counts exactly one group-store
+	// failure; three trip the breaker open.
+	plan.KillAtOp(1, errBrownout)
+	for i := 0; i < 3; i++ {
+		err := d.Upload(fmt.Sprintf("/docs/fail%d.txt", i), payload)
+		if err == nil {
+			t.Fatalf("upload %d succeeded during brownout", i)
+		}
+		if errors.Is(err, ErrDegraded) {
+			t.Fatalf("upload %d rejected as degraded before the breaker tripped: %v", i, err)
+		}
+	}
+
+	// Open breaker: mutations are rejected at the mutate() gate with the
+	// distinct degraded error, before a single op reaches the backend.
+	if err := server.CheckDegraded(); err == nil {
+		t.Fatal("CheckDegraded passes while the breaker is open")
+	}
+	opsBefore := plan.Ops()
+	if err := d.Upload("/docs/gated.txt", payload); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("gated upload error = %v, want ErrDegraded", err)
+	}
+	if got := plan.Ops(); got != opsBefore {
+		t.Fatalf("gated mutation reached the backend: ops %d -> %d", opsBefore, got)
+	}
+
+	// Reads are still served during the episode.
+	got, err := d.Download("/docs/a.txt")
+	if err != nil {
+		t.Fatalf("read during degraded mode: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("degraded-mode read returned %q, want %q", got, payload)
+	}
+
+	// The episode is on the exported surface an operator scrapes.
+	groupLabel := map[string]string{"store": "group"}
+	if v := brownoutMetric(t, reg, "segshare_store_breaker_state", groupLabel); v != 2 {
+		t.Fatalf("group breaker state gauge = %d, want 2 (open)", v)
+	}
+	if v := brownoutMetric(t, reg, "segshare_store_breaker_transitions_total",
+		map[string]string{"store": "group", "to": "open"}); v != 1 {
+		t.Fatalf("transitions to open = %d, want 1", v)
+	}
+
+	// writeMappedErr turns the degraded rejection into 503 on the wire.
+	rec := httptest.NewRecorder()
+	writeMappedErr(rec, fmt.Errorf("put: %w", ErrDegraded))
+	if rec.Code != 503 {
+		t.Fatalf("ErrDegraded maps to %d, want 503", rec.Code)
+	}
+
+	// Revive the backend. Mutations stay gated until the cooldown
+	// elapses — the breaker, not backend health, drives admission.
+	plan.Revive()
+	if err := d.Upload("/docs/early.txt", payload); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("pre-cooldown upload error = %v, want ErrDegraded", err)
+	}
+	clock.advance(2 * time.Second)
+
+	// The first post-cooldown mutation flows down as the half-open
+	// probe; its success closes the breaker and ends the episode.
+	if err := d.Upload("/docs/recovered.txt", payload); err != nil {
+		t.Fatalf("recovery upload: %v", err)
+	}
+	if err := server.CheckDegraded(); err != nil {
+		t.Fatalf("still degraded after recovery: %v", err)
+	}
+	if v := brownoutMetric(t, reg, "segshare_store_breaker_state", groupLabel); v != 0 {
+		t.Fatalf("group breaker state gauge = %d after recovery, want 0 (closed)", v)
+	}
+	if got, err := d.Download("/docs/recovered.txt"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("post-recovery read = %q, %v", got, err)
+	}
+	if got := reg.LeakBudgetViolations(); got != 0 {
+		t.Fatalf("leak budget violations = %d", got)
+	}
+
+	// Offline audit verification: the sealed log carries exactly one
+	// degraded record per breaker transition, in order.
+	keys, err := audit.DeriveKeys(server.RootKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	liveCounter := server.Enclave().Counter("audit-log").Value()
+	var dump bytes.Buffer
+	if _, err := audit.Verify(auditStore, keys, audit.VerifyOptions{ExpectCounter: liveCounter, Dump: &dump}); err != nil {
+		t.Fatalf("offline verification failed: %v", err)
+	}
+	var transitions []string
+	dec := json.NewDecoder(&dump)
+	for dec.More() {
+		var r audit.Record
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Event == audit.EventDegraded {
+			transitions = append(transitions, r.Detail)
+		}
+	}
+	want := []string{"group closed->open", "group open->half_open", "group half_open->closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("degraded audit records = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("degraded audit record %d = %q, want %q", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestBrownoutWideEventFlag checks that requests served during a
+// degraded episode carry the wide-event degraded flag, and that the
+// flag clears with the episode.
+func TestBrownoutWideEventFlag(t *testing.T) {
+	reg := obs.NewRegistry()
+	authority, err := ca.New("brownout flag CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := enclave.NewPlatform(enclave.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := store.NewFaultPlan()
+	clock := &brownoutClock{t: time.Unix(1700000000, 0)}
+	sink := &captureSink{}
+	exporter := obs.NewExporter(sink, obs.ExporterOptions{Obs: reg})
+	defer exporter.Close()
+
+	server, err := NewServer(platform, Config{
+		CACertPEM:    authority.CertificatePEM(),
+		ContentStore: store.NewFaultyWithPlan(store.NewMemory(), plan),
+		GroupStore:   store.NewFaultyWithPlan(store.NewMemory(), plan),
+		Obs:          reg,
+		Exporter:     exporter,
+		Resilience: &store.ResilientOptions{
+			Retries:          -1,
+			BreakerThreshold: 1,
+			BreakerCooldown:  time.Second,
+			BreakerProbes:    1,
+			Now:              clock.now,
+			Sleep:            func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+
+	d := server.Direct("alice")
+	if err := d.Upload("/a.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	plan.KillAtOp(1, errBrownout)
+	if err := d.Upload("/b.txt", []byte("x")); err == nil {
+		t.Fatal("upload succeeded during brownout")
+	}
+	// A read during the episode carries the flag even though it succeeds.
+	if _, err := d.Download("/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	plan.Revive()
+	clock.advance(2 * time.Second)
+	if err := d.Upload("/c.txt", []byte("x")); err != nil {
+		t.Fatalf("recovery upload: %v", err)
+	}
+	// Post-recovery traffic is clean again.
+	if _, err := d.Download("/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	exporter.Close()
+
+	evs := sink.events()
+	if len(evs) == 0 {
+		t.Fatal("no wide events exported")
+	}
+	var degradedReads, cleanReads int
+	for _, ev := range evs {
+		if ev.Op != "fs_get" {
+			continue
+		}
+		if ev.Degraded {
+			degradedReads++
+		} else {
+			cleanReads++
+		}
+	}
+	if degradedReads != 1 || cleanReads != 1 {
+		t.Fatalf("fs_get wide events: degraded=%d clean=%d, want 1 and 1", degradedReads, cleanReads)
+	}
+}
+
+// captureSink retains every exported wide event for assertions.
+type captureSink struct {
+	mu  sync.Mutex
+	evs []obs.WideEvent
+}
+
+func (s *captureSink) Write(_ context.Context, recs []obs.ExportRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		if r.Kind == "wide_event" && r.Event != nil {
+			s.evs = append(s.evs, *r.Event)
+		}
+	}
+	return nil
+}
+
+func (s *captureSink) Close() error { return nil }
+
+func (s *captureSink) events() []obs.WideEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]obs.WideEvent(nil), s.evs...)
+}

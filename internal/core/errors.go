@@ -30,4 +30,8 @@ var (
 	ErrRangeNotSatisfiable = errors.New("segshare: range not satisfiable")
 	// ErrGroupNotFound is returned for operations on unknown groups.
 	ErrGroupNotFound = errors.New("segshare: group not found")
+	// ErrDegraded is returned for mutations while the server is in
+	// degraded read-only mode: a backend circuit breaker is open and the
+	// request was rejected before any trusted state changed (HTTP 503).
+	ErrDegraded = errors.New("segshare: degraded read-only mode")
 )

@@ -111,6 +111,11 @@ type fmShared struct {
 	// reads coalesces concurrent content reads of the same path so a hot
 	// object is decrypted once per flight (see coalesce.go).
 	reads flightGroup
+	// degraded gates mutations while a store circuit breaker is open:
+	// non-nil only when resilience is configured, it returns an
+	// ErrDegraded-wrapped error to reject the mutation before any trusted
+	// state changes (see txn.go mutate).
+	degraded func() error
 }
 
 // withStats returns a shallow view of fm that attributes store, cache,
@@ -149,7 +154,10 @@ type fmConfig struct {
 	// cryptoWorkers bounds the chunk-crypto worker pool (resolved value;
 	// < 1 is clamped to serial).
 	cryptoWorkers int
-	obs           *serverObs
+	// degradedGate rejects mutations with an ErrDegraded-wrapped error
+	// while a store circuit breaker is open; nil when resilience is off.
+	degradedGate func() error
+	obs          *serverObs
 }
 
 func newFileManager(cfg fmConfig) (*fileManager, error) {
@@ -183,7 +191,7 @@ func newFileManager(cfg fmConfig) (*fileManager, error) {
 		validate:      cfg.rollbackOn,
 		caches:        newRelCaches(cfg.cacheBytes, cfg.obs),
 		journal:       cfg.journal,
-		shared:        &fmShared{recovery: cfg.recovery},
+		shared:        &fmShared{recovery: cfg.recovery, degraded: cfg.degradedGate},
 		cryptoWorkers: workers,
 		obs:           cfg.obs,
 	}

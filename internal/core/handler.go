@@ -412,8 +412,13 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 		// A valid single-range GET is served as 206 through the random-
 		// access read path; malformed or multi-range specs fall through to
 		// the full representation (RFC 9110 permits ignoring Range), as
-		// does HEAD.
-		if br, ok := parseRangeHeader(r.Header.Get("Range")); ok && r.Method == http.MethodGet {
+		// does HEAD. If-Range also forces the full representation: this
+		// server emits no validators (no ETag/Last-Modified), so no
+		// If-Range validator can match, and RFC 9110 §13.1.5 says a
+		// non-matching If-Range means "ignore Range" — a 206 here could
+		// splice ranges of two different file versions at the client.
+		if br, ok := parseRangeHeader(r.Header.Get("Range")); ok &&
+			r.Method == http.MethodGet && r.Header.Get("If-Range") == "" {
 			unlock := s.locks.fsRead(rs, path)
 			res, err := ac.GetFileRange(u, path, br)
 			unlock()
@@ -822,6 +827,11 @@ func writeMappedErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusBadRequest, err)
 	case errors.Is(err, ErrRangeNotSatisfiable):
 		writeErr(w, http.StatusRequestedRangeNotSatisfiable, err)
+	case errors.Is(err, ErrDegraded):
+		// Degraded read-only mode: the mutation was rejected fast, before
+		// any trusted state changed. 503 tells clients to retry later,
+		// unlike the 500s below which signal store/integrity trouble.
+		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrIntegrity), errors.Is(err, ErrRollback):
 		writeErr(w, http.StatusInternalServerError, err)
 	default:

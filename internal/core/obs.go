@@ -71,6 +71,12 @@ type serverObs struct {
 	// profiler. The caller owns its lifecycle.
 	profiler *obs.ContinuousProfiler
 
+	// degraded reports whether any store circuit breaker is not closed —
+	// the same exported bit as segshare_store_breaker_state — so every
+	// request served during a degraded episode carries the wide-event
+	// flag. Nil when resilience is off.
+	degraded func() bool
+
 	// Parallel chunk-crypto pipeline instruments (DESIGN §14):
 	// worker-pool size, one-shot seal/open counts by execution mode, and
 	// read-coalescing outcomes. Aggregate-only — no path or size labels.
@@ -271,6 +277,9 @@ func (o *serverObs) finishRequest(op string, status int, dur time.Duration, byte
 // the registry is on) the in-flight entry finishRequest later removes.
 // rs may be nil (wide events off); the registry tolerates it.
 func (o *serverObs) beginRequest(op string, rs *obs.ReqStats) *obs.Trace {
+	if o.degraded != nil && o.degraded() {
+		rs.MarkDegraded()
+	}
 	tr := o.traces.Start(op)
 	if o.requests != nil {
 		o.requests.add(&activeRequest{id: tr.ID(), op: op, start: tr.StartTime(), tr: tr, rs: rs})

@@ -184,6 +184,24 @@ func TestRangeGET(t *testing.T) {
 				}
 			}
 
+			// If-Range forces the full representation (RFC 9110 §13.1.5):
+			// this server emits no validators, so no If-Range validator
+			// can match and serving a 206 could splice two file versions
+			// at the client. Both validator forms must behave the same.
+			t.Run("if-range forces full 200", func(t *testing.T) {
+				for _, v := range []string{`"some-etag"`, "Tue, 01 Jan 2030 00:00:00 GMT"} {
+					rec := f.do(t, "alice", http.MethodGet, "/fs/docs/a.bin", nil,
+						map[string]string{"Range": "bytes=0-99", "If-Range": v})
+					if rec.Code != http.StatusOK || !bytes.Equal(rec.Body.Bytes(), content) {
+						t.Fatalf("GET with If-Range %q = %d (%d bytes), want 200 full body",
+							v, rec.Code, rec.Body.Len())
+					}
+					if got := rec.Header().Get("Content-Range"); got != "" {
+						t.Fatalf("If-Range response carries Content-Range %q", got)
+					}
+				}
+			})
+
 			t.Run("head ignores range", func(t *testing.T) {
 				rec := f.do(t, "alice", http.MethodHead, "/fs/docs/a.bin", nil, map[string]string{"Range": "bytes=0-99"})
 				if rec.Code != http.StatusOK {

@@ -92,6 +92,17 @@ type Config struct {
 	// min(GOMAXPROCS, 8); negative (or 1) forces strictly serial
 	// sealing/opening, which benchmarks use as the before-configuration.
 	CryptoWorkers int
+	// Resilience, when non-nil, wraps the content, group, and dedup
+	// stores in store.Resilient (DESIGN §15): per-op-class deadlines,
+	// retry with backoff for retryable errors, and a per-backend circuit
+	// breaker. An open breaker flips the server into degraded read-only
+	// mode: mutations fail fast with ErrDegraded at the mutate()
+	// chokepoint while reads keep flowing, CheckDegraded reports the
+	// episode for /readyz, every breaker transition emits an
+	// EventDegraded audit record, and affected requests carry the
+	// degraded wide-event flag. The Obs and OnState fields are
+	// overwritten by the server during wiring (OnState is chained).
+	Resilience *store.ResilientOptions
 	// Bridge tunes the switchless call bridge.
 	Bridge enclave.BridgeConfig
 	// Logger receives structured request logs (request id, operation
@@ -226,6 +237,9 @@ type Server struct {
 	// recovery publishes journal-recovery progress for readiness gating
 	// and the watchdog.
 	recovery *RecoveryState
+	// resilient holds the store resilience wrappers (empty unless
+	// Config.Resilience), for degraded-mode readiness checks.
+	resilient []*store.Resilient
 	// watchdog is the stall detector, nil unless Config.Watchdog.Enable.
 	watchdog *obs.Watchdog
 
@@ -331,6 +345,52 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 			return m
 		})
 	}
+	// The resilience layer wraps the raw backends first, then
+	// store.Instrumented wraps the Resilient chain, so the measured
+	// latency is what the trusted side experiences — retries, deadline
+	// waits, and fast failures included. Breaker transitions feed the
+	// audit trail; sObs.audit is nil until the log opens below, and
+	// auditEmit tolerates that (pre-launch transitions cannot happen —
+	// no request runs yet).
+	var resilientStores []*store.Resilient
+	wrapResilient := func(b store.Backend, role string) store.Backend {
+		if cfg.Resilience == nil {
+			return b
+		}
+		opt := *cfg.Resilience
+		opt.Obs = sObs.reg
+		userOnState := opt.OnState
+		opt.OnState = func(from, to store.BreakerState) {
+			sObs.auditEmit(audit.Event{
+				Event:  audit.EventDegraded,
+				Detail: role + " " + from.String() + "->" + to.String(),
+			})
+			if userOnState != nil {
+				userOnState(from, to)
+			}
+		}
+		rw := store.NewResilient(b, role, opt)
+		resilientStores = append(resilientStores, rw)
+		return rw
+	}
+	cfg.ContentStore = wrapResilient(cfg.ContentStore, "content")
+	cfg.GroupStore = wrapResilient(cfg.GroupStore, "group")
+	if cfg.DedupStore != nil {
+		cfg.DedupStore = wrapResilient(cfg.DedupStore, "dedup")
+	}
+	if len(resilientStores) > 0 {
+		// Wide events carry a degraded flag for every request that runs
+		// during an episode, not only the rejected mutations.
+		sObs.degraded = func() bool {
+			for _, rw := range resilientStores {
+				if rw.State() != store.BreakerClosed {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
 	// All backend traffic is measured through store.Instrumented; the
 	// labels name the store role only. The bridge reports into the same
 	// registry.
@@ -440,6 +500,22 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		cryptoWorkers = 1
 	}
 	sObs.cryptoWorkers.Set(int64(cryptoWorkers))
+	// The degraded gate runs at the head of every mutation (txn.go). It
+	// uses MutationsAllowed — not State — so that once a breaker's
+	// cooldown elapses the gating mutation itself flows down to the
+	// store layer as a half-open probe; gating on State alone would
+	// leave no traffic to close the breaker with.
+	var degradedGate func() error
+	if len(resilientStores) > 0 {
+		degradedGate = func() error {
+			for _, rw := range resilientStores {
+				if !rw.MutationsAllowed() {
+					return fmt.Errorf("%w (%s store breaker %s)", ErrDegraded, rw.Role(), rw.State())
+				}
+			}
+			return nil
+		}
+	}
 	fm, err := newFileManager(fmConfig{
 		rootKey:       rootKey,
 		contentStore:  cfg.ContentStore,
@@ -454,6 +530,7 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		cryptoWorkers: cryptoWorkers,
 		journal:       jl,
 		recovery:      recovery,
+		degradedGate:  degradedGate,
 		obs:           sObs,
 	})
 	if err != nil {
@@ -466,6 +543,7 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		caPub:     caPub,
 		caPool:    pool,
 		fm:        fm,
+		resilient: resilientStores,
 		ac:        &accessControl{fm: fm, fso: userID(cfg.FileSystemOwner)},
 		certifier: newCertifier(encl, cfg.GroupStore, caPub),
 		obs:       sObs,
@@ -681,6 +759,21 @@ func (s *Server) CheckStore() error {
 	return err
 }
 
+// CheckDegraded reports an error while any store circuit breaker is not
+// closed, i.e. the server is serving in degraded read-only mode. Wire it
+// as a /readyz check named "store_degraded"; the health endpoint prints
+// only the check name, and the error body here names only the store role
+// and breaker state (both closed sets). Deployments without
+// Config.Resilience always pass.
+func (s *Server) CheckDegraded() error {
+	for _, rw := range s.resilient {
+		if st := rw.State(); st != store.BreakerClosed {
+			return fmt.Errorf("%s store breaker %s: degraded read-only mode", rw.Role(), st)
+		}
+	}
+	return nil
+}
+
 // CheckEnclave reports whether the enclave is launched, for readiness
 // checks.
 func (s *Server) CheckEnclave() error {
@@ -760,6 +853,13 @@ func (s *Server) Serve(listener net.Listener) error {
 		s.httpServer = &http.Server{
 			Handler:           s.handler(),
 			ReadHeaderTimeout: 30 * time.Second,
+			// Whole-request bounds against slow-loris clients. Generous
+			// enough for multi-GiB transfers over slow links while still
+			// reclaiming wedged connections; header parsing stays on the
+			// tighter bound above.
+			ReadTimeout:  5 * time.Minute,
+			WriteTimeout: 5 * time.Minute,
+			IdleTimeout:  2 * time.Minute,
 			// Expose the connection to the handler so per-request
 			// ecall/ocall deltas can be read off the bridge conn.
 			ConnContext: func(ctx context.Context, c net.Conn) context.Context {

@@ -183,6 +183,16 @@ func (fm *fileManager) mutate(op string, fn func() error) error {
 	if fm.tx != nil {
 		return fn()
 	}
+	// Degraded read-only mode: while a store breaker is open, reject the
+	// mutation before any trusted state changes. The gate admits breaker
+	// probes itself (MutationsAllowed), so the mutations that do pass are
+	// exactly the ones that can close the breaker again.
+	if fm.shared.degraded != nil {
+		if err := fm.shared.degraded(); err != nil {
+			fm.rs.MarkDegraded()
+			return err
+		}
+	}
 	// A failure after an intent committed leaves the operation half
 	// applied; finish it before accepting new work.
 	if fm.shared.journalDirty.Load() {

@@ -25,6 +25,24 @@ type ReqStats struct {
 	ocalls          atomic.Int64
 	journalCommitNs atomic.Int64
 	auditEnqueueNs  atomic.Int64
+	degraded        atomic.Bool
+}
+
+// MarkDegraded flags the request as having run while the server was in
+// (or was rejected by) degraded read-only mode.
+func (s *ReqStats) MarkDegraded() {
+	if s == nil {
+		return
+	}
+	s.degraded.Store(true)
+}
+
+// Degraded reports whether the request touched degraded mode. Nil-safe.
+func (s *ReqStats) Degraded() bool {
+	if s == nil {
+		return false
+	}
+	return s.degraded.Load()
 }
 
 // AddLockWait accumulates one lock acquisition's blocked time.

@@ -39,6 +39,11 @@ type WideEvent struct {
 	// Sampled reports whether the trace ring retained the full span tree
 	// (class: flag).
 	Sampled bool `json:"sampled"`
+	// Degraded reports whether the request ran while the server was in
+	// degraded read-only mode — derived from exported breaker state, the
+	// same bit segshare_store_breaker_state and /readyz already publish
+	// (class: flag).
+	Degraded bool `json:"degraded"`
 
 	// Every numeric below is a log₂ bucket upper bound (class: bucketed).
 	DurationNs      uint64 `json:"durationNsLe"`
@@ -93,6 +98,7 @@ var WideEventFields = map[string]FieldClass{
 	"Op":              FieldEnum,
 	"Code":            FieldEnum,
 	"Sampled":         FieldFlag,
+	"Degraded":        FieldFlag,
 	"DurationNs":      FieldBucketed,
 	"BytesIn":         FieldBucketed,
 	"BytesOut":        FieldBucketed,
@@ -134,6 +140,7 @@ func NewWideEvent(op, code string, traceID uint64, sampled bool, dur time.Durati
 		Op:              op,
 		Code:            code,
 		Sampled:         sampled,
+		Degraded:        rs.Degraded(),
 		DurationNs:      BucketCeil(int64(dur)),
 		BytesIn:         BucketCeil(bytesIn),
 		BytesOut:        BucketCeil(bytesOut),

@@ -2,6 +2,7 @@ package store
 
 import (
 	"sync"
+	"time"
 )
 
 // FaultPlan is a deterministic failure schedule shared by every Faulty
@@ -11,6 +12,12 @@ import (
 // simulated process kill: from the n-th mutation on, every mutation
 // fails until Revive). Crash-consistency tests dry-run an operation to
 // learn its mutation count, then replay it once per failure point.
+//
+// Two further injection modes model a browning-out backend rather than a
+// crashed one: SetLatency delays every operation (reads included) so
+// deadline enforcement is testable, and FailReadsAtOp/KillReadsAtOp run
+// an independent schedule over read operations (get, exists, list) so
+// flaky reads can trip the circuit breaker deterministically.
 type FaultPlan struct {
 	mu        sync.Mutex
 	ops       int
@@ -18,6 +25,14 @@ type FaultPlan struct {
 	kill      bool
 	killed    bool
 	err       error
+
+	latency time.Duration
+
+	readOps       int
+	readCountdown int
+	readKill      bool
+	readKilled    bool
+	readErr       error
 }
 
 // NewFaultPlan returns a disarmed plan.
@@ -45,14 +60,51 @@ func (p *FaultPlan) KillAtOp(n int, err error) {
 	p.err = err
 }
 
-// Revive disarms the plan ("restart the process"): mutations succeed
-// again. The operation counter keeps running.
+// FailReadsAtOp arranges for the n-th subsequent read operation (get,
+// exists, list; counting from 1) to fail once with err. The read
+// schedule is independent of the mutation schedule.
+func (p *FaultPlan) FailReadsAtOp(n int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.readCountdown = n
+	p.readKill = false
+	p.readKilled = false
+	p.readErr = err
+}
+
+// KillReadsAtOp arranges for the n-th subsequent read operation and
+// every one after it to fail with err, simulating a backend whose read
+// path has browned out.
+func (p *FaultPlan) KillReadsAtOp(n int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.readCountdown = n
+	p.readKill = true
+	p.readKilled = false
+	p.readErr = err
+}
+
+// SetLatency delays every subsequent operation — reads and mutations —
+// by d before it executes (or fails). Zero removes the delay.
+func (p *FaultPlan) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency = d
+}
+
+// Revive disarms the plan ("restart the process"): mutations and reads
+// succeed again and injected latency is cleared. The operation counters
+// keep running.
 func (p *FaultPlan) Revive() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.countdown = 0
 	p.kill = false
 	p.killed = false
+	p.readCountdown = 0
+	p.readKill = false
+	p.readKilled = false
+	p.latency = 0
 }
 
 // Ops returns the number of mutating operations observed so far,
@@ -63,28 +115,60 @@ func (p *FaultPlan) Ops() int {
 	return p.ops
 }
 
+// ReadOps returns the number of read operations observed so far,
+// including ones that were failed.
+func (p *FaultPlan) ReadOps() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readOps
+}
+
 func (p *FaultPlan) check(op string) error {
+	var mutation bool
 	switch op {
 	case "put", "delete", "rename":
+		mutation = true
+	case "get", "exists", "list":
 	default:
 		return nil
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.ops++
-	if p.killed {
-		return p.err
-	}
-	if p.countdown > 0 {
-		p.countdown--
-		if p.countdown == 0 {
-			if p.kill {
-				p.killed = true
+	latency := p.latency
+	var err error
+	if mutation {
+		p.ops++
+		switch {
+		case p.killed:
+			err = p.err
+		case p.countdown > 0:
+			p.countdown--
+			if p.countdown == 0 {
+				if p.kill {
+					p.killed = true
+				}
+				err = p.err
 			}
-			return p.err
+		}
+	} else {
+		p.readOps++
+		switch {
+		case p.readKilled:
+			err = p.readErr
+		case p.readCountdown > 0:
+			p.readCountdown--
+			if p.readCountdown == 0 {
+				if p.readKill {
+					p.readKilled = true
+				}
+				err = p.readErr
+			}
 		}
 	}
-	return nil
+	p.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return err
 }
 
 // Faulty wraps a Backend and injects errors on selected operations. It is

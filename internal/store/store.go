@@ -10,6 +10,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -40,7 +41,11 @@ type Backend interface {
 	// ErrNotExist.
 	Delete(name string) error
 	// Rename atomically renames an object. It returns ErrNotExist if
-	// oldName is absent and ErrExist if newName is present.
+	// oldName is absent and ErrExist if newName is present — except when
+	// both names hold identical payloads, which is a crash- or
+	// retry-interrupted rename that every implementation must complete
+	// idempotently (remove oldName, report success). The conformance
+	// suite pins this table for all backends.
 	Rename(oldName, newName string) error
 	// Exists reports whether the named object is present.
 	Exists(name string) (bool, error)
@@ -118,16 +123,25 @@ func (m *Memory) Delete(name string) error {
 	return nil
 }
 
-// Rename implements Backend.
+// Rename implements Backend with the same collision semantics as Disk
+// (the reference implementation): the target name is checked first, and
+// a collision where both names hold identical payloads is an
+// interrupted rename that is completed idempotently — journal
+// roll-forward replays the same Rename and must succeed on every
+// backend.
 func (m *Memory) Rename(oldName, newName string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	data, ok := m.objects[oldName]
+	if existing, collides := m.objects[newName]; collides {
+		if ok && bytes.Equal(data, existing) {
+			delete(m.objects, oldName)
+			return nil
+		}
+		return fmt.Errorf("%w: %q", ErrExist, newName)
+	}
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotExist, oldName)
-	}
-	if _, ok := m.objects[newName]; ok {
-		return fmt.Errorf("%w: %q", ErrExist, newName)
 	}
 	m.objects[newName] = data
 	delete(m.objects, oldName)

@@ -28,7 +28,7 @@ func backendsUnderTest(t *testing.T) map[string]Backend {
 	}
 }
 
-func TestBackendConformance(t *testing.T) {
+func TestBackendBasics(t *testing.T) {
 	for name, b := range backendsUnderTest(t) {
 		t.Run(name, func(t *testing.T) {
 			testBackendBasics(t, b)

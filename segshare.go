@@ -97,6 +97,10 @@ type (
 
 	// Backend is untrusted object storage.
 	Backend = store.Backend
+	// ResilientOptions tunes the resilient store I/O layer — per-op
+	// deadlines, retry with backoff, and the per-backend circuit breaker
+	// (ServerConfig.Resilience).
+	ResilientOptions = store.ResilientOptions
 
 	// ReplicationProvider is the root-enclave side of §V-F replication.
 	ReplicationProvider = replication.Provider
@@ -129,6 +133,9 @@ var (
 	ErrRollback = core.ErrRollback
 	// ErrBadRequest: the request was malformed.
 	ErrBadRequest = core.ErrBadRequest
+	// ErrDegraded: the mutation was rejected because the server is in
+	// degraded read-only mode (a store circuit breaker is open).
+	ErrDegraded = core.ErrDegraded
 )
 
 // NewCA creates a certificate authority with a fresh root certificate.
