@@ -3,7 +3,7 @@
 
 RACE_PKGS := ./internal/obs ./internal/enclave ./internal/store ./internal/audit ./internal/core ./internal/cache ./internal/journal
 
-.PHONY: verify build test vet race bench bench-smoke chaos-smoke advisory
+.PHONY: verify build test vet race bench bench-smoke chaos-smoke drain-smoke advisory
 
 verify: build test vet race
 
@@ -34,6 +34,13 @@ bench-smoke:
 # resilient-wrapper unit suite. Mirrors the chaos-smoke CI job.
 chaos-smoke:
 	go test -race -run 'TestBrownout|TestResilient|TestBackendConformance' ./internal/core ./internal/store
+
+# Overload-resilience pass under -race (admission limiter, end-to-end
+# cancellation, graceful drain) plus the real-process SIGTERM smoke
+# behind the drainsmoke build tag. Mirrors the drain-smoke CI job.
+drain-smoke:
+	go test -race -run 'TestLimiter|TestAdmi|TestCancelled|TestOverload|TestDrain|TestGetContext|TestCloseRejects|TestExporterFlush' ./internal/core ./internal/store ./internal/journal ./internal/obs
+	go test -race -tags drainsmoke -run TestSIGTERMGracefulDrain ./cmd/segshare-server
 
 # Advisory static analysis — mirrors the non-blocking CI job. Needs
 # network access to fetch the tools; failures here never gate a merge.

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|e13|e14|e15|all")
+		exp        = flag.String("exp", "all", "experiment: fig3|memb0|fig4|fig5|storage|revoke-ablation|switchless|audit|e10|e11|e12|e13|e14|e15|e16|all")
 		full       = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		runs       = flag.Int("runs", 0, "override runs per data point")
 		maxExp     = flag.Int("maxexp", 0, "fig5: largest exponent x (paper: 14)")
@@ -143,6 +143,12 @@ func run(exp string, full bool, runs, maxExp int, wan bool) error {
 	if all || exp == "e15" {
 		ran = true
 		if err := runE15(full, runs); err != nil {
+			return err
+		}
+	}
+	if all || exp == "e16" {
+		ran = true
+		if err := runE16(full); err != nil {
 			return err
 		}
 	}
@@ -477,6 +483,30 @@ func runE15(full bool, runs int) error {
 		}
 		fmt.Fprintf(w, "%s\t%.0f MiB/s\t%.0f MiB/s\t%.2f%%\t-\t-\n",
 			r.Op, r.Baseline, r.Resilient, r.OverheadPct)
+	}
+	return w.Flush()
+}
+
+func runE16(full bool) error {
+	cfg := bench.DefaultE16()
+	if full {
+		cfg.Window = 5 * time.Second
+		cfg.BaseClients = 8
+	}
+	rows, err := bench.RunE16(cfg)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("E16 — overload shedding, %dKiB GETs, %d-client capacity, %v/cell",
+		cfg.FileKiB, cfg.BaseClients, cfg.Window),
+		"load", "admission", "goodput", "p50", "p99", "ok", "shed", "errors")
+	for _, r := range rows {
+		onOff := "off"
+		if r.Admission {
+			onOff = "on"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.0f op/s\t%s\t%s\t%d\t%d\t%d\n",
+			r.Load, onOff, r.Goodput, ms(r.P50), ms(r.P99), r.OK, r.Shed, r.Errors)
 	}
 	return w.Flush()
 }

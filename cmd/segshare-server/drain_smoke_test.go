@@ -1,0 +1,112 @@
+//go:build drainsmoke
+
+// Real-process drain smoke: build the server binary, start it against a
+// throwaway PKI and data directory, deliver SIGTERM, and require a clean
+// graceful exit within the drain deadline. The in-process drain contract
+// (in-flight completion, audit chain, journal replay set) is covered by
+// internal/core's TestDrainLifecycle; this test pins the main.go signal
+// wiring that only a real process exercises. Run via `make drain-smoke`.
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"segshare"
+)
+
+func TestSIGTERMGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "segshare-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	pki := filepath.Join(dir, "pki")
+	if err := os.MkdirAll(pki, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	authority, err := segshare.NewCA("drain smoke CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPEM, keyPEM, err := authority.MarshalPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pki, "ca-cert.pem"), certPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pki, "ca-key.pem"), keyPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin,
+		"-pki", pki,
+		"-data", filepath.Join(dir, "data"),
+		"-addr", "127.0.0.1:0",
+		"-admin", "", // no admin listener: the test only needs the signal path
+		"-audit",
+		"-drain-timeout", "10s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitLine := func(substr string) string {
+		t.Helper()
+		deadline := time.After(60 * time.Second)
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					t.Fatalf("server exited before printing %q", substr)
+				}
+				if strings.Contains(line, substr) {
+					return line
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %q", substr)
+			}
+		}
+	}
+
+	waitLine("serving on")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitLine("draining")
+	waitLine("shutting down")
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after a graceful drain")
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -57,6 +58,12 @@ func run() error {
 		profMtx  = flag.Int("profile-mutex", 0, "mutex contention sampling for /debug/pprof/mutex: 1 = every event, n = 1/n, 0 = off")
 		profBlk  = flag.Int("profile-block", 0, "block profiling for /debug/pprof/block: record events blocking >= this many ns, 0 = off")
 		journal  = flag.Bool("journal", true, "crash-consistent mutations via the sealed intent journal (disable only for benchmarking)")
+
+		admitOn  = flag.Bool("admission", true, "adaptive admission control: AIMD concurrency limits per op class, bounded wait queue, priority shedding under overload")
+		maxInfl  = flag.Int("max-inflight", 0, "admission: concurrency ceiling for reads (mutations get a quarter of it); 0 = default 256")
+		queueTmo = flag.Duration("queue-timeout", 0, "admission: longest a request waits for a slot before a 503 (0 = default 100ms)")
+		drainTmo = flag.Duration("drain-timeout", 30*time.Second, "graceful drain: how long SIGTERM waits for in-flight requests before forcing shutdown")
+		maxBody  = flag.Int64("max-body", 0, "largest accepted request body in bytes (0 = default 64 MiB, negative disables the cap)")
 
 		resilOn  = flag.Bool("store-resilience", true, "wrap the untrusted stores in the resilient I/O layer: deadlines, retry with backoff, circuit breaker, degraded read-only mode")
 		sDeadl   = flag.Duration("store-deadline", 0, "deadline per store mutation (Put/Delete/Rename); 0 = default 15s, negative disables")
@@ -233,6 +240,14 @@ func run() error {
 		HotGroups:              *hotK,
 		DisableRequestRegistry: *noInReg,
 		Profiler:               profiler,
+		MaxBodyBytes:           *maxBody,
+	}
+	if *admitOn {
+		cfg.Admission = &segshare.AdmissionConfig{
+			Enable:       true,
+			MaxInFlight:  *maxInfl,
+			QueueTimeout: *queueTmo,
+		}
 	}
 	if *resilOn {
 		cfg.Resilience = &segshare.ResilientOptions{
@@ -309,6 +324,11 @@ func run() error {
 	if err := health.AddCheck("store_degraded", server.CheckDegraded); err != nil {
 		return err
 	}
+	// A draining server fails readiness immediately; in-flight requests
+	// finish while the load balancer routes new traffic elsewhere.
+	if err := health.AddCheck("draining", server.CheckDraining); err != nil {
+		return err
+	}
 	if *admin != "" {
 		opts := []obs.HandlerOption{obs.WithHealth(health)}
 		if server.AuditLog() != nil {
@@ -331,6 +351,12 @@ func run() error {
 		adminHandler.Store(obs.Handler(server.Obs(), server.Traces(), opts...))
 	}
 
+	// Install the signal handler before the listener comes up so a
+	// SIGTERM arriving the instant "serving on" prints still drains
+	// gracefully instead of killing the process.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	listenAddr, err := server.ListenAndServe(*addr)
 	if err != nil {
 		return err
@@ -339,10 +365,23 @@ func run() error {
 	fmt.Printf("serving on %s (features: dedup=%v hide=%v rollback=%v guard=%s audit=%v journal=%v wide-events=%v watchdog=%v slo=%v hot-k=%d profiler=%v crypto-workers=%d resilience=%v)\n",
 		listenAddr, *dedup, *hide, *rollback, *guard, *auditOn, *journal, *wideEv, *wdOn, *sloOn, *hotK, *profDir != "", *cryptoW, *resilOn)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	health.SetReady(false)
+	fmt.Printf("draining (up to %s; signal again to force shutdown)\n", *drainTmo)
+
+	// Graceful drain: stop admitting, wait for in-flight requests, close
+	// the journal, flush audit log and exporter. A second signal cuts the
+	// wait short and proceeds straight to Close.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTmo)
+	defer cancelDrain()
+	go func() {
+		<-sig
+		fmt.Println("second signal: forcing shutdown")
+		cancelDrain()
+	}()
+	if err := server.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "segshare-server: drain:", err)
+	}
 	fmt.Println("shutting down")
 	return nil
 }

@@ -73,6 +73,10 @@ const (
 	// Detail carries the breach speed ("fast_burn"/"slow_burn"), Op the
 	// affected operation class.
 	EventSLOBreach EventType = "slo_breach"
+	// EventDrain: the server completed (or timed out) a graceful drain.
+	// Detail carries the wait duration and how many requests were still
+	// in flight at the deadline ("clean" drains report 0).
+	EventDrain EventType = "drain"
 )
 
 // Decisions recorded on authorization events.

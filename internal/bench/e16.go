@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"segshare"
+	"segshare/internal/core"
+	"segshare/internal/obs"
+	"segshare/internal/store"
+)
+
+// E16 — overload resilience (DESIGN.md §16). Without admission control
+// an overloaded server accepts every request, queueing delay compounds,
+// and every client's latency degrades together. With the adaptive
+// limiter the server sheds the excess early (503 + Retry-After) and the
+// admitted requests keep near-baseline latency. This experiment drives a
+// closed-loop GET workload at 1x, 2x, and 4x the server's concurrency
+// capacity through the full TLS + HTTP stack, with shedding off vs on,
+// and reports goodput (successful ops/s) and the latency distribution of
+// the successes. The acceptance target: at 2x load with admission on,
+// admitted-request p99 stays within 2x of the 1x baseline.
+
+// E16Config parameterizes the overload experiment.
+type E16Config struct {
+	// FileKiB is the size of the file each GET fetches.
+	FileKiB int
+	// BaseClients is the closed-loop concurrency treated as 1x load,
+	// matched to the admission limit so 1x saturates without queueing.
+	BaseClients int
+	// Multipliers are the offered-load factors swept per configuration.
+	Multipliers []int
+	// Window is the measured wall-clock duration per cell.
+	Window time.Duration
+	// StoreLatency is injected into every store op so the server has a
+	// real capacity ceiling (an in-memory store would serve any load).
+	StoreLatency time.Duration
+	// QueueTimeout bounds admission queueing in the shedding cells.
+	QueueTimeout time.Duration
+}
+
+// DefaultE16 returns the scaled-down default parameters.
+func DefaultE16() E16Config {
+	return E16Config{
+		FileKiB:      64,
+		BaseClients:  4,
+		Multipliers:  []int{1, 2, 4},
+		Window:       1500 * time.Millisecond,
+		StoreLatency: 2 * time.Millisecond,
+		QueueTimeout: 25 * time.Millisecond,
+	}
+}
+
+// E16Row is one measured cell.
+type E16Row struct {
+	Load      string // "1x", "2x", "4x"
+	Admission bool   // shedding on?
+	Goodput   float64
+	P50, P99  time.Duration // latency of successful requests
+	OK        int           // 200s
+	Shed      int           // 503s
+	Errors    int           // anything else
+}
+
+// e16Cell drives clients concurrent closed-loop GETs for the window and
+// classifies every completion.
+func e16Cell(env *Env, clients int, path string, window time.Duration) (E16Row, error) {
+	conns := make([]*segshare.Client, clients)
+	for i := range conns {
+		c, err := env.NewClient("alice")
+		if err != nil {
+			return E16Row{}, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	var ok, shed, errs int
+	stop := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *segshare.Client) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				start := time.Now()
+				_, err := c.Download(path)
+				dur := time.Since(start)
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+					lats = append(lats, dur)
+				case errors.Is(err, core.ErrOverloaded):
+					shed++
+				default:
+					errs++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	row := E16Row{OK: ok, Shed: shed, Errors: errs, Goodput: float64(ok) / window.Seconds()}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		row.P50 = lats[len(lats)/2]
+		row.P99 = lats[len(lats)*99/100]
+	}
+	return row, nil
+}
+
+// RunE16 sweeps offered load with shedding off vs on. Each configuration
+// gets a fresh deployment with the same injected store latency so the
+// capacity ceiling is identical; only the admission controller differs.
+func RunE16(cfg E16Config) ([]E16Row, error) {
+	if cfg.FileKiB <= 0 || cfg.BaseClients <= 0 || len(cfg.Multipliers) == 0 ||
+		cfg.Window <= 0 || cfg.StoreLatency <= 0 {
+		return nil, fmt.Errorf("bench: e16 config incomplete: %+v", cfg)
+	}
+	content := make([]byte, cfg.FileKiB<<10)
+	if _, err := rand.Read(content); err != nil {
+		return nil, err
+	}
+
+	var rows []E16Row
+	for _, admission := range []bool{false, true} {
+		plan := store.NewFaultPlan()
+		envCfg := EnvConfig{FaultPlan: plan}
+		if admission {
+			envCfg.Admission = &segshare.AdmissionConfig{
+				Enable:       true,
+				MaxInFlight:  cfg.BaseClients,
+				MinInFlight:  1,
+				QueueLimit:   cfg.BaseClients,
+				QueueTimeout: cfg.QueueTimeout,
+			}
+		}
+		env, err := NewEnv(envCfg)
+		if err != nil {
+			return nil, err
+		}
+		// Seed before latency injection so setup stays fast.
+		if err := env.Direct("alice").Upload("/e16.bin", content); err != nil {
+			env.Close()
+			return nil, err
+		}
+		plan.SetLatency(cfg.StoreLatency)
+		for _, m := range cfg.Multipliers {
+			row, err := e16Cell(env, cfg.BaseClients*m, "/e16.bin", cfg.Window)
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			row.Load = fmt.Sprintf("%dx", m)
+			row.Admission = admission
+			rows = append(rows, row)
+
+			onOff := "off"
+			if admission {
+				onOff = "on"
+			}
+			labels := obs.Labels{"load": row.Load, "admission": onOff}
+			obs.Default().Gauge("segshare_bench_overload_goodput_ops",
+				"Successful GETs per second under offered overload.", labels).
+				Set(int64(row.Goodput))
+			obs.Default().Gauge("segshare_bench_overload_p99_us",
+				"p99 latency of admitted GETs under offered overload, in microseconds.", labels).
+				Set(row.P99.Microseconds())
+		}
+		env.Close()
+	}
+	return rows, nil
+}

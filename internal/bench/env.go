@@ -119,6 +119,10 @@ type EnvConfig struct {
 	// memory backends and the server so experiments can inject failures
 	// and latency (E15 brownouts).
 	FaultPlan *store.FaultPlan
+	// Admission, when non-nil, enables adaptive admission control on the
+	// HTTP request path; E16 uses it to measure goodput under overload
+	// with shedding on vs off.
+	Admission *segshare.AdmissionConfig
 }
 
 // Env is a full in-process SeGShare deployment listening on loopback.
@@ -173,6 +177,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		DisableRequestRegistry: cfg.DisableRequestRegistry,
 		Profiler:               cfg.Profiler,
 		Resilience:             cfg.Resilience,
+		Admission:              cfg.Admission,
 	}
 	var ownExporter *obs.Exporter
 	if serverCfg.Exporter == nil {

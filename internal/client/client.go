@@ -135,6 +135,12 @@ func decodeError(resp *http.Response) error {
 		sentinel = core.ErrExists
 	case http.StatusBadRequest:
 		sentinel = core.ErrBadRequest
+	case http.StatusRequestEntityTooLarge:
+		sentinel = core.ErrTooLarge
+	case http.StatusServiceUnavailable:
+		// Shed by admission control, draining, or degraded read-only
+		// mode; the server sets Retry-After on all of them.
+		sentinel = core.ErrOverloaded
 	default:
 		return fmt.Errorf("client: server error: %s", msg)
 	}

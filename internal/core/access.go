@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -32,6 +33,17 @@ func (ac *accessControl) withStats(rs *obs.ReqStats) *accessControl {
 	}
 	v := *ac
 	v.fm = ac.fm.withStats(rs)
+	return &v
+}
+
+// withRequest returns a view of ac bound to one request's stats and
+// cancellation context (see fileManager.withRequest).
+func (ac *accessControl) withRequest(rs *obs.ReqStats, ctx context.Context) *accessControl {
+	if rs == nil && ctx == nil {
+		return ac
+	}
+	v := *ac
+	v.fm = ac.fm.withRequest(rs, ctx)
 	return &v
 }
 

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -10,7 +12,16 @@ import (
 // GETs of the same hot object decrypt the blob once instead of N times
 // (DESIGN §14). The stdlib has no singleflight and the module is
 // dependency-free, so this is hand-rolled; the semantics match
-// x/sync/singleflight.Do with forget-on-completion.
+// x/sync/singleflight.Do with forget-on-completion, plus two
+// cancellation rules singleflight lacks (DESIGN §16):
+//
+//   - A follower whose own context ends stops waiting and returns its
+//     context error; the flight continues for the callers that remain.
+//   - When a *leader's* flight ends with a cancellation (its client
+//     disconnected mid-decrypt) or a panic, the followers do not inherit
+//     that failure: each retries the flight, and the first one in
+//     becomes the new leader while the rest join its flight. A canceled
+//     client must only cancel its own request, never its neighbors'.
 //
 // Correctness in SeGShare's request path rests on the sharded lock
 // manager: every coalesced caller holds the path's read lock for the
@@ -34,31 +45,66 @@ type flightCall struct {
 // goroutine.
 var errFlightAbandoned = errors.New("segshare: coalesced read abandoned")
 
+// flightErrRetryable reports whether a completed flight's error reflects
+// only the *leader's* fate (abandoned or canceled) rather than the data,
+// in which case a follower must retry rather than surface it.
+func flightErrRetryable(err error) bool {
+	return errors.Is(err, errFlightAbandoned) ||
+		errors.Is(err, ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // do runs fn once per key among concurrent callers, returning fn's
 // result and whether this caller shared another caller's flight (true)
-// or led its own (false).
-func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flightCall)
+// or led one (false, including retries promoted to leader). A nil ctx
+// never cancels the wait.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
 	}
-	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		<-c.done
-		return c.val, true, c.err
-	}
-	c := &flightCall{done: make(chan struct{}), err: errFlightAbandoned}
-	g.m[key] = c
-	g.mu.Unlock()
-	defer func() {
-		// Flights are forgotten immediately on completion: the next call
-		// after close(done) leads its own read, so a result can never be
-		// served after the path's lock coverage ended.
+	for {
 		g.mu.Lock()
-		delete(g.m, key)
+		if g.m == nil {
+			g.m = make(map[string]*flightCall)
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctxDone:
+				// Leave the flight; it continues for the others.
+				return nil, true, ctxErrWrapped(ctx)
+			}
+			if flightErrRetryable(c.err) {
+				// The leader was canceled or panicked: its failure says
+				// nothing about the data. Loop — the first follower back
+				// here leads a fresh flight, the rest join it.
+				continue
+			}
+			return c.val, true, c.err
+		}
+		c := &flightCall{done: make(chan struct{}), err: errFlightAbandoned}
+		g.m[key] = c
 		g.mu.Unlock()
-		close(c.done)
-	}()
-	c.val, c.err = fn()
-	return c.val, false, c.err
+		func() {
+			defer func() {
+				// Flights are forgotten immediately on completion: the next
+				// call after close(done) leads its own read, so a result can
+				// never be served after the path's lock coverage ended.
+				g.mu.Lock()
+				delete(g.m, key)
+				g.mu.Unlock()
+				close(c.done)
+			}()
+			c.val, c.err = fn()
+		}()
+		return c.val, false, c.err
+	}
+}
+
+// ctxErrWrapped maps a finished context to the core cancellation error.
+func ctxErrWrapped(ctx context.Context) error {
+	return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx))
 }

@@ -30,7 +30,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 	leaderCh := make(chan result, 1)
 	go func() {
-		val, shared, err := g.do("k", func() ([]byte, error) {
+		val, shared, err := g.do(nil, "k", func() ([]byte, error) {
 			calls.Add(1)
 			close(started)
 			<-release
@@ -44,7 +44,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	followerCh := make(chan result, followers)
 	for i := 0; i < followers; i++ {
 		go func() {
-			val, shared, err := g.do("k", func() ([]byte, error) {
+			val, shared, err := g.do(nil, "k", func() ([]byte, error) {
 				t.Error("follower fn ran despite an in-flight leader")
 				return nil, nil
 			})
@@ -72,7 +72,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 
 	// Forget-on-completion: the next call leads its own flight.
-	val, shared, err := g.do("k", func() ([]byte, error) {
+	val, shared, err := g.do(nil, "k", func() ([]byte, error) {
 		calls.Add(1)
 		return []byte("second"), nil
 	})
@@ -85,45 +85,39 @@ func TestFlightGroupCoalesces(t *testing.T) {
 }
 
 // TestFlightGroupLeaderPanic checks panic safety: a follower of a flight
-// whose leader panicked receives errFlightAbandoned instead of hanging or
-// observing a zero-value success. A follower that misses the flight
-// (scheduled only after the panic unwound) legitimately leads its own —
-// the loop retries until one actually joins.
+// whose leader panicked neither hangs nor observes a zero-value success —
+// it retries as the new leader and returns its own result. The panic
+// itself still propagates on the leader's goroutine only.
 func TestFlightGroupLeaderPanic(t *testing.T) {
 	var g flightGroup
-	for attempt := 0; attempt < 20; attempt++ {
-		started := make(chan struct{})
-		release := make(chan struct{})
-		go func() {
-			defer func() { recover() }()
-			_, _, _ = g.do("k", func() ([]byte, error) {
-				close(started)
-				<-release
-				panic("leader died")
-			})
-		}()
-		<-started
-		var ownRan atomic.Bool
-		followerErr := make(chan error, 1)
-		go func() {
-			_, _, err := g.do("k", func() ([]byte, error) {
-				ownRan.Store(true)
-				return []byte("own"), nil
-			})
-			followerErr <- err
-		}()
-		time.Sleep(20 * time.Millisecond)
-		close(release)
-		err := <-followerErr
-		if ownRan.Load() {
-			continue // missed the flight; retry
-		}
-		if !errors.Is(err, errFlightAbandoned) {
-			t.Fatalf("follower of panicked flight got err = %v, want errFlightAbandoned", err)
-		}
-		return
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		_, _, _ = g.do(nil, "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			panic("leader died")
+		})
+	}()
+	<-started
+	type result struct {
+		val []byte
+		err error
 	}
-	t.Fatal("follower never joined the leader's flight in 20 attempts")
+	followerCh := make(chan result, 1)
+	go func() {
+		val, _, err := g.do(nil, "k", func() ([]byte, error) {
+			return []byte("own"), nil
+		})
+		followerCh <- result{val, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	r := <-followerCh
+	if r.err != nil || string(r.val) != "own" {
+		t.Fatalf("follower of panicked flight got (%q, %v), want its own retry result", r.val, r.err)
+	}
 }
 
 // TestCoalescedReadStress hammers one hot path with concurrent readers

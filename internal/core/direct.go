@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"time"
@@ -54,6 +55,12 @@ func statusForErr(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return StatusClientClosedRequest
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDegraded):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

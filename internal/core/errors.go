@@ -34,4 +34,18 @@ var (
 	// degraded read-only mode: a backend circuit breaker is open and the
 	// request was rejected before any trusted state changed (HTTP 503).
 	ErrDegraded = errors.New("segshare: degraded read-only mode")
+	// ErrOverloaded is returned when admission control sheds a request
+	// (queue full, queue timeout, or draining). Like ErrDegraded it is a
+	// fast rejection before any trusted state changed (HTTP 503 with
+	// Retry-After).
+	ErrOverloaded = errors.New("segshare: overloaded")
+	// ErrCanceled is returned when the client's request context ends
+	// before the operation completes. Mutations only observe it before
+	// the journal intent commits — after that the op always finishes —
+	// so a canceled request never leaves partial trusted state (HTTP
+	// 499, client closed request).
+	ErrCanceled = errors.New("segshare: request canceled")
+	// ErrTooLarge is returned when a request body exceeds the configured
+	// cap (HTTP 413).
+	ErrTooLarge = errors.New("segshare: request body too large")
 )

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -90,6 +91,13 @@ type fileManager struct {
 	// is nil-safe, so non-request paths pay one predicted branch.
 	rs *obs.ReqStats
 
+	// ctx is the request context carried by a view (see withRequest);
+	// nil on the base fileManager and on non-request paths (recovery,
+	// provisioning), which are never cancellable. Read paths observe it
+	// between store round-trips and crypto chunks; mutations observe it
+	// only before the journal intent commits (txn.go).
+	ctx context.Context
+
 	// cryptoWorkers bounds the chunk-crypto worker pool used on the
 	// content data path (DESIGN §14); 1 means strictly serial. Resolved
 	// in NewServer, never zero.
@@ -130,6 +138,47 @@ func (fm *fileManager) withStats(rs *obs.ReqStats) *fileManager {
 	v.tx = nil
 	v.rs = rs
 	return &v
+}
+
+// withRequest returns a shallow view of fm bound to one request: its
+// stats collector (may be nil) and its cancellation context. Like
+// withStats the view shares every backing object but carries its own tx
+// slot, so one request's staging state and cancellation never leak into
+// another's.
+func (fm *fileManager) withRequest(rs *obs.ReqStats, ctx context.Context) *fileManager {
+	if rs == nil && ctx == nil {
+		return fm
+	}
+	v := *fm
+	v.tx = nil
+	v.rs = rs
+	v.ctx = ctx
+	return &v
+}
+
+// ctxErr reports the view's request cancellation, mapped to ErrCanceled
+// so the handler can distinguish "client left" (499) from server faults.
+// Views without a context never cancel.
+func (fm *fileManager) ctxErr() error {
+	if fm.ctx == nil {
+		return nil
+	}
+	if err := fm.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(fm.ctx))
+	}
+	return nil
+}
+
+// backendGet reads one object through the namespace backend, bounded by
+// the view's request context when the backend supports it (Resilient
+// and Instrumented do; bare test backends fall back to a plain Get).
+func (fm *fileManager) backendGet(ns *namespace, name string) ([]byte, error) {
+	if fm.ctx != nil {
+		if cg, ok := ns.backend.(store.ContextGetter); ok {
+			return cg.GetContext(fm.ctx, name)
+		}
+	}
+	return ns.backend.Get(name)
 }
 
 type fmConfig struct {
@@ -383,8 +432,11 @@ func (fm *fileManager) getBlob(ns *namespace, name string) (*rollback.Header, []
 			return hdr, body, nil
 		}
 	}
+	if err := fm.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	fm.rs.AddStoreOps(1)
-	raw, err := ns.backend.Get(fm.storageName(ns, name))
+	raw, err := fm.backendGet(ns, fm.storageName(ns, name))
 	if errors.Is(err, store.ErrNotExist) {
 		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
@@ -395,7 +447,7 @@ func (fm *fileManager) getBlob(ns *namespace, name string) (*rollback.Header, []
 	if err != nil {
 		return nil, nil, err
 	}
-	plain, err := pfs.DecryptWorkers(key, fm.fileID(ns, name), raw, fm.cryptoWorkers)
+	plain, err := pfs.DecryptWorkersCtx(fm.ctx, key, fm.fileID(ns, name), raw, fm.cryptoWorkers)
 	if errors.Is(err, pfs.ErrCorrupt) {
 		return nil, nil, fmt.Errorf("%w: %s", ErrIntegrity, name)
 	}

@@ -18,6 +18,7 @@ import (
 	"segshare/internal/ca"
 	"segshare/internal/fspath"
 	"segshare/internal/obs"
+	"segshare/internal/store"
 )
 
 // The request handler (paper Fig. 1) parses each request, allocates it to
@@ -218,10 +219,11 @@ func statsFrom(r *http.Request) *obs.ReqStats {
 
 // reqAC returns the request's access-control view and stats collector.
 // The view attributes store/cache/journal work done on behalf of this
-// request to its wide event; without a collector it is s.ac itself.
+// request to its wide event and carries the request's cancellation
+// context end to end (DESIGN §16); without either it is s.ac itself.
 func (s *Server) reqAC(r *http.Request) (*accessControl, *obs.ReqStats) {
 	rs := statsFrom(r)
-	return s.ac.withStats(rs), rs
+	return s.ac.withRequest(rs, r.Context()), rs
 }
 
 // bridgeCallCounts unwraps the request's connection down to the
@@ -304,7 +306,20 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		r = r.WithContext(ctx)
 
 		start := time.Now()
-		next.ServeHTTP(rw, r)
+		// Admission (DESIGN §16): drain rejects everything new; the
+		// adaptive limiter admits, queues, or sheds by op class. A shed
+		// request still flows through the full telemetry tail below, so
+		// 503s are visible in every metric, trace, and log line.
+		release, admitErr := s.admit(r.Context(), op)
+		if admitErr != nil {
+			writeMappedErr(rw, admitErr)
+		} else {
+			if s.maxBody > 0 {
+				r.Body = http.MaxBytesReader(rw, r.Body, s.maxBody)
+			}
+			next.ServeHTTP(rw, r)
+			release(time.Since(start))
+		}
 		dur := time.Since(start)
 
 		if rw.status == 0 {
@@ -461,6 +476,13 @@ func (s *Server) serveFS(w http.ResponseWriter, r *http.Request, u acl.UserID) {
 	case http.MethodPut:
 		content, err := io.ReadAll(r.Body)
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				// The limit is configuration, not request data, so naming
+				// it leaks nothing.
+				writeMappedErr(w, fmt.Errorf("%w: body exceeds %d bytes", ErrTooLarge, mbe.Limit))
+				return
+			}
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
@@ -799,6 +821,10 @@ func decodeJSON(r *http.Request, into any) error {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body exceeds %d bytes", ErrTooLarge, mbe.Limit)
+		}
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return nil
@@ -814,6 +840,18 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// recorded when a request ends because its client disconnected first.
+// Nothing meaningful reaches the client — it is gone — but the status
+// keeps cancellations distinguishable in metrics, traces, and logs.
+const StatusClientClosedRequest = 499
+
+// retryAfterSeconds is the constant Retry-After hint on every 503. All
+// three 503 causes (shed, degraded read-only mode, saturated worker
+// pool) clear on the order of a breaker cooldown or an AIMD interval —
+// a couple of seconds — so one honest constant beats a leaky oracle.
+const retryAfterSeconds = "2"
+
 // writeMappedErr translates core errors to HTTP statuses.
 func writeMappedErr(w http.ResponseWriter, err error) {
 	switch {
@@ -827,10 +865,22 @@ func writeMappedErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusBadRequest, err)
 	case errors.Is(err, ErrRangeNotSatisfiable):
 		writeErr(w, http.StatusRequestedRangeNotSatisfiable, err)
-	case errors.Is(err, ErrDegraded):
-		// Degraded read-only mode: the mutation was rejected fast, before
-		// any trusted state changed. 503 tells clients to retry later,
+	case errors.Is(err, ErrTooLarge):
+		writeErr(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; the status exists for telemetry only.
+		writeErr(w, StatusClientClosedRequest, err)
+	case errors.Is(err, ErrDegraded),
+		errors.Is(err, ErrOverloaded),
+		errors.Is(err, store.ErrSaturated),
+		errors.Is(err, store.ErrCircuitOpen):
+		// Fast rejections before any trusted state changed: degraded
+		// read-only mode, admission shed, or a saturated backend pool.
+		// 503 + Retry-After tells well-behaved clients to back off,
 		// unlike the 500s below which signal store/integrity trouble.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrIntegrity), errors.Is(err, ErrRollback):
 		writeErr(w, http.StatusInternalServerError, err)

@@ -88,6 +88,13 @@ type serverObs struct {
 	coalesceLeader     *obs.Counter
 	coalesceShared     *obs.Counter
 	coalesceInflight   *obs.Gauge
+
+	// Overload-resilience instruments (DESIGN §16): client-cancelled
+	// requests (HTTP 499) and the graceful-drain outcome. The admission
+	// limiter registers its own per-class instruments (admission.go).
+	cancelled      *obs.Counter
+	drainNs        *obs.Gauge
+	drainRemaining *obs.Gauge
 }
 
 // opRequestMetrics holds one op class's request instruments. Status-class
@@ -150,6 +157,12 @@ func newServerObs(reg *obs.Registry, logger *slog.Logger) *serverObs {
 			"Coalesced content reads by role: the leader decrypts, shared callers ride its flight.", obs.Labels{"role": "shared"}),
 		coalesceInflight: reg.Gauge("segshare_crypto_coalesce_inflight",
 			"Content reads currently inside a coalescing flight.", nil),
+		cancelled: reg.Counter("segshare_requests_cancelled_total",
+			"Requests that ended because the client disconnected first (HTTP 499).", nil),
+		drainNs: reg.Gauge("segshare_drain_ns",
+			"Duration of the last graceful-drain wait (ns); 0 until a drain runs.", nil),
+		drainRemaining: reg.Gauge("segshare_drain_remaining",
+			"Requests still in flight when the drain deadline expired (0 after a clean drain).", nil),
 	}
 }
 
@@ -260,6 +273,9 @@ func (o *serverObs) finishRequest(op string, status int, dur time.Duration, byte
 		if a := o.requests.remove(traceID); a != nil && a.hotGroup != "" {
 			o.hot.Offer(a.hotGroup, 1, uint64(bytesIn+bytesOut))
 		}
+	}
+	if status == StatusClientClosedRequest {
+		o.cancelled.Inc()
 	}
 	o.slo.Record(op, status, dur)
 	o.observeRequest(op, status, dur, bytesIn, bytesOut, traceID)

@@ -218,7 +218,7 @@ func (fm *fileManager) readContent(path fspath.Path) ([]byte, error) {
 	}
 	fm.obs.coalesceInflight.Add(1)
 	defer fm.obs.coalesceInflight.Add(-1)
-	val, shared, err := fm.shared.reads.do(path.String(), func() ([]byte, error) {
+	val, shared, err := fm.shared.reads.do(fm.ctx, path.String(), func() ([]byte, error) {
 		return fm.readContentUncoalesced(path)
 	})
 	if shared {

@@ -170,6 +170,16 @@ type Config struct {
 	// the state and register its readiness check before calling NewServer.
 	// Nil means the server allocates its own (see Server.Recovery).
 	Recovery *RecoveryState
+	// Admission, when non-nil with Enable set, turns on adaptive
+	// admission control: per-op-class AIMD concurrency limits with a
+	// bounded wait queue and priority shedding (DESIGN §16). The
+	// LatencyTarget defaults to the SLO latency threshold when an SLO is
+	// configured.
+	Admission *AdmissionConfig
+	// MaxBodyBytes caps request bodies via http.MaxBytesReader; requests
+	// exceeding it get a leak-safe 413. 0 means the default (64 MiB),
+	// negative disables the cap.
+	MaxBodyBytes int64
 }
 
 // WatchdogConfig tunes the stall watchdog (see obs.Watchdog). All
@@ -196,6 +206,12 @@ type WatchdogConfig struct {
 // that class already in flight at breach time), so the trace ring holds
 // evidence from inside the bad period.
 const sloForceSampleNext = 25
+
+// defaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
+// zero: large enough for any realistic file PUT through this API (which
+// buffers bodies in enclave memory), small enough that one client
+// cannot pin the crypto workers on a multi-gigabyte upload.
+const defaultMaxBodyBytes = 64 << 20
 
 func (w WatchdogConfig) withDefaults() WatchdogConfig {
 	if w.Interval <= 0 {
@@ -243,10 +259,20 @@ type Server struct {
 	// watchdog is the stall detector, nil unless Config.Watchdog.Enable.
 	watchdog *obs.Watchdog
 
+	// admission is the adaptive admission controller, nil unless
+	// Config.Admission.Enable (see admission.go).
+	admission *admissionController
+	// maxBody is the resolved request-body cap; <= 0 disables it.
+	maxBody int64
+	// draining is set by Drain: new requests are rejected with 503 +
+	// Retry-After while in-flight ones complete.
+	draining atomic.Bool
+
 	httpServer *http.Server
 	terminator *enctls.UntrustedTerminator
 	serveOnce  sync.Once
 	closeOnce  sync.Once
+	drainOnce  sync.Once
 }
 
 // codeIdentity derives the enclave's measured identity from the
@@ -552,6 +578,23 @@ func NewServer(platform *enclave.Platform, cfg Config) (*Server, error) {
 		// (txn.go stages per-operation state on the file manager), which
 		// coupled mode guarantees; rollback protection needs it anyway.
 		locks: newLockManager(cfg.LockShards, cfg.Features.RollbackProtection || jl != nil, sObs),
+	}
+
+	// Adaptive admission control and the request-body cap (DESIGN §16).
+	// The AIMD latency target inherits the SLO threshold so "overloaded"
+	// and "missing the SLO" mean the same thing.
+	if cfg.Admission != nil && cfg.Admission.Enable {
+		acfg := *cfg.Admission
+		if acfg.LatencyTarget <= 0 && cfg.SLO != nil && cfg.SLO.LatencyThreshold > 0 {
+			acfg.LatencyTarget = cfg.SLO.LatencyThreshold
+		}
+		s.admission = newAdmissionController(acfg, sObs.reg)
+	}
+	switch {
+	case cfg.MaxBodyBytes == 0:
+		s.maxBody = defaultMaxBodyBytes
+	case cfg.MaxBodyBytes > 0:
+		s.maxBody = cfg.MaxBodyBytes
 	}
 
 	// segshare_build_info pins the deployment's shape next to its
@@ -896,6 +939,82 @@ func (s *Server) Addr() net.Addr {
 		return nil
 	}
 	return s.terminator.Addr()
+}
+
+// inflightCount reports how many requests are currently inside the
+// handler chain, preferring the in-flight registry (exact, keyed by
+// trace id) and falling back to the inflight gauge.
+func (s *Server) inflightCount() int {
+	if s.obs.requests != nil {
+		return s.obs.requests.size()
+	}
+	return int(s.obs.inflight.Value())
+}
+
+// Drain gracefully quiesces the request plane ahead of Close. It stops
+// admitting new requests (admit returns ErrOverloaded, so callers see a
+// 503 with Retry-After and a load balancer watching CheckDraining stops
+// routing here), waits until every in-flight request finishes or ctx
+// expires, closes the journal against new intents (mutations that
+// committed before the close still retire via MarkApplied, so a clean
+// drain leaves an empty replay set), then flushes the audit log and the
+// telemetry exporter so no enqueued record is lost. The outcome is
+// recorded as an EventDrain audit event and in the segshare_drain_ns /
+// segshare_drain_remaining gauges.
+//
+// Drain runs once; later calls return nil without waiting. It returns
+// an error when the deadline expired with requests still in flight or
+// the audit flush failed. Callers still invoke Close afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	var err error
+	s.drainOnce.Do(func() {
+		start := time.Now()
+		s.draining.Store(true)
+		remaining := s.inflightCount()
+		if remaining > 0 {
+			ticker := time.NewTicker(5 * time.Millisecond)
+			defer ticker.Stop()
+		wait:
+			for remaining > 0 {
+				select {
+				case <-ctx.Done():
+					break wait
+				case <-ticker.C:
+					remaining = s.inflightCount()
+				}
+			}
+		}
+		waited := time.Since(start)
+		if s.fm.journal != nil {
+			s.fm.journal.Close()
+		}
+		s.obs.drainNs.Set(int64(waited))
+		s.obs.drainRemaining.Set(int64(remaining))
+		s.obs.auditEmit(audit.Event{
+			Event:  audit.EventDrain,
+			Detail: fmt.Sprintf("waited %s, %d in flight at deadline", waited.Round(time.Millisecond), remaining),
+		})
+		if s.obs.audit != nil {
+			err = s.obs.audit.Flush()
+		}
+		if s.obs.exporter != nil {
+			s.obs.exporter.Flush()
+		}
+		if remaining > 0 && err == nil {
+			err = fmt.Errorf("segshare: drain deadline: %d requests still in flight", remaining)
+		}
+	})
+	return err
+}
+
+// CheckDraining reports an error once Drain has begun. Wire it as a
+// /readyz check named "draining" so load balancers pull the instance
+// out of rotation while in-flight requests finish.
+func (s *Server) CheckDraining() error {
+	if s.draining.Load() {
+		return errors.New("draining")
+	}
+	return nil
 }
 
 // Close shuts the server down: terminator, HTTP server, endpoint, bridge,

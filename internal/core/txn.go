@@ -26,10 +26,10 @@ import (
 // per-file encryption happens at apply time, so a recovery replay
 // produces a fresh valid ciphertext.
 type stagedPut struct {
-	ns      *namespace
-	name    string
-	hdrEnc  []byte
-	body    []byte
+	ns     *namespace
+	name   string
+	hdrEnc []byte
+	body   []byte
 	// needsToken marks a namespace-root write: the root-guard commit (and
 	// the token it yields) is deferred to apply time, so an aborted
 	// operation never advances the guard past the stored root.
@@ -183,6 +183,14 @@ func (fm *fileManager) mutate(op string, fn func() error) error {
 	if fm.tx != nil {
 		return fn()
 	}
+	// Cancellation is honored here and immediately before the intent
+	// commit below — and nowhere later. A client that disconnects before
+	// its mutation becomes durable saves the work; once the intent is
+	// committed the operation always completes (or is finished by
+	// recovery), preserving atomicity.
+	if err := fm.ctxErr(); err != nil {
+		return err
+	}
 	// Degraded read-only mode: while a store breaker is open, reject the
 	// mutation before any trusted state changes. The gate admits breaker
 	// probes itself (MutationsAllowed), so the mutations that do pass are
@@ -218,6 +226,13 @@ func (fm *fileManager) mutate(op string, fn func() error) error {
 		return nil
 	}
 
+	// Last cancellation point: nothing durable exists yet, so aborting
+	// here rolls back cleanly. After Commit returns, the op is applied
+	// unconditionally — fm.ctx is never consulted again.
+	if err := fm.ctxErr(); err != nil {
+		tx.runAbortHooks()
+		return err
+	}
 	writes, deletes := tx.records()
 	commitStart := time.Now()
 	seq, err := fm.journal.Commit(op, writes, deletes)

@@ -1,0 +1,43 @@
+package journal
+
+import (
+	"errors"
+	"testing"
+
+	"segshare/internal/store"
+)
+
+// TestCloseRejectsNewCommitsButRetiresOldOnes pins the drain contract:
+// after Close, Commit fails with ErrClosed, while MarkApplied still
+// retires intents committed before the close — a clean drain must be
+// able to empty the journal.
+func TestCloseRejectsNewCommitsButRetiresOldOnes(t *testing.T) {
+	backend := store.NewMemory()
+	ctr := &fakeCounter{}
+	j := openJournal(t, backend, ctr)
+
+	seq := commit(t, j, "op0")
+	j.Close()
+	j.Close() // idempotent
+
+	if _, err := j.Commit("op1", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit after Close: err = %v, want ErrClosed", err)
+	}
+	if err := j.MarkApplied(seq); err != nil {
+		t.Fatalf("MarkApplied after Close: %v", err)
+	}
+	if n := j.PendingCount(); n != 0 {
+		t.Fatalf("PendingCount = %d after retiring the last intent, want 0", n)
+	}
+
+	// A fresh open of the same backend (the restarted enclave) has
+	// nothing to replay.
+	j2 := openJournal(t, backend, ctr)
+	set, err := j2.Recover(true)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(set.Pending) != 0 {
+		t.Fatalf("recovery found %d pending intents after a clean close", len(set.Pending))
+	}
+}

@@ -52,6 +52,11 @@ const ObjectPrefix = "!journal:"
 // evidence of host tampering; recovery refuses to proceed.
 var ErrCorrupt = errors.New("journal: corrupt")
 
+// ErrClosed reports a commit attempted after the journal was closed by
+// the graceful-drain path. Mutations racing a shutdown fail cleanly
+// instead of writing intents nobody will apply.
+var ErrClosed = errors.New("journal: closed")
+
 // Counter is the enclave monotonic counter the journal binds sequence
 // numbers to (satisfied by *enclave.MonotonicCounter).
 type Counter interface {
@@ -140,6 +145,7 @@ type Journal struct {
 	ctr      Counter
 	lastHash [sha256.Size]byte
 	pending  int
+	closed   bool
 	onScan   func(verified int)
 
 	commits     *obs.Counter
@@ -218,6 +224,9 @@ func (j *Journal) scan() ([]uint64, error) {
 func (j *Journal) Commit(op string, writes []Write, deletes []Delete) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrClosed
+	}
 	start := time.Now()
 	seq, err := j.ctr.Increment()
 	if err != nil {
@@ -260,6 +269,16 @@ func (j *Journal) MarkApplied(seq uint64) error {
 	}
 	j.pendingG.Set(int64(j.pending))
 	return nil
+}
+
+// Close stops the journal accepting new commits. MarkApplied still
+// works — in-flight mutations that committed before the close must be
+// able to retire their intents, otherwise a clean drain would leave a
+// non-empty replay set. Close is idempotent.
+func (j *Journal) Close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
 }
 
 // PendingCount returns the number of committed-but-unapplied intents.

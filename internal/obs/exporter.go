@@ -128,6 +128,7 @@ type Exporter struct {
 	closeOnce sync.Once
 	done      chan struct{}
 	drained   chan struct{}
+	flushCh   chan chan struct{}
 }
 
 // NewExporter starts the exporter goroutine. The caller must Close it to
@@ -156,6 +157,7 @@ func NewExporter(sink ExportSink, opt ExporterOptions) *Exporter {
 		cancel:       cancel,
 		done:         make(chan struct{}),
 		drained:      make(chan struct{}),
+		flushCh:      make(chan chan struct{}),
 	}
 	if opt.Obs != nil {
 		e.droppedCtr = opt.Obs.Counter("segshare_export_dropped_total",
@@ -279,6 +281,23 @@ func (e *Exporter) run() {
 			}
 		case <-ticker.C:
 			flush()
+		case reply := <-e.flushCh:
+			// Synchronous flush (graceful drain): pull everything already
+			// queued, write it out, then acknowledge.
+			for {
+				select {
+				case rec := <-e.ch:
+					batch = append(batch, rec)
+					if len(batch) >= e.batchSize {
+						flush()
+					}
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			close(reply)
 		case <-e.done:
 			// Drain whatever is queued, then flush once and exit.
 			for {
@@ -294,6 +313,26 @@ func (e *Exporter) run() {
 				}
 			}
 		}
+	}
+}
+
+// Flush synchronously drains whatever is queued and writes it to the
+// sink. It is the graceful-drain hook: the caller gets back control only
+// after every record enqueued before the call has been offered to the
+// sink. Safe to call concurrently with Enqueue; a no-op after Close.
+func (e *Exporter) Flush() {
+	if e == nil {
+		return
+	}
+	reply := make(chan struct{})
+	select {
+	case e.flushCh <- reply:
+		select {
+		case <-reply:
+		case <-e.drained:
+		}
+	case <-e.drained:
+		// Exporter already stopped; Close flushed the queue.
 	}
 }
 

@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime"
@@ -53,12 +54,35 @@ func UsesParallel(plainSize int64, workers int) bool {
 	return workers > 1 && numChunks(plainSize) >= minParallelChunks
 }
 
+// chunkCtxErr is the per-chunk cancellation check shared by every
+// one-shot path. A nil ctx (the non-cancellable callers) costs one
+// comparison per chunk; a live ctx costs one atomic load. Cancellation
+// granularity is therefore one chunk (≤ ChunkSize of crypto work) on
+// both the serial and parallel paths.
+func chunkCtxErr(ctx context.Context, verb string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("pfs: %s canceled: %w", verb, context.Cause(ctx))
+	}
+	return nil
+}
+
 // EncryptWorkers is Encrypt with a bounded worker pool sealing chunks
 // concurrently. workers <= 1 (or a file below the parallel cutoff) falls
 // back to the serial path; the encoded blob is byte-compatible either
 // way.
 func EncryptWorkers(fileKey pae.Key, fileID, plaintext []byte, workers int) ([]byte, error) {
-	return AppendEncrypt(nil, fileKey, fileID, plaintext, workers)
+	return AppendEncryptCtx(nil, nil, fileKey, fileID, plaintext, workers)
+}
+
+// EncryptWorkersCtx is EncryptWorkers with a cancellation context:
+// workers stop sealing at the next chunk boundary once ctx ends and the
+// call returns an error wrapping the context's cause. A nil ctx is
+// never canceled.
+func EncryptWorkersCtx(ctx context.Context, fileKey pae.Key, fileID, plaintext []byte, workers int) ([]byte, error) {
+	return AppendEncryptCtx(ctx, nil, fileKey, fileID, plaintext, workers)
 }
 
 // AppendEncrypt appends the encoded blob for plaintext to dst and
@@ -67,6 +91,12 @@ func EncryptWorkers(fileKey pae.Key, fileID, plaintext []byte, workers int) ([]b
 // protected blob directly inside a larger object (see internal/dedup)
 // without an intermediate copy.
 func AppendEncrypt(dst []byte, fileKey pae.Key, fileID, plaintext []byte, workers int) ([]byte, error) {
+	return AppendEncryptCtx(nil, dst, fileKey, fileID, plaintext, workers)
+}
+
+// AppendEncryptCtx is AppendEncrypt with a cancellation context observed
+// between chunks.
+func AppendEncryptCtx(ctx context.Context, dst []byte, fileKey pae.Key, fileID, plaintext []byte, workers int) ([]byte, error) {
 	plainSize := int64(len(plaintext))
 	need := len(dst) + int(plainSize+Overhead(plainSize))
 	if cap(dst) < need {
@@ -80,8 +110,20 @@ func AppendEncrypt(dst []byte, fileKey pae.Key, fileID, plaintext []byte, worker
 		if err != nil {
 			return nil, err
 		}
-		if _, err := w.Write(plaintext); err != nil {
-			return nil, err
+		// Feed the writer chunk-sized pieces so cancellation lands on
+		// chunk boundaries; the encoded bytes are identical to a single
+		// Write (the writer seals on the same boundaries either way).
+		for off := int64(0); ; off += ChunkSize {
+			if err := chunkCtxErr(ctx, "seal"); err != nil {
+				return nil, err
+			}
+			end := min(off+ChunkSize, plainSize)
+			if _, err := w.Write(plaintext[off:end]); err != nil {
+				return nil, err
+			}
+			if end >= plainSize {
+				break
+			}
 		}
 		if err := w.Close(); err != nil {
 			return nil, err
@@ -124,6 +166,11 @@ func AppendEncrypt(dst []byte, fileKey pae.Key, fileID, plaintext []byte, worker
 			for {
 				i := next.Add(1) - 1
 				if i >= nc || failed.Load() {
+					return
+				}
+				if err := chunkCtxErr(ctx, "seal"); err != nil {
+					errs[wi] = err
+					failed.Store(true)
 					return
 				}
 				ptOff := i * ChunkSize
@@ -171,17 +218,38 @@ func AppendEncrypt(dst []byte, fileKey pae.Key, fileID, plaintext []byte, worker
 // and checked against the authenticated root, and the stored inner-node
 // region is compared against the rebuilt tree.
 func DecryptWorkers(fileKey pae.Key, fileID, blob []byte, workers int) ([]byte, error) {
+	return DecryptWorkersCtx(nil, fileKey, fileID, blob, workers)
+}
+
+// DecryptWorkersCtx is DecryptWorkers with a cancellation context:
+// workers (and the serial fallback) stop opening at the next chunk
+// boundary once ctx ends, so a disconnected client stops consuming
+// crypto CPU within one chunk. A nil ctx is never canceled.
+func DecryptWorkersCtx(ctx context.Context, fileKey pae.Key, fileID, blob []byte, workers int) ([]byte, error) {
 	r, err := Open(fileKey, fileID, bytes.NewReader(blob), int64(len(blob)))
 	if err != nil {
 		return nil, err
 	}
 	if !UsesParallel(r.ftr.plainSize, workers) {
-		var out bytes.Buffer
-		out.Grow(int(r.Size()))
-		if _, err := r.WriteTo(&out); err != nil {
-			return nil, err
+		if ctx == nil {
+			var out bytes.Buffer
+			out.Grow(int(r.Size()))
+			if _, err := r.WriteTo(&out); err != nil {
+				return nil, err
+			}
+			return out.Bytes(), nil
 		}
-		return out.Bytes(), nil
+		out := make([]byte, r.ftr.plainSize)
+		for off := int64(0); off < r.ftr.plainSize; off += ChunkSize {
+			if err := chunkCtxErr(ctx, "open"); err != nil {
+				return nil, err
+			}
+			end := min(off+ChunkSize, r.ftr.plainSize)
+			if _, err := r.ReadAt(out[off:end], off); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
 	}
 
 	nc := r.ftr.numChunks
@@ -205,6 +273,11 @@ func DecryptWorkers(fileKey pae.Key, fileID, blob []byte, workers int) ([]byte, 
 			for {
 				i := next.Add(1) - 1
 				if i >= nc || failed.Load() {
+					return
+				}
+				if err := chunkCtxErr(ctx, "open"); err != nil {
+					errs[wi] = err
+					failed.Store(true)
 					return
 				}
 				// Open validated the blob's structure, so the chunk

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"time"
 
 	"segshare/internal/obs"
@@ -85,6 +86,24 @@ func (i *Instrumented) Put(name string, data []byte) error {
 func (i *Instrumented) Get(name string) ([]byte, error) {
 	start := time.Now()
 	data, err := i.inner.Get(name)
+	i.observe("get", start, err)
+	if err == nil {
+		i.bytesOut.Add(uint64(len(data)))
+	}
+	return data, err
+}
+
+// GetContext forwards to the inner backend's ContextGetter when it has
+// one, falling back to a plain (uninterruptible) Get, so the ctx-aware
+// read path composes through the usual Instrumented(Resilient(raw))
+// stack.
+func (i *Instrumented) GetContext(ctx context.Context, name string) ([]byte, error) {
+	cg, ok := i.inner.(ContextGetter)
+	if !ok {
+		return i.Get(name)
+	}
+	start := time.Now()
+	data, err := cg.GetContext(ctx, name)
 	i.observe("get", start, err)
 	if err == nil {
 		i.bytesOut.Add(uint64(len(data)))

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -175,13 +176,16 @@ type Resilient struct {
 	retriesC     *obs.Counter
 	deadlinesC   *obs.Counter
 	saturatedC   *obs.Counter
+	canceledC    *obs.Counter
 	transitionsC map[BreakerState]*obs.Counter
 	stateG       *obs.Gauge
 }
 
 var (
-	_ Backend   = (*Resilient)(nil)
-	_ Unwrapper = (*Resilient)(nil)
+	_ Backend       = (*Resilient)(nil)
+	_ Unwrapper     = (*Resilient)(nil)
+	_ ContextGetter = (*Resilient)(nil)
+	_ ContextGetter = (*Instrumented)(nil)
 )
 
 type opClass int
@@ -212,6 +216,8 @@ func NewResilient(inner Backend, role string, opt ResilientOptions) *Resilient {
 			"Backend operations abandoned past their per-op-class deadline.", roleLabel),
 		saturatedC: reg.Counter("segshare_store_saturated_total",
 			"Backend operations rejected because the bounded worker pool was full.", roleLabel),
+		canceledC: reg.Counter("segshare_store_canceled_total",
+			"Backend operations abandoned because the request context ended first.", roleLabel),
 		transitionsC: make(map[BreakerState]*obs.Counter, 3),
 		stateG: reg.Gauge("segshare_store_breaker_state",
 			"Circuit breaker position: 0 closed, 1 half-open, 2 open.", roleLabel),
@@ -337,9 +343,11 @@ func (r *Resilient) admit(class opClass) (probe bool, err error) {
 
 // settle records one logical operation's final outcome on the breaker.
 // Semantic results (ErrNotExist/ErrExist) are backend health signals of
-// success, not failure.
+// success, not failure — and so is a caller-side context cancellation,
+// which says nothing about backend health.
 func (r *Resilient) settle(class opClass, probe bool, err error) {
-	failure := err != nil && !errors.Is(err, ErrNotExist) && !errors.Is(err, ErrExist)
+	failure := err != nil && !errors.Is(err, ErrNotExist) && !errors.Is(err, ErrExist) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 	r.mu.Lock()
 	var notify []breakerTransition
 	if probe {
@@ -381,6 +389,14 @@ func (r *Resilient) settle(class opClass, probe bool, err error) {
 // class deadline. On expiry the worker keeps running (it still holds
 // its pool slot until fn returns) but the caller gets its budget back.
 func (r *Resilient) dispatch(op string, deadline time.Duration, fn func() error) error {
+	return r.dispatchCtx(nil, op, deadline, fn)
+}
+
+// dispatchCtx is dispatch with an optional caller context: when ctx ends
+// before fn completes, the caller stops waiting (the worker keeps its
+// pool slot until fn returns, exactly like a deadline expiry) and gets a
+// context error back. A nil ctx waits on the deadline alone.
+func (r *Resilient) dispatchCtx(ctx context.Context, op string, deadline time.Duration, fn func() error) error {
 	select {
 	case r.sem <- struct{}{}:
 	default:
@@ -392,31 +408,43 @@ func (r *Resilient) dispatch(op string, deadline time.Duration, fn func() error)
 		defer func() { <-r.sem }()
 		done <- fn()
 	}()
-	if deadline <= 0 {
-		return <-done
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
 	}
-	timer := time.NewTimer(deadline)
-	defer timer.Stop()
+	var timerC <-chan time.Time
+	if deadline > 0 {
+		timer := time.NewTimer(deadline)
+		defer timer.Stop()
+		timerC = timer.C
+	}
 	select {
 	case err := <-done:
 		return err
-	case <-timer.C:
+	case <-timerC:
 		r.deadlinesC.Inc()
 		return fmt.Errorf("%w: %s %s after %v", ErrDeadlineExceeded, r.role, op, deadline)
+	case <-ctxDone:
+		r.canceledC.Inc()
+		return fmt.Errorf("store: %s %s canceled: %w", r.role, op, context.Cause(ctx))
 	}
 }
 
 // retryable reports whether a failed attempt may be re-dispatched.
 // Semantic results are final; deadline expiries must not be retried
 // (the attempt may still apply — see the type comment); an open circuit
-// is rejected before dispatch and retrying it would only spin.
+// is rejected before dispatch and retrying it would only spin; a
+// context cancellation means the caller is gone — retrying would burn a
+// worker slot for a result nobody reads.
 func retryable(err error) bool {
 	switch {
 	case err == nil,
 		errors.Is(err, ErrNotExist),
 		errors.Is(err, ErrExist),
 		errors.Is(err, ErrDeadlineExceeded),
-		errors.Is(err, ErrCircuitOpen):
+		errors.Is(err, ErrCircuitOpen),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
 		return false
 	}
 	return true
@@ -426,6 +454,13 @@ func retryable(err error) bool {
 // 1+Retries dispatch attempts with full-jitter backoff between them,
 // then one breaker settlement with the final outcome.
 func (r *Resilient) do(op string, class opClass, fn func() error) error {
+	return r.doCtx(nil, op, class, fn)
+}
+
+// doCtx is do with an optional caller context threaded into each
+// dispatch. A cancellation is terminal (never retried) and settles the
+// breaker as a non-failure.
+func (r *Resilient) doCtx(ctx context.Context, op string, class opClass, fn func() error) error {
 	probe, err := r.admit(class)
 	if err != nil {
 		return err
@@ -435,7 +470,7 @@ func (r *Resilient) do(op string, class opClass, fn func() error) error {
 		deadline = r.opt.MutationDeadline
 	}
 	for attempt := 0; ; attempt++ {
-		err = r.dispatch(op, deadline, fn)
+		err = r.dispatchCtx(ctx, op, deadline, fn)
 		if err == nil || attempt >= r.opt.Retries || !retryable(err) {
 			break
 		}
@@ -482,8 +517,17 @@ func (r *Resilient) Put(name string, data []byte) error {
 
 // Get implements Backend.
 func (r *Resilient) Get(name string) ([]byte, error) {
+	return r.GetContext(nil, name)
+}
+
+// GetContext implements ContextGetter: a Get whose wait is additionally
+// bounded by the caller's context. The inner backend call is not
+// interrupted — it runs to completion in its bounded worker — but the
+// caller stops waiting, stops retrying, and the abandoned result is
+// dropped.
+func (r *Resilient) GetContext(ctx context.Context, name string) ([]byte, error) {
 	var out []byte
-	err := r.do("get", classRead, func() error {
+	err := r.doCtx(ctx, "get", classRead, func() error {
 		data, err := r.inner.Get(name)
 		if err != nil {
 			return err

@@ -11,6 +11,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -54,6 +55,15 @@ type Backend interface {
 	// TotalBytes returns the total stored payload size. The storage-
 	// overhead experiment (paper §VII-B) reads it.
 	TotalBytes() (int64, error)
+}
+
+// ContextGetter is implemented by backends whose Get can stop waiting
+// when the caller's context ends (Resilient, and wrappers that forward
+// it). GetContext with a nil context behaves exactly like Get. Callers
+// type-assert: plain backends without the method are simply read
+// uninterruptibly.
+type ContextGetter interface {
+	GetContext(ctx context.Context, name string) ([]byte, error)
 }
 
 // Unwrapper is implemented by every Backend wrapper (Instrumented,

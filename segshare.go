@@ -73,6 +73,10 @@ type (
 	// RecoveryState publishes journal-recovery progress for readiness
 	// gating (ServerConfig.Recovery, Server.Recovery).
 	RecoveryState = core.RecoveryState
+	// AdmissionConfig tunes the adaptive admission controller
+	// (ServerConfig.Admission): AIMD concurrency limits per operation
+	// class, a bounded wait queue, and priority shedding under overload.
+	AdmissionConfig = core.AdmissionConfig
 
 	// Client is the SeGShare user application.
 	Client = client.Client
@@ -136,6 +140,16 @@ var (
 	// ErrDegraded: the mutation was rejected because the server is in
 	// degraded read-only mode (a store circuit breaker is open).
 	ErrDegraded = core.ErrDegraded
+	// ErrOverloaded: the admission controller shed the request (queue
+	// full or queue-timeout) or the server is draining. Mapped to HTTP
+	// 503 with a Retry-After header.
+	ErrOverloaded = core.ErrOverloaded
+	// ErrCanceled: the request's context ended (client disconnect or
+	// deadline) before the work completed. Mapped to HTTP 499.
+	ErrCanceled = core.ErrCanceled
+	// ErrTooLarge: the request body exceeded the configured cap
+	// (ServerConfig.MaxBodyBytes). Mapped to HTTP 413.
+	ErrTooLarge = core.ErrTooLarge
 )
 
 // NewCA creates a certificate authority with a fresh root certificate.
